@@ -1,0 +1,83 @@
+"""Shared benchmark configuration and result handling.
+
+Every benchmark regenerates one of the paper's tables or figures at
+``BENCH_SCALE`` — a 10x-smaller cluster with per-worker load identical to
+the paper (DESIGN.md §6) and trimmed sweep densities so the full benchmark
+suite completes in minutes.  Rendered tables are written to
+``benchmarks/out/<name>.txt`` (and echoed through pytest's captured stdout)
+so the reproduced series survive the run.
+
+Set ``RAMSIS_BENCH_SCALE=paper`` in the environment to run any benchmark at
+the paper's full parameters (hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.experiments.scale import ExperimentScale
+
+__all__ = ["bench_scale", "emit", "cached_fig5", "cached_fig6"]
+
+_OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> ExperimentScale:
+    """The benchmark preset (overridable via RAMSIS_BENCH_SCALE)."""
+    name = os.environ.get("RAMSIS_BENCH_SCALE", "bench")
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "default":
+        return ExperimentScale.default()
+    if name == "smoke":
+        return ExperimentScale.smoke()
+    # The benchmark default: 1/10th cluster, trimmed sweeps.
+    return ExperimentScale.default().with_overrides(
+        name="bench",
+        worker_counts=(4, 6, 8, 10, 12, 14),
+        constant_loads_qps=tuple(float(q) for q in range(40, 401, 80)),
+        trace_duration_s=60.0,
+        constant_duration_s=15.0,
+        fld_resolution=30,
+        policy_grid_points=5,
+        ms_profile_duration_s=5.0,
+        ms_profile_grid_points=6,
+        fidelity_worker_counts=(2, 4),
+        many_model_workers=6,
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    _OUT_DIR.mkdir(exist_ok=True)
+    (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# Figure results shared between benchmarks (Fig. 5 <-> Table 3 etc.).
+# ----------------------------------------------------------------------
+_RESULTS: Dict[str, object] = {}
+
+
+def cached_fig5(scale: Optional[ExperimentScale] = None):
+    """Run (once per session) the Fig. 5 sweep at bench scale."""
+    key = "fig5"
+    if key not in _RESULTS:
+        from repro.experiments.fig5 import run_fig5
+
+        _RESULTS[key] = run_fig5(scale=scale or bench_scale(), slos_per_task=1)
+    return _RESULTS[key]
+
+
+def cached_fig6(scale: Optional[ExperimentScale] = None):
+    """Run (once per session) the Fig. 6 sweep at bench scale."""
+    key = "fig6"
+    if key not in _RESULTS:
+        from repro.experiments.fig6 import run_fig6
+
+        _RESULTS[key] = run_fig6(scale=scale or bench_scale(), slos_per_task=1)
+    return _RESULTS[key]

@@ -1,0 +1,113 @@
+"""Ablation: heterogeneous worker types (§7's homogeneity remark).
+
+The paper notes worker homogeneity is not fundamental — RAMSIS generates
+policies per worker (type).  This ablation builds a cluster of half 1.0x
+and half 1.6x-slower workers and compares three deployments:
+
+- **matched**: each worker runs the policy generated from its own type's
+  latency profile (the paper's per-worker generation);
+- **fast-everywhere**: the fast type's policy on every worker (optimistic
+  on the slow half);
+- **slow-everywhere**: the slow type's policy on every worker
+  (conservative on the fast half).
+
+Asserted: matched policies violate no more than the optimistic deployment
+and are at least as accurate as the conservative one.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.reporting import format_table
+from repro.experiments.tasks import image_task
+from repro.selectors import RamsisSelector
+from repro.sim.monitor import OracleLoadMonitor
+from repro.sim.simulator import Simulation, SimulationConfig
+
+SLOW_FACTOR = 1.6
+
+
+@pytest.fixture(scope="module")
+def hetero_cells():
+    scale = bench_scale()
+    task = image_task()
+    slo = task.slos_ms[0]
+    workers = 6
+    load = 15.0 * workers  # per-worker regime where both types are feasible
+    factors = tuple(1.0 if i % 2 == 0 else SLOW_FACTOR for i in range(workers))
+    trace = LoadTrace.constant(load, scale.constant_duration_s * 1000.0)
+
+    def policy_for(factor):
+        config = WorkerMDPConfig.default_poisson(
+            task.model_set.with_latency_scale(factor),
+            slo_ms=slo,
+            load_qps=load,
+            num_workers=workers,
+            fld_resolution=scale.fld_resolution,
+            max_batch_size=scale.max_batch_size,
+        )
+        return generate_policy(config, with_guarantees=False).policy
+
+    fast, slow = policy_for(1.0), policy_for(SLOW_FACTOR)
+    deployments = {
+        "matched": [
+            RamsisSelector(fast if f == 1.0 else slow) for f in factors
+        ],
+        "fast-everywhere": [RamsisSelector(fast) for _ in factors],
+        "slow-everywhere": [RamsisSelector(slow) for _ in factors],
+    }
+    cells = {}
+    for label, selectors in deployments.items():
+        sim = Simulation(
+            SimulationConfig(
+                model_set=task.model_set,
+                slo_ms=slo,
+                num_workers=workers,
+                max_batch_size=scale.max_batch_size,
+                worker_speed_factors=factors,
+                monitor=OracleLoadMonitor(trace),
+                seed=51,
+                track_responses=False,
+            )
+        )
+        cells[label] = sim.run(selectors, trace, pattern=PoissonArrivals(load))
+    return cells
+
+
+def test_heterogeneous_report(benchmark, hetero_cells):
+    cells = benchmark.pedantic(lambda: hetero_cells, rounds=1, iterations=1)
+    rows = [
+        (
+            label,
+            f"{m.accuracy_per_satisfied_query * 100:.2f}%",
+            f"{m.violation_rate * 100:.3f}%",
+        )
+        for label, m in cells.items()
+    ]
+    emit(
+        "ablation_heterogeneous",
+        format_table(
+            ["deployment", "accuracy", "violations"],
+            rows,
+            title=(
+                "Ablation — per-worker-type policies on a half-1.0x / "
+                f"half-{SLOW_FACTOR}x cluster"
+            ),
+        ),
+    )
+
+
+def test_matched_no_worse_than_optimistic(hetero_cells):
+    assert hetero_cells["matched"].violation_rate <= (
+        hetero_cells["fast-everywhere"].violation_rate + 0.01
+    )
+
+
+def test_matched_at_least_conservative_accuracy(hetero_cells):
+    assert hetero_cells["matched"].accuracy_per_satisfied_query >= (
+        hetero_cells["slow-everywhere"].accuracy_per_satisfied_query - 0.01
+    )

@@ -1,0 +1,93 @@
+"""Ablation: per-decision vs per-query reward weighting.
+
+The paper's §4.1 reward is ``Accuracy(a) * SLOSatisfied(s, a)`` per
+decision epoch; an alternative weights it by the batch size (optimizing
+accuracy *per query* directly).  This ablation quantifies the difference:
+per-query weighting values big satisfied batches more, nudging the policy
+toward slightly larger batches at equal accuracy.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_method
+from repro.experiments.tasks import image_task
+from repro.selectors import RamsisSelector
+
+
+@pytest.fixture(scope="module")
+def reward_points():
+    scale = bench_scale()
+    task = image_task()
+    slo = task.slos_ms[0]
+    workers = scale.constant_workers_image
+    rows = []
+    for load in scale.constant_loads_qps[::2]:
+        base = WorkerMDPConfig.default_poisson(
+            task.model_set,
+            slo_ms=slo,
+            load_qps=load,
+            num_workers=workers,
+            fld_resolution=scale.fld_resolution,
+            max_batch_size=scale.max_batch_size,
+        )
+        trace = LoadTrace.constant(
+            load, scale.constant_duration_s * 1000.0, name=f"rw-{load:g}"
+        )
+        for label, per_query in (("per-decision", False), ("per-query", True)):
+            config = replace(base, reward_per_query=per_query)
+            policy = generate_policy(config, with_guarantees=False).policy
+            cell = run_method(
+                "RAMSIS",
+                task,
+                slo,
+                workers,
+                trace,
+                scale,
+                oracle_load=True,
+                selector=RamsisSelector(policy),
+            )
+            rows.append((label, load, cell))
+    return rows
+
+
+def test_reward_ablation_report(benchmark, reward_points):
+    rows = benchmark.pedantic(lambda: reward_points, rounds=1, iterations=1)
+    table = [
+        (
+            label,
+            f"{load:g}",
+            f"{cell.accuracy * 100:.2f}%",
+            f"{cell.violation_rate * 100:.3f}%",
+        )
+        for label, load, cell in rows
+    ]
+    emit(
+        "ablation_reward",
+        format_table(
+            ["reward", "load (QPS)", "accuracy", "violations"],
+            table,
+            title="Ablation — per-decision (paper) vs per-query reward",
+        ),
+    )
+
+
+def test_reward_variants_comparable(reward_points):
+    """Both objectives land in the same accuracy band when satisfiable."""
+    by_load = {}
+    for label, load, cell in reward_points:
+        by_load.setdefault(load, {})[label] = cell
+    compared = 0
+    for cells in by_load.values():
+        if len(cells) == 2 and all(c.plottable for c in cells.values()):
+            compared += 1
+            assert cells["per-decision"].accuracy == pytest.approx(
+                cells["per-query"].accuracy, abs=0.05
+            )
+    assert compared > 0

@@ -1,0 +1,103 @@
+"""Ablation: per-epoch (paper) vs duration-aware (semi-MDP) discounting.
+
+The paper solves a discrete-time MDP over decision epochs, discounting once
+per epoch regardless of how long the epoch lasts in real time; it cites the
+semi-Markov literature [8] for complexity but does not use duration-aware
+discounting.  This ablation quantifies the difference online: semi-MDP
+policies discount long services more, which tilts them slightly toward
+conservatism.
+"""
+
+import pytest
+from dataclasses import replace
+
+from benchmarks._common import bench_scale, emit
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_method
+from repro.experiments.tasks import image_task
+from repro.selectors import RamsisSelector
+
+
+@pytest.fixture(scope="module")
+def semimdp_cells():
+    scale = bench_scale()
+    task = image_task()
+    slo = task.slos_ms[0]
+    workers = scale.constant_workers_image
+    cells = []
+    for load in scale.constant_loads_qps[:3]:
+        base = WorkerMDPConfig.default_poisson(
+            task.model_set,
+            slo_ms=slo,
+            load_qps=load,
+            num_workers=workers,
+            fld_resolution=scale.fld_resolution,
+            max_batch_size=scale.max_batch_size,
+        )
+        trace = LoadTrace.constant(load, scale.constant_duration_s * 1000.0)
+        for label, duration_aware in (("per-epoch", False), ("semi-MDP", True)):
+            config = replace(base, duration_aware_discount=duration_aware)
+            policy = generate_policy(config, with_guarantees=False).policy
+            cell = run_method(
+                "RAMSIS",
+                task,
+                slo,
+                workers,
+                trace,
+                scale,
+                oracle_load=True,
+                selector=RamsisSelector(policy),
+            )
+            cells.append((label, load, cell))
+    return cells
+
+
+def test_semimdp_report(benchmark, semimdp_cells):
+    cells = benchmark.pedantic(lambda: semimdp_cells, rounds=1, iterations=1)
+    rows = [
+        (
+            label,
+            f"{load:g}",
+            f"{cell.accuracy * 100:.2f}%",
+            f"{cell.violation_rate * 100:.3f}%",
+        )
+        for label, load, cell in cells
+    ]
+    emit(
+        "ablation_semimdp",
+        format_table(
+            ["discounting", "load (QPS)", "accuracy", "violations"],
+            rows,
+            title="Ablation — per-epoch (paper) vs semi-MDP discounting",
+        ),
+    )
+
+
+def test_semimdp_comparable_accuracy(semimdp_cells):
+    by_load = {}
+    for label, load, cell in semimdp_cells:
+        by_load.setdefault(load, {})[label] = cell
+    compared = 0
+    for cells in by_load.values():
+        if len(cells) == 2 and all(c.plottable for c in cells.values()):
+            compared += 1
+            assert cells["semi-MDP"].accuracy == pytest.approx(
+                cells["per-epoch"].accuracy, abs=0.05
+            )
+    assert compared > 0
+
+
+def test_semimdp_never_more_violations_when_feasible(semimdp_cells):
+    """Duration-aware discounting penalizes long services, so it should
+    not violate more where the per-epoch policy is feasible."""
+    by_load = {}
+    for label, load, cell in semimdp_cells:
+        by_load.setdefault(load, {})[label] = cell
+    for cells in by_load.values():
+        if len(cells) == 2 and cells["per-epoch"].plottable:
+            assert cells["semi-MDP"].violation_rate <= (
+                cells["per-epoch"].violation_rate + 0.02
+            )

@@ -1,0 +1,105 @@
+"""Ablation: transition-probability views (DESIGN.md §3 substitution).
+
+Compares the three constructions of per-worker transition probabilities on
+identical configurations:
+
+- ``exact_rr`` — the paper's phase-conditioned §4.4.2 derivation;
+- ``rr_marginal`` — the equilibrium-renewal marginal (this repo's default);
+- ``split`` — a random Poisson split (conservative).
+
+Asserted: all three agree exactly at K = 1; at K > 1 the marginal view
+tracks the exact view closely while the Poisson split is more conservative
+(lower expected accuracy); and the marginal view is cheaper to build than
+the exact view.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import emit
+from repro.core.config import TransitionView, WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.reporting import format_table
+from repro.experiments.tasks import image_task
+
+
+def _generate(view, num_workers, load_per_worker=25.0, fld=20):
+    task = image_task()
+    config = WorkerMDPConfig.default_poisson(
+        task.model_set,
+        slo_ms=task.slos_ms[0],
+        load_qps=load_per_worker * num_workers,
+        num_workers=num_workers,
+        fld_resolution=fld,
+        view=view,
+    )
+    start = time.perf_counter()
+    result = generate_policy(config)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@pytest.fixture(scope="module")
+def view_results():
+    out = {}
+    for k in (1, 3):
+        for view in TransitionView:
+            out[(k, view)] = _generate(view, k)
+    return out
+
+
+def test_views_agree_at_k1(view_results):
+    accs = {
+        view: view_results[(1, view)][0].guarantees.expected_accuracy
+        for view in TransitionView
+    }
+    baseline = accs[TransitionView.EXACT_ROUND_ROBIN]
+    for view, acc in accs.items():
+        assert acc == pytest.approx(baseline, abs=1e-6), view
+
+
+def test_marginal_tracks_exact_at_k3(view_results):
+    exact = view_results[(3, TransitionView.EXACT_ROUND_ROBIN)][0]
+    marginal = view_results[(3, TransitionView.ROUND_ROBIN_MARGINAL)][0]
+    assert marginal.guarantees.expected_accuracy == pytest.approx(
+        exact.guarantees.expected_accuracy, abs=0.03
+    )
+
+
+def test_poisson_split_is_conservative_at_k3(view_results):
+    exact = view_results[(3, TransitionView.EXACT_ROUND_ROBIN)][0]
+    split = view_results[(3, TransitionView.POISSON_SPLIT)][0]
+    assert (
+        split.guarantees.expected_accuracy
+        <= exact.guarantees.expected_accuracy + 0.01
+    )
+
+
+def test_view_report(benchmark, view_results):
+    def marginal_policy():
+        return _generate(TransitionView.ROUND_ROBIN_MARGINAL, 3)
+
+    benchmark.pedantic(marginal_policy, rounds=1, iterations=1)
+    rows = []
+    for (k, view), (result, elapsed) in sorted(
+        view_results.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        g = result.guarantees
+        rows.append(
+            (
+                k,
+                view.value,
+                f"{g.expected_accuracy * 100:.3f}%",
+                f"{g.expected_violation_rate * 100:.4f}%",
+                f"{elapsed:.2f}",
+            )
+        )
+    emit(
+        "ablation_views",
+        format_table(
+            ["K", "view", "E[accuracy]", "E[violation]", "gen time (s)"],
+            rows,
+            title="Ablation — transition-probability views",
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Appendix I: extending RAMSIS to shortest-queue-first load balancing.
+
+Only the MDP transition probabilities change: SQF policies are generated
+from the Gupta et al. conditional per-worker arrival rate and deployed with
+the SQF balancer.  Asserted: both balancing strategies serve the load with
+comparable accuracy and violations across the satisfiable range.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.experiments.appendix import render_appendix_i, run_appendix_i
+
+
+@pytest.fixture(scope="module")
+def appi_points():
+    scale = bench_scale()
+    return run_appendix_i(scale=scale, loads_qps=scale.constant_loads_qps[::2])
+
+
+def test_appi_run_and_render(benchmark, appi_points):
+    points = benchmark.pedantic(lambda: appi_points, rounds=1, iterations=1)
+    emit("appi_sqf", render_appendix_i(points))
+    assert {label for label, _ in points} == {"round-robin", "shortest-queue"}
+
+
+def test_appi_sqf_comparable_to_round_robin(appi_points):
+    rr = {p.load_qps: p for label, p in appi_points if label == "round-robin"}
+    sqf = {p.load_qps: p for label, p in appi_points if label == "shortest-queue"}
+    compared = 0
+    for load in set(rr) & set(sqf):
+        if rr[load].plottable and sqf[load].plottable:
+            compared += 1
+            assert sqf[load].accuracy == pytest.approx(
+                rr[load].accuracy, abs=0.06
+            )
+    assert compared > 0
+
+
+def test_appi_sqf_satisfiable_at_low_load(appi_points):
+    lows = sorted({p.load_qps for _, p in appi_points})[:2]
+    for label, p in appi_points:
+        if label == "shortest-queue" and p.load_qps in lows:
+            assert p.violation_rate < 0.05

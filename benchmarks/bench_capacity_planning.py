@@ -1,0 +1,88 @@
+"""Resource-manager view of §7.1's headline: accuracy at provisioned cost.
+
+Uses the §5.1-driven capacity planner to ask, per accuracy target, how many
+workers RAMSIS needs versus how many a load-granular selection needs — the
+"same accuracy with fewer resources" claim expressed as a provisioning
+decision — and times a trace-wide autoscaling schedule.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.core.config import WorkerMDPConfig
+from repro.experiments.fig5 import production_trace
+from repro.experiments.reporting import format_table
+from repro.experiments.tasks import image_task
+from repro.manager import CapacityPlanner
+
+
+def _planner(accuracy_floor: float) -> CapacityPlanner:
+    scale = bench_scale()
+    task = image_task()
+    base = WorkerMDPConfig.default_poisson(
+        task.model_set,
+        slo_ms=task.slos_ms[0],
+        load_qps=100.0,
+        num_workers=1,
+        fld_resolution=scale.fld_resolution,
+        max_batch_size=scale.max_batch_size,
+    )
+    return CapacityPlanner(
+        base,
+        accuracy_floor=accuracy_floor,
+        violation_ceiling=0.02,
+        max_workers=32,
+    )
+
+
+@pytest.fixture(scope="module")
+def capacity_rows():
+    load = 160.0
+    rows = []
+    for floor in (0.62, 0.68, 0.72, 0.76):
+        plan = _planner(floor).plan(load)
+        rows.append(
+            (
+                f"{floor * 100:.0f}%",
+                plan.num_workers,
+                f"{plan.guarantees.expected_accuracy * 100:.2f}%",
+                f"{plan.guarantees.expected_violation_rate * 100:.3f}%",
+            )
+        )
+    return rows
+
+
+def test_capacity_plan_report(benchmark, capacity_rows):
+    rows = benchmark.pedantic(lambda: capacity_rows, rounds=1, iterations=1)
+    emit(
+        "capacity_planning",
+        format_table(
+            ["accuracy target", "workers", "E[accuracy]", "E[violation]"],
+            rows,
+            title="Capacity planning at 160 QPS, SLO 150 ms (§5.1 loop)",
+        ),
+    )
+
+
+def test_higher_targets_cost_more_workers(capacity_rows):
+    workers = [row[1] for row in capacity_rows]
+    assert workers == sorted(workers)
+    assert workers[-1] > workers[0]
+
+
+def test_autoscaling_schedule(benchmark):
+    scale = bench_scale()
+    trace = production_trace(scale).truncated(60_000.0)
+    planner = _planner(0.66)
+
+    schedule = benchmark.pedantic(
+        planner.schedule_for_trace,
+        args=(trace,),
+        kwargs={"load_quantum_qps": 50.0, "cooldown_intervals": 1},
+        rounds=1,
+        iterations=1,
+    )
+    # Autoscaling must beat static peak provisioning on cost.
+    static_cost = schedule.peak_workers * trace.duration_ms / 1000.0
+    assert schedule.worker_seconds <= static_cost
+    assert schedule.entries[0].start_ms == 0.0

@@ -1,0 +1,58 @@
+"""Figure 10 (Appendix C): impact of time discretization.
+
+FLD with D in {2, 10, 100} versus MD.  Paper findings asserted:
+
+- accuracy (weakly) improves with D — coarser grids under-estimate slack
+  and act conservatively;
+- FLD with large D matches MD;
+- diminishing returns: the D=10 -> D=100 gap is smaller than D=2 -> D=10.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.experiments.appendix import render_variant_sweep, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10_points():
+    scale = bench_scale()
+    return run_fig10(scale=scale, resolutions=(2, 10, 100))
+
+
+def _mean_accuracy(points, variant):
+    cells = [p for p in points if p.variant == variant and p.violation_rate < 0.05]
+    if not cells:
+        return None
+    return sum(p.accuracy for p in cells) / len(cells)
+
+
+def test_fig10_run_and_render(benchmark, fig10_points):
+    points = benchmark.pedantic(lambda: fig10_points, rounds=1, iterations=1)
+    emit(
+        "fig10_discretization",
+        render_variant_sweep(points, "Figure 10 — FLD resolution vs MD"),
+    )
+    assert {p.variant for p in points} == {"FLD D=2", "FLD D=10", "FLD D=100", "MD"}
+
+
+def test_fig10_accuracy_improves_with_resolution(fig10_points):
+    d2 = _mean_accuracy(fig10_points, "FLD D=2")
+    d10 = _mean_accuracy(fig10_points, "FLD D=10")
+    d100 = _mean_accuracy(fig10_points, "FLD D=100")
+    assert d2 is not None and d10 is not None and d100 is not None
+    assert d10 >= d2 - 0.01
+    assert d100 >= d10 - 0.01
+
+
+def test_fig10_fld100_matches_md(fig10_points):
+    d100 = _mean_accuracy(fig10_points, "FLD D=100")
+    md = _mean_accuracy(fig10_points, "MD")
+    assert d100 == pytest.approx(md, abs=0.02)
+
+
+def test_fig10_diminishing_returns(fig10_points):
+    d2 = _mean_accuracy(fig10_points, "FLD D=2")
+    d10 = _mean_accuracy(fig10_points, "FLD D=10")
+    d100 = _mean_accuracy(fig10_points, "FLD D=100")
+    assert (d100 - d10) <= (d10 - d2) + 0.02

@@ -1,0 +1,80 @@
+"""Figure 11 (Appendix D): maximal vs variable batching.
+
+The paper finds variable-batching policies select the maximal batch in 80%
+of decisions and perform equivalently online, while costing far more to
+generate (Table 2).  Asserted here:
+
+- online accuracy of the two strategies is near-identical per load;
+- policy generation with variable batching is measurably slower.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.experiments.appendix import render_variant_sweep, run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11_points():
+    # Variable-batching policy generation is expensive; keep a trimmed
+    # load grid at bench scale.
+    scale = bench_scale()
+    loads = scale.constant_loads_qps[::2]
+    return run_fig11(scale=scale, loads_qps=loads)
+
+
+def test_fig11_run_and_render(benchmark, fig11_points):
+    points = benchmark.pedantic(lambda: fig11_points, rounds=1, iterations=1)
+    emit(
+        "fig11_batching",
+        render_variant_sweep(points, "Figure 11 — maximal vs variable batching"),
+    )
+    assert {p.variant for p in points} == {"maximal", "variable"}
+
+
+def test_fig11_equivalent_online_performance(fig11_points):
+    maximal = {p.load_qps: p for p in fig11_points if p.variant == "maximal"}
+    variable = {p.load_qps: p for p in fig11_points if p.variant == "variable"}
+    compared = 0
+    for load in set(maximal) & set(variable):
+        a, b = maximal[load], variable[load]
+        if a.violation_rate < 0.05 and b.violation_rate < 0.05:
+            compared += 1
+            assert a.accuracy == pytest.approx(b.accuracy, abs=0.03)
+    assert compared > 0
+
+
+def test_fig11_variable_batching_generation_cost(benchmark):
+    """Table 2's companion fact: variable batching costs much more."""
+    from dataclasses import replace
+
+    from repro.core.config import BatchingMode, WorkerMDPConfig
+    from repro.core.mdp import build_worker_mdp
+    from repro.core.solvers import value_iteration
+    from repro.experiments.tasks import image_task
+
+    scale = bench_scale()
+    task = image_task()
+    base = WorkerMDPConfig.default_poisson(
+        task.model_set,
+        slo_ms=task.slos_ms[0],
+        load_qps=30.0,
+        num_workers=1,
+        fld_resolution=scale.fld_resolution,
+        max_batch_size=scale.max_batch_size,
+    )
+
+    timings = {}
+    for mode in (BatchingMode.MAXIMAL, BatchingMode.VARIABLE):
+        config = replace(base, batching=mode)
+        start = time.perf_counter()
+        value_iteration(build_worker_mdp(config))
+        timings[mode] = time.perf_counter() - start
+
+    def generate_maximal():
+        return value_iteration(build_worker_mdp(base))
+
+    benchmark.pedantic(generate_maximal, rounds=1, iterations=1)
+    assert timings[BatchingMode.VARIABLE] > timings[BatchingMode.MAXIMAL]

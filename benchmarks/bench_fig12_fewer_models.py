@@ -1,0 +1,55 @@
+"""Figure 12 (Appendix E): ablating the model set to 3 models.
+
+RAMSIS vs Jellyfish+ with the full 26-model set versus the 3-model subset
+(min / medium / long latency).  Paper insights asserted:
+
+- RAMSIS with only 3 models stays close to RAMSIS with 26 — it does not
+  rely on a dense model set;
+- RAMSIS always at least matches Jellyfish+ under the same model set.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.experiments.appendix import render_fig12, run_fig12
+
+
+@pytest.fixture(scope="module")
+def fig12_points():
+    return run_fig12(scale=bench_scale())
+
+
+def _series(points, label):
+    return {
+        p.load_qps: p.accuracy
+        for p in points
+        if p.method == label and p.plottable
+    }
+
+
+def test_fig12_run_and_render(benchmark, fig12_points):
+    points = benchmark.pedantic(lambda: fig12_points, rounds=1, iterations=1)
+    emit("fig12_fewer_models", render_fig12(points))
+    assert {p.method for p in points} == {
+        "RAMSIS (26 models)",
+        "JF+ (26 models)",
+        "RAMSIS (3 models)",
+        "JF+ (3 models)",
+    }
+
+
+def test_fig12_ramsis_robust_to_model_removal(fig12_points):
+    full = _series(fig12_points, "RAMSIS (26 models)")
+    three = _series(fig12_points, "RAMSIS (3 models)")
+    common = set(full) & set(three)
+    assert common
+    for load in common:
+        assert three[load] >= full[load] - 0.06
+
+
+def test_fig12_ramsis_beats_jellyfish_per_model_set(fig12_points):
+    for suffix in ("26 models", "3 models"):
+        ramsis = _series(fig12_points, f"RAMSIS ({suffix})")
+        jf = _series(fig12_points, f"JF+ ({suffix})")
+        for load in set(ramsis) & set(jf):
+            assert ramsis[load] >= jf[load] - 0.01

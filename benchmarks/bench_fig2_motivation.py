@@ -1,0 +1,47 @@
+"""Figure 2: the motivating demonstration (§2.2).
+
+One shared Poisson arrival realization, two schemes.  Asserted, exactly as
+the paper's figure depicts:
+
+- the load-granular baseline pins a single model across the timeline;
+- RAMSIS selects more than one model, including upgrades to models more
+  accurate than the baseline's choice during lulls;
+- RAMSIS's accuracy is higher at a comparable (near-zero) violation rate.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.experiments.fig2 import render_fig2, run_fig2
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return run_fig2(scale=bench_scale())
+
+
+def test_fig2_run_and_render(benchmark, fig2_result):
+    result = benchmark.pedantic(lambda: fig2_result, rounds=1, iterations=1)
+    emit("fig2_motivation", render_fig2(result))
+    assert result.ramsis_metrics.total_queries == (
+        result.baseline_metrics.total_queries
+    )
+
+
+def test_fig2_baseline_pins_one_model(fig2_result):
+    assert len(fig2_result.baseline_models_used) == 1
+
+
+def test_fig2_ramsis_exploits_lulls(fig2_result):
+    assert len(fig2_result.ramsis_models_used) >= 2
+    assert len(fig2_result.ramsis_upgrades()) > 0
+    assert len(fig2_result.lulls) > 0
+
+
+def test_fig2_higher_accuracy_same_violations(fig2_result):
+    ramsis, baseline = fig2_result.ramsis_metrics, fig2_result.baseline_metrics
+    assert ramsis.accuracy_per_satisfied_query > (
+        baseline.accuracy_per_satisfied_query
+    )
+    assert ramsis.violation_rate < 0.05
+    assert baseline.violation_rate < 0.05

@@ -1,0 +1,72 @@
+"""Figures 3 & 9: model accuracy-latency profiles.
+
+Regenerates the data behind the paper's profile scatter plots: 26 ImageNet
+models (9 on the Pareto front) and 5 BERT models (all on the front), plus
+the offline profiling step itself (timed — this is the paper's
+"collect a latency profile for every (model, batch size)" pass).
+"""
+
+from benchmarks._common import emit
+from repro.experiments.reporting import format_table
+from repro.experiments.tasks import image_task, text_task
+from repro.profiles.profiler import SimulatedHardware, profile_model_set
+
+
+def _profile_rows(task):
+    front = set(task.model_set.pareto_front().names)
+    rows = []
+    for m in sorted(task.model_set, key=lambda m: m.latency_ms(1)):
+        rows.append(
+            (
+                m.name,
+                f"{m.accuracy * 100:.2f}%",
+                f"{m.latency_ms(1):.1f}",
+                f"{m.latency_ms(4):.1f}",
+                "front" if m.name in front else "",
+            )
+        )
+    return rows
+
+
+def test_fig3_image_profiles(benchmark):
+    task = image_task()
+    hardware = SimulatedHardware(seed=3)
+
+    profiles = benchmark.pedantic(
+        profile_model_set,
+        args=(task.model_set,),
+        kwargs={"max_batch_size": 8, "hardware": hardware, "runs": 50},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(profiles) == 26
+
+    text = format_table(
+        ["model", "accuracy", "p95@b1 (ms)", "p95@b4 (ms)", "Pareto"],
+        _profile_rows(task),
+        title="Figure 3 — image classification model profiles (26 models)",
+    )
+    emit("fig3_image_profiles", text)
+    assert len(task.model_set.pareto_front()) == 9
+
+
+def test_fig9_text_profiles(benchmark):
+    task = text_task()
+    hardware = SimulatedHardware(seed=5)
+
+    profiles = benchmark.pedantic(
+        profile_model_set,
+        args=(task.model_set,),
+        kwargs={"max_batch_size": 8, "hardware": hardware, "runs": 50},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(profiles) == 5
+
+    text = format_table(
+        ["model", "accuracy", "p95@b1 (ms)", "p95@b4 (ms)", "Pareto"],
+        _profile_rows(task),
+        title="Figure 9 — text classification model profiles (5 BERTs)",
+    )
+    emit("fig9_text_profiles", text)
+    assert len(task.model_set.pareto_front()) == 5

@@ -1,0 +1,89 @@
+"""Figure 6: accuracy vs constant query load (oracle load monitor).
+
+The §7.2 shape assertions:
+
+- RAMSIS's accuracy is at least the baselines' at every plottable load;
+- accuracy declines (weakly) as load approaches peak capacity;
+- at the extremes of the load range RAMSIS and the best baseline converge
+  (low load: lulls don't matter; high load: only the fastest model works).
+"""
+
+import pytest
+
+from benchmarks._common import cached_fig6, emit
+from repro.experiments.fig6 import render_fig6
+from repro.experiments.reporting import accuracy_increase_summary
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return cached_fig6()
+
+
+def test_fig6_run_and_render(benchmark, fig6_result):
+    result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
+    emit("fig6_constant_load", render_fig6(result))
+    assert {p.method for p in result.points} == {"RAMSIS", "JF", "MS"}
+
+
+def test_fig6_ramsis_dominates_per_load(fig6_result):
+    by_cell = {}
+    for p in fig6_result.points:
+        by_cell.setdefault((p.task, p.slo_ms, p.load_qps), {})[p.method] = p
+    compared = 0
+    for cell in by_cell.values():
+        ramsis = cell.get("RAMSIS")
+        if ramsis is None or not ramsis.plottable:
+            continue
+        for name in ("JF", "MS"):
+            other = cell.get(name)
+            if other is not None and other.plottable:
+                compared += 1
+                assert ramsis.accuracy >= other.accuracy - 0.01
+    assert compared > 0
+
+
+def test_fig6_accuracy_declines_with_load(fig6_result):
+    for task in ("image", "text"):
+        slo = min(p.slo_ms for p in fig6_result.points if p.task == task)
+        series = fig6_result.series(task, slo, "RAMSIS")
+        if len(series) >= 3:
+            first, last = series[0][1], series[-1][1]
+            assert last <= first + 0.01
+
+
+def test_fig6_convergence_at_low_load(fig6_result):
+    """At the lowest load, the gap to the best baseline is small."""
+    for task in ("image", "text"):
+        slo = min(p.slo_ms for p in fig6_result.points if p.task == task)
+        low = min(
+            (p.load_qps for p in fig6_result.points if p.task == task),
+            default=None,
+        )
+        if low is None:
+            continue
+        cell = {
+            p.method: p
+            for p in fig6_result.points
+            if p.task == task and p.slo_ms == slo and p.load_qps == low
+        }
+        ramsis = cell.get("RAMSIS")
+        best_baseline = max(
+            (
+                cell[m].accuracy
+                for m in ("JF", "MS")
+                if m in cell and cell[m].plottable
+            ),
+            default=None,
+        )
+        if ramsis is not None and ramsis.plottable and best_baseline is not None:
+            assert ramsis.accuracy - best_baseline <= 0.12
+
+
+def test_fig6_headline_statistics(fig6_result):
+    """Paper: up to 15.4% (avg ~4.8/2.3%) higher accuracy at constant load."""
+    for baseline in ("JF", "MS"):
+        gains = accuracy_increase_summary(fig6_result.points, baseline)
+        if gains is not None:
+            avg, best = gains
+            assert best >= 0.0

@@ -1,0 +1,80 @@
+"""Figure 7: expectation vs simulation vs implementation fidelity (§7.3.1).
+
+Shape assertions from the paper:
+
+- simulation accuracy tracks the expectation closely at satisfiable loads;
+- the implementation (stochastic latencies) achieves accuracy and
+  violations at least as good as the simulation;
+- the expected violation rate upper-bounds the simulated one except near
+  peak capacity, where the expectation deliberately over-estimates.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale, emit
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    scale = bench_scale()
+    return run_fig7(scale=scale)
+
+
+def test_fig7_run_and_render(benchmark, fig7_result):
+    result = benchmark.pedantic(lambda: fig7_result, rounds=1, iterations=1)
+    emit("fig7_fidelity", render_fig7(result))
+    assert {p.variant for p in result.points} == {
+        "expectation",
+        "simulation",
+        "implementation",
+    }
+
+
+def _by_cell(result, variant):
+    return {
+        (p.num_workers, p.load_qps): p
+        for p in result.points
+        if p.variant == variant
+    }
+
+
+def test_fig7_simulation_tracks_expectation(fig7_result):
+    expectation = _by_cell(fig7_result, "expectation")
+    simulation = _by_cell(fig7_result, "simulation")
+    checked = 0
+    for key, exp in expectation.items():
+        sim = simulation[key]
+        # Only satisfiable cells — near/past capacity both saturate low.
+        if exp.violation_rate < 0.05 and sim.violation_rate < 0.05:
+            checked += 1
+            # Expectation is a lower bound on accuracy (§5.1), and should
+            # be close, not just below.
+            assert sim.accuracy >= exp.accuracy - 0.02
+            assert abs(sim.accuracy - exp.accuracy) < 0.06
+    assert checked > 0
+
+
+def test_fig7_expectation_bounds_violations(fig7_result):
+    expectation = _by_cell(fig7_result, "expectation")
+    simulation = _by_cell(fig7_result, "simulation")
+    for key, exp in expectation.items():
+        if exp.violation_rate < 0.05:
+            assert simulation[key].violation_rate <= exp.violation_rate + 0.02
+
+
+def test_fig7_implementation_beats_simulation(fig7_result):
+    """Stochastic executions usually finish before the planned p95, so the
+    implementation variant gets (weakly) better accuracy."""
+    simulation = _by_cell(fig7_result, "simulation")
+    implementation = _by_cell(fig7_result, "implementation")
+    better = 0
+    total = 0
+    for key, sim in simulation.items():
+        impl = implementation[key]
+        if sim.violation_rate < 0.05 and impl.violation_rate < 0.05:
+            total += 1
+            if impl.accuracy >= sim.accuracy - 1e-9:
+                better += 1
+    assert total > 0
+    assert better / total >= 0.7

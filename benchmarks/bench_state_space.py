@@ -1,0 +1,105 @@
+"""§3.1.2 / §5.2: state-space explosion of the naive MDP formulation.
+
+The paper reports that a direct discrete-time formulation tracking every
+pending deadline needs an exponential state space — with their parameters
+(N = 32, D = 100) value iteration did not finish in 24 hours — while the
+decomposed (n, T_j) formulation is polynomial and solves in seconds.
+
+This benchmark reproduces the claim in miniature: enumerated naive states
+grow combinatorially with (D, N) while the decomposed space is N*D + 2,
+and the naive solve time explodes correspondingly.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import emit
+from repro.arrivals.distributions import PoissonArrivals
+from repro.core.config import WorkerMDPConfig
+from repro.core.discretization import fixed_length_grid
+from repro.core.mdp import build_worker_mdp
+from repro.core.naive import NaiveWorkerMDP
+from repro.core.solvers import value_iteration
+from repro.experiments.reporting import format_table
+from tests.conftest import make_tiny_model_set
+
+CASES = [(3, 2), (5, 3), (6, 4), (7, 4)]
+
+
+@pytest.fixture(scope="module")
+def comparison_rows():
+    models = make_tiny_model_set()
+    rows = []
+    for d, n in CASES:
+        grid = fixed_length_grid(100.0, d)
+        start = time.perf_counter()
+        naive = NaiveWorkerMDP(
+            models, grid, PoissonArrivals(30.0), max_queue=n, max_states=100_000
+        )
+        _, naive_stats = naive.solve(tolerance=1e-6)
+        naive_total = time.perf_counter() - start
+
+        config = WorkerMDPConfig(
+            model_set=models,
+            slo_ms=100.0,
+            arrivals=PoissonArrivals(30.0),
+            max_queue=n,
+            fld_resolution=d,
+        )
+        start = time.perf_counter()
+        decomposed = build_worker_mdp(config)
+        value_iteration(decomposed)
+        decomposed_total = time.perf_counter() - start
+        rows.append(
+            (
+                d,
+                n,
+                naive.num_states,
+                decomposed.num_states,
+                naive_total,
+                decomposed_total,
+            )
+        )
+    return rows
+
+
+def test_state_space_report(benchmark, comparison_rows):
+    rows = benchmark.pedantic(lambda: comparison_rows, rounds=1, iterations=1)
+    emit(
+        "state_space_explosion",
+        format_table(
+            [
+                "D",
+                "N",
+                "naive |S|",
+                "RAMSIS |S|",
+                "naive solve (s)",
+                "RAMSIS solve (s)",
+            ],
+            [
+                (d, n, ns, ds, f"{nt:.2f}", f"{dt:.3f}")
+                for d, n, ns, ds, nt, dt in rows
+            ],
+            title="§3.1.2 — naive joint-deadline MDP vs RAMSIS decomposition",
+        ),
+    )
+
+
+def test_naive_space_grows_superlinearly(comparison_rows):
+    naive_sizes = [row[2] for row in comparison_rows]
+    ratios = [b / a for a, b in zip(naive_sizes, naive_sizes[1:])]
+    # Growth accelerates case over case.
+    assert ratios[-1] > 1.5
+    assert naive_sizes[-1] > 8 * naive_sizes[0]
+
+
+def test_decomposed_space_stays_linear(comparison_rows):
+    for d, n, _, decomposed_size, _, _ in comparison_rows:
+        assert decomposed_size == n * (d + 1) + 2
+
+
+def test_naive_dwarfs_decomposed(comparison_rows):
+    d, n, naive_size, decomposed_size, naive_t, decomposed_t = comparison_rows[-1]
+    assert naive_size > 3 * decomposed_size
+    assert naive_t > decomposed_t

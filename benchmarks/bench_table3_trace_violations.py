@@ -1,0 +1,49 @@
+"""Table 3 (Appendix F): SLO violation rates on the production trace.
+
+The companion numbers to Fig. 5 — the same runs, reported as violation
+rates.  The paper's pattern asserted: at satisfiable worker counts every
+method stays under a few percent, and violation rates drop sharply once
+the cluster can sustain the trace's peak.
+"""
+
+import pytest
+
+from benchmarks._common import cached_fig5, emit
+from repro.experiments.tables import render_table3
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return cached_fig5()
+
+
+def test_table3_render(benchmark, fig5_result):
+    result = benchmark.pedantic(lambda: fig5_result, rounds=1, iterations=1)
+    emit("table3_trace_violations", render_table3(result))
+
+
+def test_table3_violations_decline_with_workers(fig5_result):
+    """For each (task, method): the largest cluster violates no more than
+    the smallest (strictly fewer when the small cluster is overloaded)."""
+    for task in ("image", "text"):
+        for method in ("RAMSIS", "JF", "MS"):
+            cells = sorted(
+                (
+                    p
+                    for p in fig5_result.points
+                    if p.task == task and p.method == method
+                ),
+                key=lambda p: p.num_workers,
+            )
+            if len(cells) >= 2:
+                assert cells[-1].violation_rate <= cells[0].violation_rate + 0.02
+
+
+def test_table3_satisfiable_cells_low_violation(fig5_result):
+    """At the largest worker count every method should be satisfiable."""
+    top = max(p.num_workers for p in fig5_result.points)
+    for p in fig5_result.points:
+        if p.num_workers == top:
+            assert p.violation_rate < 0.10, (
+                f"{p.method} on {p.task} still violating at {top} workers"
+            )

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bring your own models and arrival pattern.
+
+RAMSIS is parameterized by (1) latency/accuracy profiles and (2) a query
+arrival distribution (§3.1.1).  This example builds a custom speech-to-text
+model family from scratch, profiles it on simulated hardware the way the
+paper profiles TorchServe deployments, and generates policies under both
+Poisson and Gamma inter-arrival patterns to show how burstiness changes the
+policy's aggressiveness.
+
+Run:  python examples/custom_models.py
+"""
+
+from repro import (
+    GammaArrivals,
+    LinearLatencyModel,
+    ModelProfile,
+    ModelSet,
+    PoissonArrivals,
+    WorkerMDPConfig,
+    generate_policy,
+)
+from repro.profiles import SimulatedHardware, profile_model_set
+
+SLO_MS = 400.0
+LOAD_QPS = 30.0
+
+
+def build_speech_models() -> ModelSet:
+    """A hypothetical ASR family: accuracy = word accuracy on a test set."""
+    rows = [
+        ("asr_tiny", 0.82, 4.0, 22.0),
+        ("asr_base", 0.88, 6.0, 55.0),
+        ("asr_large", 0.92, 8.0, 120.0),
+        ("asr_xl", 0.94, 10.0, 240.0),
+    ]
+    return ModelSet(
+        [
+            ModelProfile(
+                name=name,
+                accuracy=acc,
+                latency=LinearLatencyModel(
+                    overhead_ms=overhead, per_item_ms=per_item, std_ms=8.0
+                ),
+                family="asr",
+            )
+            for name, acc, overhead, per_item in rows
+        ],
+        task="speech",
+    )
+
+
+def main() -> None:
+    models = build_speech_models()
+
+    # Offline profiling, exactly like the paper's artifact: time each
+    # (model, batch) pair 100x on the target hardware, keep the p95.
+    profiles = profile_model_set(
+        models, max_batch_size=8, hardware=SimulatedHardware(seed=1), runs=100
+    )
+    print("measured p95 latency profiles (ms):")
+    for name, profile in profiles.items():
+        series = "  ".join(
+            f"b{b}={profile.latency_ms(b):6.1f}" for b in (1, 2, 4, 8)
+        )
+        print(f"  {name:<10} {series}")
+
+    # Generate policies under two inter-arrival patterns at the same load.
+    # Gamma shape 0.5 is *burstier* than Poisson, shape 4 is smoother.
+    patterns = {
+        "gamma(0.5) bursty": GammaArrivals(LOAD_QPS, shape=0.5),
+        "poisson": PoissonArrivals(LOAD_QPS),
+        "gamma(4) smooth": GammaArrivals(LOAD_QPS, shape=4.0),
+    }
+    print(f"\npolicies at {LOAD_QPS:g} QPS, SLO {SLO_MS:g} ms, one worker:")
+    print(f"{'pattern':<20} {'E[accuracy]':>12} {'E[violation]':>13}")
+    for label, arrivals in patterns.items():
+        config = WorkerMDPConfig(
+            model_set=models,
+            slo_ms=SLO_MS,
+            arrivals=arrivals,
+            num_workers=1,
+            max_batch_size=8,
+        )
+        g = generate_policy(config).guarantees
+        print(f"{label:<20} {g.expected_accuracy * 100:>11.2f}% "
+              f"{g.expected_violation_rate * 100:>12.3f}%")
+    print("\nsmoother arrivals -> more slack to exploit -> higher accuracy"
+          "\nat the same load; burstier arrivals force conservatism.")
+
+
+if __name__ == "__main__":
+    main()

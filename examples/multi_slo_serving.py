@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Serving multiple latency SLOs at once (Appendix G).
+
+Three applications share one cluster, each with its own latency SLO:
+
+- an interactive vision app (tight 150 ms SLO, heavy traffic),
+- an analytics pipeline (relaxed 500 ms SLO, moderate traffic),
+- a batch tagger (300 ms SLO, light traffic).
+
+Per the paper, each worker is assigned one SLO and attaches to the matching
+per-SLO queue.  The partitioner splits the cluster by expected work; each
+class gets its own RAMSIS policy, generated for its per-class load and
+worker count.
+
+Run:  python examples/multi_slo_serving.py
+"""
+
+from repro import LoadTrace, WorkerMDPConfig, build_image_model_set, generate_policy
+from repro.selectors import GreedyDeadlineSelector, RamsisSelector
+from repro.sim import SLOClass, partition_workers, run_multi_slo
+
+TOTAL_WORKERS = 12
+APPS = [
+    ("interactive", 150.0, 180.0),
+    ("tagger", 300.0, 60.0),
+    ("analytics", 500.0, 90.0),
+]
+
+
+def main() -> None:
+    models = build_image_model_set()
+
+    # First pass: let the partitioner size each class, then generate a
+    # RAMSIS policy per (SLO, load, workers) cell.
+    skeleton = [
+        SLOClass(
+            slo_ms=slo,
+            trace=LoadTrace.constant(qps, 20_000.0, name=name),
+            selector=GreedyDeadlineSelector(),  # sizing only; replaced below
+        )
+        for name, slo, qps in APPS
+    ]
+    shares = partition_workers(skeleton, models, TOTAL_WORKERS)
+    print(f"worker partition over {TOTAL_WORKERS} workers:")
+    for name, slo, qps in APPS:
+        print(f"  {name:<12} SLO {slo:>5g} ms  {qps:>5g} QPS  "
+              f"-> {shares[slo]} workers")
+
+    classes = []
+    for name, slo, qps in APPS:
+        workers = shares[slo]
+        config = WorkerMDPConfig.default_poisson(
+            models, slo_ms=slo, load_qps=qps, num_workers=workers,
+        )
+        result = generate_policy(config)
+        print(f"  {name}: E[acc] >= {result.guarantees.expected_accuracy * 100:.2f}%, "
+              f"E[viol] <= {result.guarantees.expected_violation_rate * 100:.3f}%")
+        classes.append(
+            SLOClass(
+                slo_ms=slo,
+                trace=LoadTrace.constant(qps, 20_000.0, name=name),
+                selector=RamsisSelector(result.policy),
+                num_workers=workers,
+            )
+        )
+
+    report = run_multi_slo(models, classes, seed=11)
+    print("\nonline results:")
+    for name, slo, _ in APPS:
+        m = report.per_class[slo]
+        print(f"  {name:<12} accuracy={m.accuracy_per_satisfied_query * 100:.2f}%  "
+              f"violations={m.violation_rate * 100:.3f}%  "
+              f"({m.total_queries} queries)")
+    print(f"\naggregate: accuracy={report.aggregate_accuracy * 100:.2f}%, "
+          f"violations={report.aggregate_violation_rate * 100:.3f}% over "
+          f"{report.total_queries} queries")
+    print("looser SLO classes exploit slower, more accurate models —"
+          "\nthe per-class policies encode exactly that trade-off.")
+
+
+if __name__ == "__main__":
+    main()

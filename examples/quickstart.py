@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a RAMSIS policy and serve queries with it.
+
+Walks the paper's full pipeline on a small configuration:
+
+1. build the 26-model ImageNet zoo (Fig. 3);
+2. generate an MS policy offline for one (SLO, load, workers) cell (§3.1);
+3. inspect the policy's probabilistic guarantees (§5.1);
+4. replay a constant-load Poisson workload through the discrete-event
+   simulator and compare RAMSIS against the Jellyfish+ baseline (§7.2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LoadTrace,
+    PoissonArrivals,
+    WorkerMDPConfig,
+    build_image_model_set,
+    generate_policy,
+)
+from repro.selectors import JellyfishPlusSelector, RamsisSelector
+from repro.sim import OracleLoadMonitor, Simulation, SimulationConfig
+
+
+def main() -> None:
+    # 1. The model zoo: 26 ImageNet classifiers, 9 on the Pareto front.
+    models = build_image_model_set()
+    front = models.pareto_front()
+    print(f"zoo: {len(models)} models, {len(front)} on the Pareto front")
+    print(f"fastest: {models.fastest().name} "
+          f"({models.fastest().latency_ms(1):.1f} ms, "
+          f"{models.fastest().accuracy * 100:.1f}%)")
+    print(f"most accurate within SLO grid: {front.most_accurate().name} "
+          f"({front.most_accurate().latency_ms(1):.1f} ms, "
+          f"{front.most_accurate().accuracy * 100:.1f}%)\n")
+
+    # 2. Offline phase: formulate + solve the per-worker MDP.
+    slo_ms, load_qps, workers = 150.0, 160.0, 8
+    config = WorkerMDPConfig.default_poisson(
+        models, slo_ms=slo_ms, load_qps=load_qps, num_workers=workers,
+    )
+    result = generate_policy(config)
+    print(f"policy generated in {result.runtime_s:.2f}s "
+          f"({result.iterations} value-iteration sweeps)")
+
+    # 3. Probabilistic guarantees (§5.1): accuracy lower bound, violation
+    #    upper bound, both from the stationary distribution.
+    g = result.guarantees
+    print(f"expected accuracy       >= {g.expected_accuracy * 100:.2f}%")
+    print(f"expected violation rate <= {g.expected_violation_rate * 100:.3f}%\n")
+
+    # 4. Online phase: serve a 30-second constant-load workload.
+    trace = LoadTrace.constant(load_qps, 30_000.0)
+    sim = Simulation(SimulationConfig(
+        model_set=models,
+        slo_ms=slo_ms,
+        num_workers=workers,
+        monitor=OracleLoadMonitor(trace),
+        seed=42,
+    ))
+    for selector in (RamsisSelector(result.policy), JellyfishPlusSelector()):
+        metrics = sim.run(selector, trace, pattern=PoissonArrivals(load_qps))
+        print(f"{selector.name:12s} accuracy="
+              f"{metrics.accuracy_per_satisfied_query * 100:.2f}%  "
+              f"violations={metrics.violation_rate * 100:.3f}%  "
+              f"({metrics.total_queries} queries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Query arrival substrate: distributions, traces, and arrival processes.
+
+The paper (§3.1.1) parameterizes RAMSIS with a *query arrival distribution*
+``PF(k, T)`` — the probability of ``k`` queries arriving at the central queue
+during a time interval of length ``T``.  This subpackage provides:
+
+- :mod:`repro.arrivals.distributions` — Poisson (the paper's default), Gamma,
+  and deterministic counting distributions behind one interface.
+- :mod:`repro.arrivals.traces` — query-load traces (QPS over fixed intervals),
+  including a synthesizer for a Twitter-shaped production trace (§7).
+- :mod:`repro.arrivals.processes` — sampling of concrete arrival timestamps
+  from a trace plus an inter-arrival pattern.
+"""
+
+from repro.arrivals.analysis import (
+    ArrivalPatternSummary,
+    dispersion_index,
+    find_bursts,
+    find_lulls,
+    interarrival_cv,
+    summarize,
+)
+from repro.arrivals.distributions import (
+    ArrivalDistribution,
+    DeterministicArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+)
+from repro.arrivals.processes import ArrivalProcess, sample_arrival_times
+from repro.arrivals.traces import (
+    LoadTrace,
+    synthesize_twitter_trace,
+)
+
+__all__ = [
+    "ArrivalDistribution",
+    "PoissonArrivals",
+    "GammaArrivals",
+    "DeterministicArrivals",
+    "LoadTrace",
+    "synthesize_twitter_trace",
+    "ArrivalProcess",
+    "sample_arrival_times",
+    "ArrivalPatternSummary",
+    "interarrival_cv",
+    "dispersion_index",
+    "find_lulls",
+    "find_bursts",
+    "summarize",
+]

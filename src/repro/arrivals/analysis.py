@@ -1,0 +1,169 @@
+"""Arrival-pattern analytics: quantifying bursts and lulls (§2.1).
+
+The paper's premise is that inference query traces exhibit *stochastic
+inter-arrival patterns* — variance in inter-arrival times at constant load,
+with intermittent bursts and lulls that load-granular MS&S schemes cannot
+exploit.  This module provides the measurements that make the premise
+inspectable on any timestamp array:
+
+- :func:`interarrival_cv` — coefficient of variation of the gaps
+  (1 for Poisson, < 1 smoother, > 1 burstier);
+- :func:`dispersion_index` — variance-to-mean ratio of windowed counts
+  (again 1 for Poisson);
+- :func:`find_lulls` / :func:`find_bursts` — the §2.2 opportunities: gaps
+  much longer than the mean, and windows with far more arrivals than
+  expected;
+- :func:`summarize` — one dataclass with all of the above, used by the
+  trace example and the workload tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrivalPatternSummary",
+    "interarrival_cv",
+    "dispersion_index",
+    "find_lulls",
+    "find_bursts",
+    "summarize",
+]
+
+
+def _gaps(arrival_times_ms: np.ndarray) -> np.ndarray:
+    times = np.asarray(arrival_times_ms, dtype=np.float64)
+    if times.ndim != 1 or times.shape[0] < 2:
+        raise ValueError("need at least two arrival timestamps")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("arrival timestamps must be sorted")
+    return np.diff(times)
+
+
+def interarrival_cv(arrival_times_ms: np.ndarray) -> float:
+    """Coefficient of variation (std/mean) of the inter-arrival gaps.
+
+    Exponential gaps (Poisson process) give 1; Erlang-K gives 1/sqrt(K);
+    heavy-tailed/bursty processes exceed 1.
+    """
+    gaps = _gaps(arrival_times_ms)
+    mean = float(gaps.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(gaps.std(ddof=1) / mean)
+
+
+def dispersion_index(
+    arrival_times_ms: np.ndarray, window_ms: float = 1_000.0
+) -> float:
+    """Variance-to-mean ratio of counts in fixed windows (Fano factor).
+
+    1 for Poisson; < 1 under-dispersed (regular); > 1 over-dispersed
+    (bursty).  Needs at least five full windows for a stable estimate.
+    """
+    times = np.asarray(arrival_times_ms, dtype=np.float64)
+    if times.shape[0] < 2:
+        raise ValueError("need at least two arrival timestamps")
+    if window_ms <= 0:
+        raise ValueError("window_ms must be > 0")
+    span = float(times[-1] - times[0])
+    bins = int(span // window_ms)
+    if bins < 5:
+        raise ValueError(
+            f"trace spans only {bins} windows of {window_ms} ms; "
+            "use a smaller window"
+        )
+    edges = times[0] + np.arange(bins + 1) * window_ms
+    counts, _ = np.histogram(times, bins=edges)
+    mean = float(counts.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(counts.var(ddof=1) / mean)
+
+
+def find_lulls(
+    arrival_times_ms: np.ndarray, threshold: float = 3.0
+) -> List[Tuple[float, float]]:
+    """Gaps longer than ``threshold`` times the mean gap.
+
+    Returns ``(start_ms, end_ms)`` spans — the §2.2 windows during which a
+    slower, more accurate model can be safely selected.
+    """
+    times = np.asarray(arrival_times_ms, dtype=np.float64)
+    gaps = _gaps(times)
+    mean = float(gaps.mean())
+    indices = np.nonzero(gaps > threshold * mean)[0]
+    return [(float(times[i]), float(times[i + 1])) for i in indices]
+
+
+def find_bursts(
+    arrival_times_ms: np.ndarray,
+    window_ms: float = 500.0,
+    threshold: float = 2.0,
+) -> List[Tuple[float, int]]:
+    """Windows whose arrival count exceeds ``threshold`` times the mean.
+
+    Returns ``(window_start_ms, count)`` — the arrival spikes that punish
+    optimistic MS&S decisions (§2.1).
+    """
+    times = np.asarray(arrival_times_ms, dtype=np.float64)
+    if times.shape[0] < 2:
+        raise ValueError("need at least two arrival timestamps")
+    span = float(times[-1] - times[0])
+    bins = max(int(span // window_ms), 1)
+    edges = times[0] + np.arange(bins + 1) * window_ms
+    counts, _ = np.histogram(times, bins=edges)
+    mean = counts.mean()
+    out: List[Tuple[float, int]] = []
+    for i, count in enumerate(counts):
+        if count > threshold * mean:
+            out.append((float(edges[i]), int(count)))
+    return out
+
+
+@dataclass(frozen=True)
+class ArrivalPatternSummary:
+    """All pattern statistics for one arrival realization."""
+
+    num_arrivals: int
+    duration_ms: float
+    mean_rate_qps: float
+    interarrival_cv: float
+    dispersion_index: float
+    num_lulls: int
+    num_bursts: int
+    longest_lull_ms: float
+
+    @property
+    def poisson_like(self) -> bool:
+        """Both second-order statistics within 15% of the Poisson value."""
+        return abs(self.interarrival_cv - 1.0) < 0.15 and (
+            abs(self.dispersion_index - 1.0) < 0.15
+        )
+
+
+def summarize(
+    arrival_times_ms: np.ndarray,
+    window_ms: float = 1_000.0,
+    lull_threshold: float = 3.0,
+    burst_threshold: float = 2.0,
+) -> ArrivalPatternSummary:
+    """Compute the full :class:`ArrivalPatternSummary`."""
+    times = np.asarray(arrival_times_ms, dtype=np.float64)
+    gaps = _gaps(times)
+    duration = float(times[-1] - times[0])
+    lulls = find_lulls(times, threshold=lull_threshold)
+    bursts = find_bursts(times, window_ms=window_ms / 2, threshold=burst_threshold)
+    return ArrivalPatternSummary(
+        num_arrivals=int(times.shape[0]),
+        duration_ms=duration,
+        mean_rate_qps=(times.shape[0] - 1) / duration * 1000.0 if duration else 0.0,
+        interarrival_cv=interarrival_cv(times),
+        dispersion_index=dispersion_index(times, window_ms=window_ms),
+        num_lulls=len(lulls),
+        num_bursts=len(bursts),
+        longest_lull_ms=float(gaps.max()),
+    )

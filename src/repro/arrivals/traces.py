@@ -1,0 +1,214 @@
+"""Query-load traces.
+
+The paper evaluates on a 24-hour production Twitter trace scaled down to
+five minutes (§7 "Workloads"): a text file listing the average queries per
+second (QPS) for consecutive ten-second intervals, ranging from 1,617 to
+3,905 QPS, with diurnal structure and unexpected spikes.
+
+The original archive.org dataset is not available offline, so
+:func:`synthesize_twitter_trace` deterministically generates a trace with
+the same data shape (QPS per 10-second interval), the same QPS envelope,
+compressed diurnal humps, and injected spikes.  Everything downstream —
+simulator, baselines, benchmarks — consumes only the interval-QPS
+representation, exactly like the paper's artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["LoadTrace", "synthesize_twitter_trace"]
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A piecewise-constant query-load trace.
+
+    Attributes
+    ----------
+    interval_ms:
+        Length of each interval in milliseconds (the Twitter trace uses
+        10-second intervals, i.e. ``10_000``).
+    qps:
+        Average query load during each interval, in queries per second.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    interval_ms: float
+    qps: Tuple[float, ...]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise TraceError(f"interval_ms must be > 0, got {self.interval_ms}")
+        if not self.qps:
+            raise TraceError("trace must contain at least one interval")
+        if any(q < 0 for q in self.qps):
+            raise TraceError("trace QPS values must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def duration_ms(self) -> float:
+        """Total trace duration in milliseconds."""
+        return self.interval_ms * len(self.qps)
+
+    @property
+    def peak_qps(self) -> float:
+        """Highest interval load."""
+        return max(self.qps)
+
+    @property
+    def min_qps(self) -> float:
+        """Lowest interval load."""
+        return min(self.qps)
+
+    @property
+    def mean_qps(self) -> float:
+        """Time-average load across the trace."""
+        return sum(self.qps) / len(self.qps)
+
+    def expected_queries(self) -> float:
+        """Expected number of query arrivals across the whole trace."""
+        return sum(q * self.interval_ms / 1000.0 for q in self.qps)
+
+    def load_at(self, t_ms: float) -> float:
+        """Query load in effect at absolute trace time ``t_ms``."""
+        if t_ms < 0 or t_ms >= self.duration_ms:
+            raise TraceError(
+                f"time {t_ms} ms outside trace duration {self.duration_ms} ms"
+            )
+        return self.qps[int(t_ms // self.interval_ms)]
+
+    def intervals(self) -> Iterator[Tuple[float, float, float]]:
+        """Yield ``(start_ms, end_ms, qps)`` per interval, in order."""
+        for i, q in enumerate(self.qps):
+            yield (i * self.interval_ms, (i + 1) * self.interval_ms, q)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(qps: float, duration_ms: float, name: str = "constant") -> "LoadTrace":
+        """A single-interval constant-load trace (§7.2's workloads)."""
+        return LoadTrace(interval_ms=duration_ms, qps=(qps,), name=name)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float, name: str | None = None) -> "LoadTrace":
+        """Scale every interval's QPS by ``factor``.
+
+        Used to run paper-shaped workloads on smaller clusters while
+        keeping per-worker load in the paper's regime (DESIGN.md §6).
+        """
+        if factor <= 0:
+            raise TraceError(f"scale factor must be > 0, got {factor}")
+        return LoadTrace(
+            interval_ms=self.interval_ms,
+            qps=tuple(q * factor for q in self.qps),
+            name=name or f"{self.name}*{factor:g}",
+        )
+
+    def truncated(self, duration_ms: float) -> "LoadTrace":
+        """Keep only the leading ``duration_ms`` worth of intervals."""
+        count = max(1, int(math.ceil(duration_ms / self.interval_ms)))
+        return LoadTrace(
+            interval_ms=self.interval_ms,
+            qps=self.qps[:count],
+            name=f"{self.name}[:{count}]",
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization — same layout as the paper's artifact trace file:
+    # one QPS value per line.
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as one QPS value per line (artifact format)."""
+        lines = [f"{q:.6f}" for q in self.qps]
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @staticmethod
+    def load(
+        path: Union[str, Path], interval_ms: float = 10_000.0, name: str | None = None
+    ) -> "LoadTrace":
+        """Read a trace saved by :meth:`save` (or the original artifact file)."""
+        path = Path(path)
+        values: List[float] = []
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                values.append(float(stripped))
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: not a number: {stripped!r}") from exc
+        if not values:
+            raise TraceError(f"{path}: empty trace file")
+        return LoadTrace(
+            interval_ms=interval_ms, qps=tuple(values), name=name or path.stem
+        )
+
+
+def synthesize_twitter_trace(
+    duration_s: float = 300.0,
+    interval_s: float = 10.0,
+    min_qps: float = 1617.0,
+    max_qps: float = 3905.0,
+    num_spikes: int = 3,
+    seed: int = 2018,
+) -> LoadTrace:
+    """Deterministically synthesize a Twitter-shaped production trace.
+
+    The paper's workload (§7) is a 24-hour Twitter trace compressed to five
+    minutes: diurnal humps plus unexpected load spikes, with interval loads
+    between 1,617 and 3,905 QPS.  This generator reproduces that shape:
+
+    - a compressed diurnal curve (one slow daily hump over the trace) with
+      a secondary harmonic,
+    - multiplicative noise,
+    - ``num_spikes`` sharp spikes at pseudo-random offsets,
+    - an exact affine renormalization onto ``[min_qps, max_qps]``.
+
+    The result is fully deterministic for a given ``seed``.
+    """
+    if duration_s <= 0 or interval_s <= 0:
+        raise TraceError("duration_s and interval_s must be > 0")
+    if min_qps <= 0 or max_qps <= min_qps:
+        raise TraceError("require 0 < min_qps < max_qps")
+
+    count = int(round(duration_s / interval_s))
+    if count < 1:
+        raise TraceError("trace must span at least one interval")
+    rng = np.random.default_rng(seed)
+    phase = np.linspace(0.0, 2.0 * math.pi, count, endpoint=False)
+
+    # Compressed diurnal pattern: main daily hump + a morning/evening harmonic.
+    base = 0.55 + 0.35 * np.sin(phase - 0.7) + 0.10 * np.sin(2.0 * phase + 0.4)
+    noise = rng.normal(loc=1.0, scale=0.035, size=count)
+    curve = base * noise
+
+    # Unexpected spikes: short bursts of +25-60% on 1-2 intervals each.
+    for _ in range(num_spikes):
+        at = int(rng.integers(0, count))
+        width = int(rng.integers(1, 3))
+        boost = 1.0 + float(rng.uniform(0.25, 0.6))
+        curve[at : at + width] *= boost
+
+    lo, hi = float(curve.min()), float(curve.max())
+    normalized = (curve - lo) / (hi - lo)
+    qps = min_qps + normalized * (max_qps - min_qps)
+    return LoadTrace(
+        interval_ms=interval_s * 1000.0,
+        qps=tuple(float(q) for q in qps),
+        name=f"twitter-synth-{seed}",
+    )

@@ -1,0 +1,378 @@
+"""Command-line interface, mirroring the paper artifact's scripts (§A).
+
+The artifact exposes ``RAMSIS_gen.py``, ``MS_gen.py``, ``run_sim.py`` and
+``plot.py``; this CLI maps them onto subcommands of one entry point:
+
+=================  ====================================================
+artifact script    ``ramsis`` subcommand
+=================  ====================================================
+RAMSIS_gen.py      ``ramsis gen --task image --slo 150 --workers 4 ...``
+MS_gen.py          ``ramsis ms-gen --task image --slo 150 --workers 4``
+run_sim.py         ``ramsis simulate --m RAMSIS --trace real ...``
+plot.py            ``ramsis report --trace real ...``
+(trace file)       ``ramsis trace --out twitter.txt``
+(model profiles)   ``ramsis zoo --task image``
+=================  ====================================================
+
+Results are written as JSON under ``--results-dir`` with the artifact's
+naming convention ``TASK_METHOD_TRACE_SLO[_LOAD].json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.arrivals.traces import LoadTrace, synthesize_twitter_trace
+from repro.experiments.reporting import format_table, render_comparison
+from repro.experiments.runner import MethodPoint, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task, text_task
+
+__all__ = ["main", "build_parser"]
+
+
+def _task_by_name(name: str) -> TaskSpec:
+    if name == "image":
+        return image_task()
+    if name == "text":
+        return text_task()
+    raise SystemExit(f"unknown task {name!r} (expected 'image' or 'text')")
+
+
+def _scale_by_name(name: str) -> ExperimentScale:
+    presets = {
+        "smoke": ExperimentScale.smoke,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }
+    if name not in presets:
+        raise SystemExit(f"unknown scale {name!r} (expected {sorted(presets)})")
+    return presets[name]()
+
+
+def _result_path(
+    results_dir: Path,
+    task: str,
+    method: str,
+    trace_kind: str,
+    slo: float,
+    load: Optional[float],
+) -> Path:
+    parts = [task, method, trace_kind, f"{slo:g}"]
+    if load is not None:
+        parts.append(f"{load:g}")
+    return results_dir / ("_".join(parts) + ".json")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_gen(args: argparse.Namespace) -> int:
+    """Generate RAMSIS policies (artifact: RAMSIS_gen.py)."""
+    from repro.core.config import WorkerMDPConfig
+    from repro.core.generator import generate_policy
+
+    task = _task_by_name(args.task)
+    slo = args.slo if args.slo is not None else task.slos_ms[0]
+    config = WorkerMDPConfig.default_poisson(
+        task.model_set,
+        slo_ms=slo,
+        load_qps=args.load,
+        num_workers=args.workers,
+        fld_resolution=args.fld_resolution,
+    )
+    result = generate_policy(config)
+    out_dir = Path(args.out) / f"RAMSIS_{args.workers}_{slo:g}"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_file = out_dir / f"{args.load:g}.json"
+    result.policy.save(out_file)
+    g = result.guarantees
+    print(
+        f"policy written to {out_file}\n"
+        f"states covered: {len(result.policy.states())}, "
+        f"value iterations: {result.iterations}, "
+        f"runtime: {result.runtime_s:.2f}s\n"
+        f"expected accuracy: {g.expected_accuracy * 100:.2f}%, "
+        f"expected SLO violation rate: {g.expected_violation_rate * 100:.3f}%"
+    )
+    print("script complete!")
+    return 0
+
+
+def cmd_ms_gen(args: argparse.Namespace) -> int:
+    """Profile ModelSwitching response latencies (artifact: MS_gen.py)."""
+    from repro.selectors import profile_response_latency
+
+    task = _task_by_name(args.task)
+    slo = args.slo if args.slo is not None else task.slos_ms[0]
+    scale = _scale_by_name(args.scale)
+    peak = args.load if args.load else 400.0
+    grid = [peak * (i + 1) / scale.ms_profile_grid_points
+            for i in range(scale.ms_profile_grid_points)]
+    table = profile_response_latency(
+        task.model_set,
+        loads_qps=grid,
+        num_workers=args.workers,
+        slo_ms=slo,
+        duration_ms=scale.ms_profile_duration_s * 1000.0,
+    )
+    out_dir = Path(args.out) / f"MS_{args.workers}_{slo:g}"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_file = out_dir / "p99_table.json"
+    out_file.write_text(
+        json.dumps(
+            {
+                "loads_qps": list(table.loads_qps),
+                "p99_ms": {k: list(v) for k, v in table.p99_ms.items()},
+            },
+            indent=1,
+        )
+    )
+    print(f"response-latency table written to {out_file}")
+    print("script complete!")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one method on a workload (artifact: run_sim.py)."""
+    task = _task_by_name(args.task)
+    scale = _scale_by_name(args.scale)
+    slo = args.slo if args.slo is not None else task.slos_ms[0]
+    results_dir = Path(args.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.trace == "real":
+        from repro.experiments.fig5 import production_trace
+
+        trace = production_trace(scale)
+        workers_sweep = (
+            [args.workers] if args.workers else list(scale.worker_counts)
+        )
+        oracle = False
+    else:
+        loads = [args.load] if args.load else list(scale.constant_loads_qps)
+        workers_sweep = [
+            args.workers
+            or (
+                scale.constant_workers_image
+                if task.name == "image"
+                else scale.constant_workers_text
+            )
+        ]
+        oracle = True
+
+    points: List[MethodPoint] = []
+    if args.trace == "real":
+        for workers in workers_sweep:
+            point = run_method(
+                args.m, task, slo, workers, trace, scale, seed=args.seed
+            )
+            points.append(point)
+            print(
+                f"{args.m} workers={workers}: acc="
+                f"{point.accuracy * 100:.2f}% viol={point.violation_rate * 100:.3f}%"
+            )
+    else:
+        for load in loads:
+            const = LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"const-{load:g}"
+            )
+            point = run_method(
+                args.m,
+                task,
+                slo,
+                workers_sweep[0],
+                const,
+                scale,
+                seed=args.seed,
+                oracle_load=oracle,
+            )
+            points.append(point)
+            print(
+                f"{args.m} load={load:g}: acc={point.accuracy * 100:.2f}% "
+                f"viol={point.violation_rate * 100:.3f}%"
+            )
+
+    for point in points:
+        path = _result_path(
+            results_dir, task.name, args.m, args.trace, slo, point.load_qps
+        )
+        payload = {
+            "task": point.task,
+            "method": point.method,
+            "slo_ms": point.slo_ms,
+            "num_workers": point.num_workers,
+            "load_qps": point.load_qps,
+            "accuracy": point.accuracy,
+            "violation_rate": point.violation_rate,
+            "queries": point.queries,
+        }
+        existing = []
+        if path.exists():
+            existing = json.loads(path.read_text())
+            existing = [e for e in existing if e["num_workers"] != point.num_workers]
+        existing.append(payload)
+        path.write_text(json.dumps(existing, indent=1))
+    print("script complete!")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarize stored results (artifact: plot.py)."""
+    results_dir = Path(args.results_dir)
+    points: List[MethodPoint] = []
+    pattern = f"{args.task}_*_{args.trace}_*.json" if args.task else "*.json"
+    for path in sorted(results_dir.glob(pattern)):
+        for raw in json.loads(path.read_text()):
+            points.append(
+                MethodPoint(
+                    task=raw["task"],
+                    method=raw["method"],
+                    slo_ms=raw["slo_ms"],
+                    num_workers=raw["num_workers"],
+                    load_qps=raw.get("load_qps"),
+                    accuracy=raw["accuracy"],
+                    violation_rate=raw["violation_rate"],
+                    queries=raw["queries"],
+                )
+            )
+    if not points:
+        print(f"no results found in {results_dir}")
+        return 1
+    rows = [
+        (
+            p.task,
+            p.method,
+            f"{p.slo_ms:g}",
+            p.num_workers,
+            "-" if p.load_qps is None else f"{p.load_qps:g}",
+            f"{p.accuracy * 100:.2f}%",
+            f"{p.violation_rate * 100:.3f}%",
+        )
+        for p in sorted(points, key=lambda p: (p.task, p.method, p.num_workers))
+    ]
+    print(
+        format_table(
+            ["task", "method", "SLO", "workers", "load", "accuracy", "violation"],
+            rows,
+        )
+    )
+    print()
+    print(render_comparison(points, ["MS", "JF"]))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Synthesize and save the Twitter-shaped trace."""
+    trace = synthesize_twitter_trace(
+        duration_s=args.duration, seed=args.seed
+    )
+    trace.save(args.out)
+    print(
+        f"trace written to {args.out}: {len(trace.qps)} intervals, "
+        f"{trace.min_qps:.0f}-{trace.peak_qps:.0f} QPS, "
+        f"~{trace.expected_queries():.0f} queries"
+    )
+    return 0
+
+
+def cmd_zoo(args: argparse.Namespace) -> int:
+    """Print the model profiles (Fig. 3 / Fig. 9 data)."""
+    task = _task_by_name(args.task)
+    front = set(task.model_set.pareto_front().names)
+    rows = []
+    for m in sorted(task.model_set, key=lambda m: m.latency_ms(1)):
+        rows.append(
+            (
+                m.name,
+                m.family,
+                f"{m.accuracy * 100:.2f}%",
+                f"{m.latency_ms(1):.1f}",
+                f"{m.latency.per_item_ms:.1f}",
+                "*" if m.name in front else "",
+            )
+        )
+    print(
+        format_table(
+            ["model", "family", "accuracy", "p95 latency (ms)", "ms/query", "Pareto"],
+            rows,
+            title=f"{task.name} task — {len(task.model_set)} models, "
+            f"SLOs {task.slos_ms}",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The ``ramsis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ramsis",
+        description="RAMSIS reproduction: policy generation, simulation, reports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a RAMSIS policy")
+    gen.add_argument("--task", default="image", choices=["image", "text"])
+    gen.add_argument("--slo", type=float, default=None, help="latency SLO in ms")
+    gen.add_argument("--workers", type=int, default=1)
+    gen.add_argument("--load", type=float, default=40.0, help="query load (QPS)")
+    gen.add_argument("--fld-resolution", type=int, default=100)
+    gen.add_argument("--out", default="policy_gen")
+    gen.set_defaults(func=cmd_gen)
+
+    msgen = sub.add_parser("ms-gen", help="profile ModelSwitching p99 latencies")
+    msgen.add_argument("--task", default="image", choices=["image", "text"])
+    msgen.add_argument("--slo", type=float, default=None)
+    msgen.add_argument("--workers", type=int, default=1)
+    msgen.add_argument("--load", type=float, default=None, help="peak load (QPS)")
+    msgen.add_argument("--scale", default="default")
+    msgen.add_argument("--out", default="policy_gen")
+    msgen.set_defaults(func=cmd_ms_gen)
+
+    simulate = sub.add_parser("simulate", help="simulate one method")
+    simulate.add_argument("--m", default="RAMSIS", help="RAMSIS | JF | MS | Greedy")
+    simulate.add_argument("--trace", default="real", choices=["real", "constant"])
+    simulate.add_argument("--task", default="image", choices=["image", "text"])
+    simulate.add_argument("--slo", type=float, default=None)
+    simulate.add_argument("--workers", type=int, default=None)
+    simulate.add_argument("--load", type=float, default=None)
+    simulate.add_argument("--scale", default="default")
+    simulate.add_argument("--seed", type=int, default=11)
+    simulate.add_argument("--results-dir", default="results")
+    simulate.set_defaults(func=cmd_simulate)
+
+    report = sub.add_parser("report", help="summarize stored results")
+    report.add_argument("--task", default=None)
+    report.add_argument("--trace", default="real")
+    report.add_argument("--results-dir", default="results")
+    report.set_defaults(func=cmd_report)
+
+    trace = sub.add_parser("trace", help="synthesize the Twitter-shaped trace")
+    trace.add_argument("--out", default="twitter_trace.txt")
+    trace.add_argument("--duration", type=float, default=300.0)
+    trace.add_argument("--seed", type=int, default=2018)
+    trace.set_defaults(func=cmd_trace)
+
+    zoo = sub.add_parser("zoo", help="print model profiles (Fig. 3 / Fig. 9)")
+    zoo.add_argument("--task", default="image", choices=["image", "text"])
+    zoo.set_defaults(func=cmd_zoo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

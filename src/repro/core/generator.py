@@ -1,0 +1,132 @@
+"""High-level offline policy generation (§3.1).
+
+:func:`generate_policy` is the one-call entry point: configuration in,
+solved and annotated :class:`~repro.core.policy.Policy` out.
+:class:`PolicyGenerator` adds caching so sweeps over loads and worker
+counts (the experiment harness, the policy-set refinement loop) never solve
+the same MDP twice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import WorkerMDPConfig
+from repro.core.guarantees import PolicyGuarantees, evaluate_policy
+from repro.core.mdp import WorkerMDP, build_worker_mdp
+from repro.core.policy import Policy, PolicyMetadata
+from repro.core.solvers import value_iteration
+
+__all__ = ["GenerationResult", "PolicyGenerator", "generate_policy"]
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """A generated policy plus its provenance and offline guarantees."""
+
+    policy: Policy
+    guarantees: PolicyGuarantees
+    iterations: int
+    runtime_s: float
+
+
+def generate_policy(
+    config: WorkerMDPConfig,
+    tolerance: float = 1e-7,
+    with_guarantees: bool = True,
+) -> GenerationResult:
+    """Build the worker MDP, solve it, and package the optimal MS policy.
+
+    When ``with_guarantees`` is set (default), the §5.1 expectations are
+    computed and embedded in the policy metadata — the policy-set
+    refinement rule and the resource-planning example consume them.
+    """
+    start = time.perf_counter()
+    mdp = build_worker_mdp(config)
+    stats = value_iteration(mdp, tolerance=tolerance)
+    policy = mdp.extract_policy(stats.values)
+    if with_guarantees:
+        guarantees = evaluate_policy(mdp, policy)
+        policy = _annotate(policy, guarantees)
+    else:
+        guarantees = PolicyGuarantees(
+            expected_accuracy=float("nan"),
+            expected_violation_rate=float("nan"),
+            per_epoch_accuracy=float("nan"),
+            per_epoch_violation_rate=float("nan"),
+            full_state_probability=float("nan"),
+            idle_probability=float("nan"),
+        )
+    return GenerationResult(
+        policy=policy,
+        guarantees=guarantees,
+        iterations=stats.iterations,
+        runtime_s=time.perf_counter() - start,
+    )
+
+
+def _annotate(policy: Policy, guarantees: PolicyGuarantees) -> Policy:
+    """Re-package a policy with expectation metadata filled in."""
+    meta = policy.metadata
+    annotated = PolicyMetadata(
+        task=meta.task,
+        slo_ms=meta.slo_ms,
+        load_qps=meta.load_qps,
+        num_workers=meta.num_workers,
+        arrival_family=meta.arrival_family,
+        discretization=meta.discretization,
+        fld_resolution=meta.fld_resolution,
+        batching=meta.batching,
+        view=meta.view,
+        discount=meta.discount,
+        expected_accuracy=guarantees.expected_accuracy,
+        expected_violation_rate=guarantees.expected_violation_rate,
+    )
+    return Policy(
+        grid=policy.grid,
+        max_queue=policy.max_queue,
+        actions=policy.states(),
+        metadata=annotated,
+    )
+
+
+class PolicyGenerator:
+    """Caching wrapper around :func:`generate_policy`.
+
+    Cache key: (load, number of workers) on top of a base configuration —
+    the two parameters experiment sweeps vary.
+    """
+
+    def __init__(self, base_config: WorkerMDPConfig, tolerance: float = 1e-7) -> None:
+        self._base = base_config
+        self._tolerance = tolerance
+        self._cache: Dict[Tuple[float, int], GenerationResult] = {}
+
+    @property
+    def base_config(self) -> WorkerMDPConfig:
+        """The configuration all generated policies share (minus load/K)."""
+        return self._base
+
+    def generate(
+        self, load_qps: float, num_workers: Optional[int] = None
+    ) -> GenerationResult:
+        """Policy for ``load_qps`` (and optionally a worker-count override)."""
+        workers = num_workers if num_workers is not None else self._base.num_workers
+        key = (round(load_qps, 9), workers)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = self._base.with_load(load_qps)
+        if workers != config.num_workers:
+            from dataclasses import replace
+
+            config = replace(config, num_workers=workers)
+        result = generate_policy(config, tolerance=self._tolerance)
+        self._cache[key] = result
+        return result
+
+    def cache_size(self) -> int:
+        """Number of distinct (load, workers) policies generated so far."""
+        return len(self._cache)

@@ -1,0 +1,171 @@
+"""Probabilistic accuracy and latency guarantees (§5.1).
+
+Given a worker MDP and a policy over it, RAMSIS computes the stationary
+distribution of the policy-induced Markov chain via power iteration and
+derives:
+
+- the **expected latency SLO violation rate** — an upper bound on the
+  online violation rate, because (1) quantized slack under-estimates real
+  slack, so ``SLOSatisfied`` has false negatives but no false positives,
+  and (2) a missed earliest deadline pessimistically counts the whole
+  batch as missed (§5.1 intuitions);
+- the **expected accuracy** — a lower bound on online accuracy per
+  satisfied query, for the same reasons.
+
+Two weightings are reported:
+
+- ``per_query`` (default headline numbers): decision epochs are weighted
+  by the number of queries they serve, which is what the paper's online
+  metrics (*Accuracy Per Satisfied Query*, *Latency SLO Violation Rate*)
+  measure;
+- ``per_epoch``: the paper's §5.1 formulas verbatim, summing over states
+  without batch weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.mdp import WorkerMDP, _FALLBACK
+from repro.core.policy import Policy
+from repro.errors import SolverError
+
+__all__ = ["PolicyGuarantees", "stationary_distribution", "evaluate_policy"]
+
+
+@dataclass(frozen=True)
+class PolicyGuarantees:
+    """Stationary summary statistics of a policy on its worker MDP."""
+
+    expected_accuracy: float
+    expected_violation_rate: float
+    per_epoch_accuracy: float
+    per_epoch_violation_rate: float
+    full_state_probability: float
+    idle_probability: float
+
+    def meets(self, accuracy_floor: float, violation_ceiling: float) -> bool:
+        """True when the guarantees satisfy both thresholds (the §5.1
+        resource-scaling use case)."""
+        return (
+            self.expected_accuracy >= accuracy_floor
+            and self.expected_violation_rate <= violation_ceiling
+        )
+
+
+def _policy_action_table(
+    mdp: WorkerMDP, policy: Policy
+) -> Dict[int, Tuple[int, int]]:
+    """Encode a :class:`Policy` into the MDP's (model index, batch) table."""
+    names = {name: i for i, name in enumerate(mdp.model_names)}
+    table: Dict[int, Tuple[int, int]] = {}
+    for n in range(1, mdp.max_queue + 1):
+        for j in range(len(mdp.grid)):
+            action = policy.action_at(n, j)
+            m = _FALLBACK if action.is_late else names[action.model]
+            table[mdp.space.index(n, j)] = (m, action.batch_size)
+    table[mdp.space.FULL] = (_FALLBACK, mdp.max_queue)
+    return table
+
+
+def stationary_distribution(
+    mdp: WorkerMDP,
+    policy: Policy,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> np.ndarray:
+    """Stationary state distribution of the policy-induced chain.
+
+    Power iteration on the chain's transition operator, matrix-free: each
+    step accumulates probability mass through the per-state transition rows
+    (§5.1 cites power iteration [40]).  Raises :class:`SolverError` when
+    the chain fails to mix within ``max_iterations`` steps.
+    """
+    table = _policy_action_table(mdp, policy)
+    space = mdp.space
+    size = space.size
+
+    # Pre-assemble rows once; states sharing an action row share memory.
+    rows = np.zeros((size, size), dtype=np.float64)
+    for state_id in range(size):
+        if state_id == space.EMPTY:
+            rows[state_id, space.index(1, mdp.grid.slo_index)] = 1.0
+            continue
+        n, _ = space.decode(state_id)
+        action = table.get(state_id, (_FALLBACK, n))
+        rows[state_id] = mdp.transition_row(state_id, action)
+
+    dist = np.full(size, 1.0 / size)
+    for _ in range(max_iterations):
+        updated = dist @ rows
+        total = updated.sum()
+        if total <= 0:
+            raise SolverError("stationary iteration lost all probability mass")
+        updated /= total
+        if float(np.max(np.abs(updated - dist))) < tolerance:
+            return updated
+        dist = updated
+    raise SolverError(
+        f"power iteration did not converge within {max_iterations} steps"
+    )
+
+
+def evaluate_policy(
+    mdp: WorkerMDP,
+    policy: Policy,
+    tolerance: float = 1e-10,
+) -> PolicyGuarantees:
+    """Compute §5.1's expected accuracy and violation rate for a policy."""
+    table = _policy_action_table(mdp, policy)
+    dist = stationary_distribution(mdp, policy, tolerance=tolerance)
+    space = mdp.space
+
+    served_weight = 0.0
+    satisfied_weight = 0.0
+    accuracy_weight = 0.0
+    epoch_weight = 0.0
+    epoch_satisfied = 0.0
+    epoch_accuracy = 0.0
+    for state_id in range(space.size):
+        if state_id == space.EMPTY:
+            continue
+        prob = float(dist[state_id])
+        if prob <= 0.0:
+            continue
+        n, j = space.decode(state_id)
+        m, b = table[state_id]
+        slack = 0.0 if state_id == space.FULL else mdp.grid[j]
+        if m == _FALLBACK:
+            satisfied = False
+            accuracy = 0.0
+            b = n
+        else:
+            satisfied = mdp.latency_ms(m, b) <= slack
+            accuracy = mdp.accuracy_of(m)
+        served_weight += prob * b
+        epoch_weight += prob
+        if satisfied:
+            satisfied_weight += prob * b
+            accuracy_weight += prob * b * accuracy
+            epoch_satisfied += prob
+            epoch_accuracy += prob * accuracy
+
+    if served_weight <= 0.0:
+        raise SolverError("policy never serves queries in steady state")
+    violation = 1.0 - satisfied_weight / served_weight
+    accuracy = accuracy_weight / satisfied_weight if satisfied_weight > 0 else 0.0
+    per_epoch_violation = 1.0 - epoch_satisfied / epoch_weight
+    per_epoch_accuracy = (
+        epoch_accuracy / epoch_satisfied if epoch_satisfied > 0 else 0.0
+    )
+    return PolicyGuarantees(
+        expected_accuracy=accuracy,
+        expected_violation_rate=violation,
+        per_epoch_accuracy=per_epoch_accuracy,
+        per_epoch_violation_rate=per_epoch_violation,
+        full_state_probability=float(dist[space.FULL]),
+        idle_probability=float(dist[space.EMPTY]),
+    )

@@ -1,0 +1,289 @@
+"""The naive MDP formulation (§3.1.2) — kept for the scalability claim.
+
+The paper motivates its state-space simplifications by first formulating
+MS&S naively: states track *every* pending query deadline (a finite queue
+of slack times) rather than only the earliest.  Even after discretizing
+time, the state space is exponential — with a grid of ``D`` slack bins and
+queue bound ``N`` there are ``O(D^N)`` multisets — and the paper reports
+that value iteration on it does not finish within 24 hours at evaluation
+scale.  RAMSIS's ``(n, T_j)`` abstraction collapses this to ``O(N * D)``.
+
+This module implements the naive formulation faithfully enough to
+*reproduce that claim* at miniature scale (see
+``benchmarks/bench_state_space.py``): reachable-state enumeration blows up
+combinatorially in ``N`` and ``D`` while the decomposed MDP stays tiny,
+and the policies found on the cases the naive MDP *can* solve agree with
+the decomposed policy wherever the abstractions coincide.
+
+Faithfulness notes:
+
+- states are sorted tuples of slack-bin indices of the queued queries
+  (a multiset — queries are exchangeable apart from their deadlines);
+- the action space is maximal batching, mirroring the default;
+- new arrivals during a service of length ``l`` are Poisson; *given* the
+  count, their arrival times are i.i.d. uniform over the service window,
+  so each new query's slack bin distribution is the exact bin-overlap of
+  ``(SLO - l, SLO]`` — no approximation for Poisson arrivals;
+- leftover slack decreases by ``l`` with floor quantization, exactly like
+  the decomposed model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrivals.distributions import ArrivalDistribution
+from repro.core.discretization import TimeGrid
+from repro.errors import SolverError
+from repro.profiles.models import ModelSet
+
+__all__ = ["NaiveMDPStats", "NaiveWorkerMDP"]
+
+#: A state: sorted tuple of slack-bin indices, earliest first.
+State = Tuple[int, ...]
+
+#: Overflow sentinel (the §4.2.3 analogue).
+_OVERFLOW: State = (-1,)
+
+
+@dataclass(frozen=True)
+class NaiveMDPStats:
+    """Outcome of building and solving a naive MDP."""
+
+    num_states: int
+    num_transitions: int
+    build_seconds: float
+    solve_seconds: float
+    iterations: int
+    truncated: bool
+
+
+class NaiveWorkerMDP:
+    """Joint-deadline worker MDP with explicit per-query slack tracking.
+
+    Parameters
+    ----------
+    model_set, grid, arrivals:
+        As for the decomposed MDP; ``arrivals`` is the *per-worker*
+        distribution.
+    max_queue:
+        ``N`` — queue bound; beyond it the overflow state is entered.
+    max_states:
+        Enumeration cap.  Hitting it marks the build as truncated, which
+        is itself the §3.1.2 result at larger parameters.
+    """
+
+    def __init__(
+        self,
+        model_set: ModelSet,
+        grid: TimeGrid,
+        arrivals: ArrivalDistribution,
+        max_queue: int,
+        discount: float = 0.98,
+        max_states: int = 200_000,
+        probability_floor: float = 1e-9,
+    ) -> None:
+        self._models = sorted(model_set, key=lambda m: m.latency_ms(1))
+        self._grid = grid
+        self._arrivals = arrivals
+        self._max_queue = max_queue
+        self._discount = discount
+        self._max_states = max_states
+        self._floor = probability_floor
+        self._truncated = False
+
+        self._states: Dict[State, int] = {}
+        # transitions[state][action] = (reward, [(next_index, prob), ...])
+        self._transitions: List[List[Tuple[float, List[Tuple[int, float]]]]] = []
+        self._build_seconds = self._enumerate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Enumerated reachable states (including empty + overflow)."""
+        return len(self._states)
+
+    @property
+    def truncated(self) -> bool:
+        """True when enumeration hit ``max_states``."""
+        return self._truncated
+
+    def _arrival_bin_distribution(self, elapsed_ms: float) -> np.ndarray:
+        """Slack-bin distribution of one arrival during ``elapsed_ms``.
+
+        Arrival times are uniform over the window (exact for Poisson given
+        the count); slack = SLO - (l - u) is uniform over
+        ``(SLO - l, SLO]`` clipped below at 0.
+        """
+        grid = self._grid
+        slo = grid.slo_ms
+        lo_slack = slo - elapsed_ms
+        out = np.zeros(len(grid))
+        for j in range(len(grid)):
+            bin_lo = grid[j] if j > 0 else -np.inf  # bin 0 absorbs negatives
+            bin_hi = grid.upper(j) if j + 1 < len(grid) else slo + 1e-9
+            overlap = max(
+                0.0, min(bin_hi, slo) - max(bin_lo, lo_slack)
+            )
+            out[j] = overlap / elapsed_ms if elapsed_ms > 0 else 0.0
+        # The top grid point (slack == SLO exactly) has measure zero except
+        # for the fresh-arrival transition, handled separately.
+        total = out.sum()
+        if total > 0:
+            out /= total
+        return out
+
+    def _next_state_distribution(
+        self, state: State, latency_ms: float
+    ) -> List[Tuple[State, float]]:
+        """Distribution over next states after a full drain of ``state``."""
+        counts = self._arrivals.pmf_vector(self._max_queue, latency_ms)
+        bin_dist = self._arrival_bin_distribution(latency_ms)
+        support = np.nonzero(bin_dist > self._floor)[0]
+        outcomes: Dict[State, float] = {}
+
+        def add(next_state: State, prob: float) -> None:
+            if prob > self._floor:
+                outcomes[next_state] = outcomes.get(next_state, 0.0) + prob
+
+        add((), float(counts[0]))
+        for k in range(1, self._max_queue + 1):
+            p_k = float(counts[k])
+            if p_k <= self._floor:
+                continue
+            # Joint over k i.i.d. slack bins (combinations with repetition).
+            for combo in itertools.combinations_with_replacement(support, k):
+                prob = p_k
+                # Multinomial weight of this multiset.
+                multiplicity = _multiset_permutations(combo)
+                for j in combo:
+                    prob *= float(bin_dist[j])
+                prob *= multiplicity
+                add(tuple(sorted(combo)), prob)
+        tail = 1.0 - sum(outcomes.values())
+        if tail > self._floor:
+            add(_OVERFLOW, tail)
+        return list(outcomes.items())
+
+    def _enumerate(self) -> float:
+        start = time.perf_counter()
+        grid = self._grid
+        empty: State = ()
+        fresh: State = (grid.slo_index,)
+        frontier: List[State] = [empty, fresh, _OVERFLOW]
+        for s in frontier:
+            self._states[s] = len(self._states)
+            self._transitions.append([])
+
+        queue = list(frontier)
+        while queue:
+            state = queue.pop()
+            index = self._states[state]
+            actions: List[Tuple[float, List[Tuple[int, float]]]] = []
+
+            if state == ():
+                # Arrival action: deterministic to the fresh-arrival state.
+                actions.append((0.0, [(self._states[fresh], 1.0)]))
+            else:
+                effective = (
+                    (0,) * self._max_queue if state == _OVERFLOW else state
+                )
+                n = len(effective)
+                earliest_slack = 0.0 if state == _OVERFLOW else grid[state[0]]
+                valid_models = [
+                    m
+                    for m in self._models
+                    if m.latency_ms(n) <= earliest_slack
+                ]
+                chosen = valid_models if valid_models else [self._models[0]]
+                for model in chosen:
+                    latency = model.latency_ms(n)
+                    satisfied = latency <= earliest_slack
+                    reward = model.accuracy if satisfied else 0.0
+                    rows: List[Tuple[int, float]] = []
+                    for next_state, prob in self._next_state_distribution(
+                        state if state != _OVERFLOW else effective, latency
+                    ):
+                        if next_state not in self._states:
+                            if len(self._states) >= self._max_states:
+                                self._truncated = True
+                                continue
+                            self._states[next_state] = len(self._states)
+                            self._transitions.append([])
+                            queue.append(next_state)
+                        rows.append((self._states[next_state], prob))
+                    actions.append((reward, rows))
+            self._transitions[index] = actions
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self, tolerance: float = 1e-7, max_iterations: int = 20_000
+    ) -> Tuple[np.ndarray, NaiveMDPStats]:
+        """Value iteration over the enumerated space."""
+        start = time.perf_counter()
+        size = len(self._states)
+        values = np.zeros(size)
+        num_transitions = sum(
+            len(rows) for actions in self._transitions for _, rows in actions
+        )
+        for iteration in range(1, max_iterations + 1):
+            new_values = np.empty(size)
+            for s in range(size):
+                best = -np.inf
+                for reward, rows in self._transitions[s]:
+                    q = reward + self._discount * sum(
+                        p * values[t] for t, p in rows
+                    )
+                    best = max(best, q)
+                new_values[s] = best if best > -np.inf else 0.0
+            residual = float(np.max(np.abs(new_values - values)))
+            values = new_values
+            if residual < tolerance:
+                return values, NaiveMDPStats(
+                    num_states=size,
+                    num_transitions=num_transitions,
+                    build_seconds=self._build_seconds,
+                    solve_seconds=time.perf_counter() - start,
+                    iterations=iteration,
+                    truncated=self._truncated,
+                )
+        raise SolverError(
+            f"naive value iteration did not converge in {max_iterations} sweeps"
+        )
+
+    def greedy_action(self, state: State, values: np.ndarray) -> Optional[str]:
+        """Greedy model choice in ``state`` (None for the empty state)."""
+        if state == ():
+            return None
+        index = self._states[state]
+        effective = (0,) * self._max_queue if state == _OVERFLOW else state
+        n = len(effective)
+        earliest_slack = 0.0 if state == _OVERFLOW else self._grid[state[0]]
+        valid = [m for m in self._models if m.latency_ms(n) <= earliest_slack]
+        chosen = valid if valid else [self._models[0]]
+        best_model, best_q = None, -np.inf
+        for model, (reward, rows) in zip(chosen, self._transitions[index]):
+            q = reward + self._discount * sum(p * values[t] for t, p in rows)
+            if q > best_q:
+                best_model, best_q = model.name, q
+        return best_model
+
+
+def _multiset_permutations(combo: Sequence[int]) -> int:
+    """Number of orderings of a multiset — the multinomial coefficient."""
+    from math import factorial
+
+    total = factorial(len(combo))
+    for value in set(combo):
+        total //= factorial(sum(1 for c in combo if c == value))
+    return total

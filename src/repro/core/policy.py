@@ -1,0 +1,219 @@
+"""Model-selection policies: the offline phase's output (§3.1.3).
+
+A :class:`Policy` maps every worker-queue state ``(n, T_j)`` to a model
+selection action ``(model, batch size)``.  Online (§3.2.2), the per-worker
+model selector quantizes the live queue state (queue length + earliest
+slack) onto the policy's grid and looks the action up — an O(log |grid|)
+operation, so the online decision overhead is negligible, as the paper
+requires.
+
+Serialization follows the paper artifact's layout: a JSON dictionary
+mapping states to actions, with metadata describing the load, SLO, and
+generation knobs the policy was specialized for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.discretization import TimeGrid
+from repro.errors import PolicyError
+
+__all__ = ["Action", "PolicyMetadata", "Policy"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One model-selection decision: run ``batch_size`` queries on ``model``.
+
+    ``is_late`` marks the forced fallback of §4.3.1 — no action can meet the
+    earliest deadline, so the lowest-latency model serves the whole queue
+    ("better served late than never").
+    """
+
+    model: str
+    batch_size: int
+    is_late: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise PolicyError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not self.model:
+            raise PolicyError("action model name must be non-empty")
+
+
+@dataclass(frozen=True)
+class PolicyMetadata:
+    """Provenance of a generated policy: what it is specialized for."""
+
+    task: str
+    slo_ms: float
+    load_qps: float
+    num_workers: int
+    arrival_family: str = "poisson"
+    discretization: str = "FLD"
+    fld_resolution: Optional[int] = 100
+    batching: str = "max"
+    view: str = "split"
+    discount: float = 0.98
+    expected_accuracy: Optional[float] = None
+    expected_violation_rate: Optional[float] = None
+
+
+class Policy:
+    """A per-worker model-selection policy over the discretized state space.
+
+    Parameters
+    ----------
+    grid:
+        The slack-time grid states are quantized onto.
+    max_queue:
+        ``N_w`` — queue lengths above this map to the full-queue action.
+    actions:
+        Mapping ``(n, j) -> Action`` covering every occupied state, i.e.
+        ``n`` in ``1..max_queue`` and ``j`` in ``0..len(grid)-1``.
+    metadata:
+        Generation provenance; used by :class:`repro.core.policy_set.PolicySet`
+        for load-based selection.
+    """
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        max_queue: int,
+        actions: Mapping[Tuple[int, int], Action],
+        metadata: PolicyMetadata,
+    ) -> None:
+        if max_queue < 1:
+            raise PolicyError(f"max_queue must be >= 1, got {max_queue}")
+        expected_states = max_queue * len(grid)
+        missing = [
+            (n, j)
+            for n in range(1, max_queue + 1)
+            for j in range(len(grid))
+            if (n, j) not in actions
+        ]
+        if missing:
+            raise PolicyError(
+                f"policy covers {len(actions)}/{expected_states} states; "
+                f"first missing: {missing[0]}"
+            )
+        self._grid = grid
+        self._max_queue = max_queue
+        self._actions: Dict[Tuple[int, int], Action] = dict(actions)
+        self._metadata = metadata
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> TimeGrid:
+        """Slack-time grid of this policy's state space."""
+        return self._grid
+
+    @property
+    def max_queue(self) -> int:
+        """``N_w`` of this policy's state space."""
+        return self._max_queue
+
+    @property
+    def metadata(self) -> PolicyMetadata:
+        """Generation provenance."""
+        return self._metadata
+
+    @property
+    def load_qps(self) -> float:
+        """Query load the policy was generated for."""
+        return self._metadata.load_qps
+
+    def action_at(self, n: int, j: int) -> Action:
+        """Action for discretized state ``(n, j)``."""
+        try:
+            return self._actions[(n, j)]
+        except KeyError:
+            raise PolicyError(f"no action for state ({n}, {j})") from None
+
+    def states(self) -> Dict[Tuple[int, int], Action]:
+        """Copy of the full state -> action table."""
+        return dict(self._actions)
+
+    # ------------------------------------------------------------------
+    # Online lookup (§3.2.2)
+    # ------------------------------------------------------------------
+    def action_for(self, queue_length: int, earliest_slack_ms: float) -> Action:
+        """Decision for a live queue state.
+
+        ``queue_length`` is the number of queued queries;
+        ``earliest_slack_ms`` the remaining time before the earliest queued
+        deadline (negative when already missed).  Queue lengths beyond
+        ``N_w`` use the full-queue state's action with the batch widened to
+        drain the whole queue, matching §4.2.3's truncation semantics.
+        """
+        if queue_length < 1:
+            raise PolicyError("action_for requires a non-empty queue")
+        j = self._grid.floor_index(earliest_slack_ms)
+        if queue_length > self._max_queue:
+            base = self._actions[(self._max_queue, 0)]
+            return Action(model=base.model, batch_size=queue_length, is_late=True)
+        return self._actions[(queue_length, j)]
+
+    # ------------------------------------------------------------------
+    # Serialization (artifact-compatible: state dict -> action dict)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation."""
+        return {
+            "metadata": asdict(self._metadata),
+            "grid": {"values": list(self._grid.values), "slo_ms": self._grid.slo_ms},
+            "max_queue": self._max_queue,
+            "policy": {
+                f"{n},{j}": {
+                    "model": a.model,
+                    "batch_size": a.batch_size,
+                    "is_late": a.is_late,
+                }
+                for (n, j), a in sorted(self._actions.items())
+            },
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, object]) -> "Policy":
+        """Inverse of :meth:`to_json_dict`."""
+        try:
+            grid_info = data["grid"]
+            grid = TimeGrid(
+                values=tuple(float(v) for v in grid_info["values"]),  # type: ignore[index]
+                slo_ms=float(grid_info["slo_ms"]),  # type: ignore[index]
+            )
+            metadata = PolicyMetadata(**data["metadata"])  # type: ignore[arg-type]
+            max_queue = int(data["max_queue"])  # type: ignore[arg-type]
+            actions: Dict[Tuple[int, int], Action] = {}
+            for key, raw in data["policy"].items():  # type: ignore[union-attr]
+                n_str, j_str = key.split(",")
+                actions[(int(n_str), int(j_str))] = Action(
+                    model=str(raw["model"]),
+                    batch_size=int(raw["batch_size"]),
+                    is_late=bool(raw.get("is_late", False)),
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PolicyError(f"malformed policy JSON: {exc}") from exc
+        return Policy(grid=grid, max_queue=max_queue, actions=actions, metadata=metadata)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the policy as JSON (artifact layout)."""
+        Path(path).write_text(json.dumps(self.to_json_dict(), indent=1))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Policy":
+        """Read a policy written by :meth:`save`."""
+        return Policy.from_json_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m = self._metadata
+        return (
+            f"Policy(task={m.task!r}, slo={m.slo_ms:g}ms, load={m.load_qps:g}qps, "
+            f"K={m.num_workers}, states={len(self._actions)})"
+        )

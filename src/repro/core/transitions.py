@@ -1,0 +1,617 @@
+"""Worker-MDP transition probabilities (§4.4, Appendix I).
+
+A service action ``a = (m, b)`` taken in state ``s = (n, T_j)`` occupies the
+worker for the profiled latency ``l = l_w(m, b)``.  The next state is
+determined by (I) how many queries arrive at the worker during ``l`` and
+(II) *when* the first of them arrives — the first arrival after the decision
+defines the earliest deadline, hence the slack bin, of the next state.
+
+The paper decomposes ``l`` into intervals (Fig. 4):
+
+- **B** ``[0, T_B)``: before the first arrival's slack window — zero worker
+  arrivals allowed;
+- **C** ``[T_B, T_B + T_C)``: the window in which the first worker arrival
+  must land for the next slack to quantize to bin ``j'``;
+- **D** ``[T_B + T_C, l]``: the remainder, absorbing the rest of the
+  arrivals.
+
+For a next state ``(n', T_{j'})`` the window is the set of first-arrival
+times ``u`` with ``T_{j'} <= SLO - (l - u) < T_{j'+1}``, intersected with
+``[0, l]``; exactly the paper's ``T_B = max(0, l + T_{j'} - SLO)`` etc.
+
+Two views are implemented (see :class:`repro.core.config.TransitionView`):
+
+- :class:`SplitViewKernelBuilder` — the worker's arrival process is the
+  arrival family at ``load / K``.  Exact for ``K = 1``: with one worker the
+  round-robin phase is degenerate and the interval-A conditioning of Eq. 2
+  cancels between numerator and denominator, so transition rows do not
+  depend on the current slack at all — only on ``(m, b, n)``.
+- :class:`ExactRoundRobinKernelBuilder` — the paper's Eq. 2 in full: the
+  worker receives every K-th central-queue arrival, transition rows are
+  conditioned on the round-robin *phase* ``r = k_A % K``, and the phase
+  distribution is inferred from interval A (the time the earliest queued
+  query has already spent waiting).
+
+Shortest-queue-first balancing (Appendix I) reuses the split-view builder
+with the conditional per-worker rate of Gupta et al. [18]; see
+:func:`repro.balancers.sqf_worker_rate_qps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.arrivals.distributions import ArrivalDistribution
+from repro.core.discretization import TimeGrid
+
+__all__ = [
+    "StateSpace",
+    "SplitViewKernelBuilder",
+    "EquilibriumRenewalKernelBuilder",
+    "ExactRoundRobinKernelBuilder",
+    "RenewalGaps",
+    "GammaGaps",
+    "DeterministicGaps",
+    "gaps_for_distribution",
+]
+
+#: Probability mass below which kernel entries are treated as exactly zero.
+_MASS_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """Index layout of a worker MDP's states.
+
+    - index 0: the empty-queue state (``n = 0``; slack unconstrained) —
+      the paper's ``(0, T_j)`` states collapse to one because the only
+      action there is the arrival action (§4.3.4, Eq. 1);
+    - index 1: the special full-queue state ``(phi, 0)`` (§4.2.3);
+    - indices ``2 ..``: occupied states ``(n, j)`` for ``n`` in
+      ``1..max_queue`` and ``j`` in ``0..len(grid)-1``, row-major in ``n``.
+    """
+
+    max_queue: int
+    grid_size: int
+
+    EMPTY: int = 0
+    FULL: int = 1
+
+    @property
+    def size(self) -> int:
+        """Total number of states."""
+        return 2 + self.max_queue * self.grid_size
+
+    def index(self, n: int, j: int) -> int:
+        """State id of occupied state ``(n, j)``."""
+        if not 1 <= n <= self.max_queue:
+            raise ValueError(f"queue length {n} outside [1, {self.max_queue}]")
+        if not 0 <= j < self.grid_size:
+            raise ValueError(f"grid index {j} outside [0, {self.grid_size})")
+        return 2 + (n - 1) * self.grid_size + j
+
+    def decode(self, state_id: int) -> Tuple[int, int]:
+        """Inverse of :meth:`index`; EMPTY decodes to ``(0, -1)`` and FULL
+        to ``(max_queue, 0)`` (its §4.2.3 transition-equivalent)."""
+        if state_id == self.EMPTY:
+            return (0, -1)
+        if state_id == self.FULL:
+            return (self.max_queue, 0)
+        offset = state_id - 2
+        if not 0 <= offset < self.max_queue * self.grid_size:
+            raise ValueError(f"state id {state_id} out of range")
+        return (offset // self.grid_size + 1, offset % self.grid_size)
+
+    def occupied_view(self, vector: np.ndarray) -> np.ndarray:
+        """Reshape the occupied block of a state vector to ``(N, J)``."""
+        return vector[2:].reshape(self.max_queue, self.grid_size)
+
+
+def _service_windows(
+    grid: TimeGrid, latency_ms: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per next-slack-bin interval lengths ``(T_B, T_C, T_D)``.
+
+    Bin ``j'`` corresponds to first-arrival times in
+    ``[T_j' + l - SLO, T_{j'+1} + l - SLO)`` clamped to ``[0, l]``.
+    """
+    values = grid.as_array()
+    uppers = np.array([grid.upper(j) for j in range(len(grid))])
+    lo = np.clip(values + latency_ms - grid.slo_ms, 0.0, latency_ms)
+    hi = np.clip(uppers + latency_ms - grid.slo_ms, 0.0, latency_ms)
+    # Bin 0 also absorbs *negative* slack: when the service outlasts the
+    # SLO (a forced late action, §4.3.1), arrivals in [0, l - SLO) have
+    # already missed their deadlines and quantize to slack 0.
+    lo[0] = 0.0
+    hi = np.maximum(hi, lo)
+    return lo, hi - lo, latency_ms - hi
+
+
+class SplitViewKernelBuilder:
+    """Transition rows under the per-worker split view.
+
+    Rows are keyed by the service latency ``l`` and, for partial-batch
+    (variable batching) actions, by the leftover-queue geometry; they do not
+    depend on the current state's slack (see module docstring).
+    """
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        worker_arrivals: ArrivalDistribution,
+        max_queue: int,
+    ) -> None:
+        self._grid = grid
+        self._arrivals = worker_arrivals
+        self._space = StateSpace(max_queue=max_queue, grid_size=len(grid))
+        self._service_cache: Dict[float, np.ndarray] = {}
+        self._count_cache: Dict[float, np.ndarray] = {}
+
+    @property
+    def space(self) -> StateSpace:
+        """The state space the kernels are laid out over."""
+        return self._space
+
+    # ------------------------------------------------------------------
+    # Full-drain rows (maximal batching, Eq. 2 with b = n)
+    # ------------------------------------------------------------------
+    def service_row(self, latency_ms: float) -> np.ndarray:
+        """Transition row after draining the whole queue in ``latency_ms``.
+
+        Returns a probability vector over the full state space:
+        ``P[EMPTY]`` is zero arrivals, occupied entries follow the
+        B/C/D window decomposition, and ``P[FULL]`` absorbs the truncated
+        tail (Eq. 3).
+        """
+        key = round(float(latency_ms), 9)
+        cached = self._service_cache.get(key)
+        if cached is not None:
+            return cached
+
+        space = self._space
+        row = np.zeros(space.size, dtype=np.float64)
+        n_max = space.max_queue
+        row[space.EMPTY] = self._arrivals.pmf(0, latency_ms)
+
+        t_b, t_c, t_d = _service_windows(self._grid, latency_ms)
+        occupied = space.occupied_view(row)  # (N, J) view into `row`
+        for j in range(len(self._grid)):
+            if t_c[j] <= 0.0:
+                continue
+            p_b0 = self._arrivals.pmf(0, t_b[j])
+            if p_b0 <= _MASS_EPSILON:
+                continue
+            pmf_c = self._arrivals.pmf_vector(n_max, t_c[j])
+            pmf_d = self._arrivals.pmf_vector(n_max, t_d[j])
+            conv = np.convolve(pmf_c, pmf_d)[: n_max + 1]
+            # k_C >= 1: subtract the k_C = 0 term of the convolution.
+            probs = p_b0 * (conv - pmf_c[0] * pmf_d)
+            occupied[:, j] = np.maximum(probs[1:], 0.0)
+
+        total = row.sum()
+        row[space.FULL] = max(0.0, 1.0 - total)
+        self._service_cache[key] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # Partial-drain rows (variable batching, b < n)
+    # ------------------------------------------------------------------
+    def arrival_counts(self, latency_ms: float) -> np.ndarray:
+        """``P[k arrivals during latency_ms]`` for ``k = 0..max_queue``;
+        the implicit tail mass is the overflow-to-FULL probability."""
+        key = round(float(latency_ms), 9)
+        cached = self._count_cache.get(key)
+        if cached is not None:
+            return cached
+        counts = self._arrivals.pmf_vector(self._space.max_queue, latency_ms)
+        self._count_cache[key] = counts
+        return counts
+
+    def partial_row(
+        self, latency_ms: float, leftover: int, leftover_slack_ms: float
+    ) -> np.ndarray:
+        """Transition row when ``leftover >= 1`` queries remain queued.
+
+        The earliest remaining deadline is the conservative closure
+        ``T_j - l`` (DESIGN.md §3): it lower-bounds the true leftover slack
+        and is never later than any new arrival's deadline, so the next
+        state's slack bin is deterministic; only the arrival count is
+        random.
+        """
+        if leftover < 1:
+            raise ValueError("partial_row requires leftover >= 1")
+        space = self._space
+        row = np.zeros(space.size, dtype=np.float64)
+        j_left = self._grid.floor_index(leftover_slack_ms)
+        counts = self.arrival_counts(latency_ms)
+        for k in range(space.max_queue - leftover + 1):
+            row[space.index(leftover + k, j_left)] = counts[k]
+        row[space.FULL] = max(0.0, 1.0 - row.sum())
+        return row
+
+
+class RenewalGaps:
+    """Inter-arrival gap distribution of a worker's renewal arrival process.
+
+    The equilibrium-renewal kernel builder needs three primitives:
+
+    - ``gap_cdf(u)``: CDF of one gap;
+    - ``kfold_cdf(k, t)``: CDF of the sum of ``k`` i.i.d. gaps (``k >= 1``);
+    - ``mean_ms``: the mean gap.
+
+    Subclasses provide vectorized implementations.
+    """
+
+    mean_ms: float
+
+    def gap_cdf(self, u: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def kfold_cdf(self, k: int, t: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def equilibrium_cdf(self, t: float) -> float:
+        """CDF of the forward recurrence time (time to the next arrival
+        seen from an arbitrary time point): ``(1/mean) int_0^t (1-F)``.
+
+        Default implementation by fixed Gauss-Legendre quadrature;
+        subclasses override with closed forms.
+        """
+        if t <= 0.0:
+            return 0.0
+        nodes, weights = np.polynomial.legendre.leggauss(48)
+        u = 0.5 * t * (nodes + 1.0)
+        integrand = 1.0 - self.gap_cdf(u)
+        return float((0.5 * t) * (weights @ integrand) / self.mean_ms)
+
+    def equilibrium_density(self, u: np.ndarray) -> np.ndarray:
+        """Density of the forward recurrence time: ``(1 - F(u)) / mean``."""
+        return (1.0 - self.gap_cdf(np.asarray(u, dtype=np.float64))) / self.mean_ms
+
+
+class GammaGaps(RenewalGaps):
+    """Gamma(shape, scale) gaps — Erlang when ``shape`` is an integer.
+
+    Round-robin thinning of a Poisson process with ``K`` workers yields
+    Erlang(``K``) worker gaps; thinning a Gamma(``a``) renewal process
+    yields Gamma(``a * K``) gaps.  ``shape = 1`` is the Poisson worker.
+    """
+
+    def __init__(self, shape: float, scale_ms: float) -> None:
+        if shape <= 0 or scale_ms <= 0:
+            raise ValueError("shape and scale_ms must be > 0")
+        self.shape = float(shape)
+        self.scale_ms = float(scale_ms)
+        self.mean_ms = self.shape * self.scale_ms
+
+    def gap_cdf(self, u: np.ndarray) -> np.ndarray:
+        from scipy.special import gammainc
+
+        x = np.maximum(np.asarray(u, dtype=np.float64), 0.0) / self.scale_ms
+        return gammainc(self.shape, x)
+
+    def kfold_cdf(self, k: int, t: np.ndarray) -> np.ndarray:
+        from scipy.special import gammainc
+
+        if k < 1:
+            raise ValueError("kfold_cdf requires k >= 1")
+        x = np.maximum(np.asarray(t, dtype=np.float64), 0.0) / self.scale_ms
+        return gammainc(k * self.shape, x)
+
+    def equilibrium_cdf(self, t: float) -> float:
+        # int_0^t (1 - F) = t - t F(t) + shape*scale*F_{shape+1}(t); / mean.
+        from scipy.special import gammainc
+
+        if t <= 0.0:
+            return 0.0
+        x = t / self.scale_ms
+        integral = (
+            t
+            - t * float(gammainc(self.shape, x))
+            + self.mean_ms * float(gammainc(self.shape + 1.0, x))
+        )
+        return min(integral / self.mean_ms, 1.0)
+
+
+class DeterministicGaps(RenewalGaps):
+    """Fixed inter-arrival gaps — the zero-burstiness limit."""
+
+    def __init__(self, gap_ms: float) -> None:
+        if gap_ms <= 0:
+            raise ValueError("gap_ms must be > 0")
+        self.gap_ms = float(gap_ms)
+        self.mean_ms = self.gap_ms
+
+    def gap_cdf(self, u: np.ndarray) -> np.ndarray:
+        return (np.asarray(u, dtype=np.float64) >= self.gap_ms).astype(np.float64)
+
+    def kfold_cdf(self, k: int, t: np.ndarray) -> np.ndarray:
+        if k < 1:
+            raise ValueError("kfold_cdf requires k >= 1")
+        return (np.asarray(t, dtype=np.float64) >= k * self.gap_ms).astype(
+            np.float64
+        )
+
+    def equilibrium_cdf(self, t: float) -> float:
+        return min(max(t, 0.0) / self.gap_ms, 1.0)
+
+
+def gaps_for_distribution(distribution: ArrivalDistribution) -> RenewalGaps:
+    """Gap model of a per-worker arrival distribution.
+
+    Poisson maps to exponential gaps (Gamma shape 1), Gamma to Gamma gaps,
+    deterministic to fixed gaps.
+    """
+    from repro.arrivals.distributions import (
+        DeterministicArrivals,
+        GammaArrivals,
+        PoissonArrivals,
+    )
+
+    if isinstance(distribution, GammaArrivals):
+        return GammaGaps(
+            shape=distribution.shape,
+            scale_ms=distribution.mean_interarrival_ms / distribution.shape,
+        )
+    if isinstance(distribution, PoissonArrivals):
+        return GammaGaps(shape=1.0, scale_ms=distribution.mean_interarrival_ms)
+    if isinstance(distribution, DeterministicArrivals):
+        return DeterministicGaps(distribution.mean_interarrival_ms)
+    raise TypeError(
+        f"no renewal-gap model for {type(distribution).__name__}; "
+        "use the POISSON_SPLIT or EXACT_ROUND_ROBIN view instead"
+    )
+
+
+class EquilibriumRenewalKernelBuilder:
+    """Transition rows for a worker whose arrivals form a renewal process.
+
+    Used by the ``ROUND_ROBIN_MARGINAL`` view: round-robin thinning of the
+    central arrival process gives each worker a *renewal* process (Erlang
+    gaps for a Poisson central queue), whose increments are **not**
+    independent — the naive product form of Eq. 2 does not apply.  Instead,
+    rows are computed from the renewal structure directly:
+
+    - the first arrival after a decision epoch has the *equilibrium*
+      (forward-recurrence) distribution ``f_e(u) = (1 - F(u)) / mean`` —
+      the stationary-phase analogue of the paper's interval-A phase
+      conditioning;
+    - subsequent arrivals renew with ordinary gaps, so the count of further
+      arrivals in the remaining ``l - u`` has pmf
+      ``F_{k}(l-u) - F_{k+1}(l-u)``.
+
+    ``P[n' = a, slack bin j']`` is the window integral
+    ``int_W f_e(u) * (F_{a-1}(l-u) - F_a(l-u)) du`` evaluated with
+    Gauss-Legendre quadrature per window (exact window geometry, smooth
+    integrands).  For exponential gaps this reproduces the Poisson split
+    view exactly (memorylessness), which the test suite asserts.
+    """
+
+    #: Gauss-Legendre points per slack window.
+    _QUAD_POINTS = 8
+    #: Gauss-Legendre points for whole-service count integrals.
+    _COUNT_QUAD_POINTS = 64
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        gaps: RenewalGaps,
+        max_queue: int,
+    ) -> None:
+        self._grid = grid
+        self._gaps = gaps
+        self._space = StateSpace(max_queue=max_queue, grid_size=len(grid))
+        self._service_cache: Dict[float, np.ndarray] = {}
+        self._count_cache: Dict[float, np.ndarray] = {}
+        nodes, weights = np.polynomial.legendre.leggauss(self._QUAD_POINTS)
+        self._nodes = nodes
+        self._weights = weights
+        nodes_c, weights_c = np.polynomial.legendre.leggauss(self._COUNT_QUAD_POINTS)
+        self._nodes_c = nodes_c
+        self._weights_c = weights_c
+
+    @property
+    def space(self) -> StateSpace:
+        """The state space the kernels are laid out over."""
+        return self._space
+
+    def _count_pmf_at(self, remaining: np.ndarray) -> np.ndarray:
+        """``pmf[a, i] = P[a further arrivals in remaining[i]]`` for
+        ``a = 0..max_queue - 1`` (arrivals after the first one)."""
+        n_max = self._space.max_queue
+        cdfs = np.empty((n_max, remaining.size), dtype=np.float64)
+        for k in range(1, n_max + 1):
+            cdfs[k - 1] = self._gaps.kfold_cdf(k, remaining)
+        pmf = np.empty_like(cdfs)
+        pmf[0] = 1.0 - cdfs[0]
+        pmf[1:] = cdfs[:-1] - cdfs[1:]
+        return np.clip(pmf, 0.0, 1.0)
+
+    def service_row(self, latency_ms: float) -> np.ndarray:
+        """Transition row after a full drain taking ``latency_ms``."""
+        key = round(float(latency_ms), 9)
+        cached = self._service_cache.get(key)
+        if cached is not None:
+            return cached
+
+        space = self._space
+        row = np.zeros(space.size, dtype=np.float64)
+        row[space.EMPTY] = 1.0 - self._gaps.equilibrium_cdf(latency_ms)
+
+        lo, width, _ = _service_windows(self._grid, latency_ms)
+        occupied = space.occupied_view(row)
+        live = np.nonzero(width > 0.0)[0]
+        if live.size:
+            # Gauss-Legendre nodes for every live window at once: (L, Q).
+            half = 0.5 * width[live]
+            u = lo[live][:, None] + half[:, None] * (self._nodes[None, :] + 1.0)
+            w = self._weights[None, :] * half[:, None]
+            f_e = self._gaps.equilibrium_density(u)
+            # (N, L, Q) count pmf over the remaining time after the first
+            # arrival, flattened so each k-fold CDF is one vectorized call.
+            pmf = self._count_pmf_at((latency_ms - u).ravel()).reshape(
+                space.max_queue, live.size, self._QUAD_POINTS
+            )
+            occupied[:, live] = np.einsum("nlq,lq->nl", pmf, w * f_e)
+
+        total = row.sum()
+        if total > 1.0:
+            # Quadrature overshoot (only possible for discontinuous gap
+            # densities, e.g. deterministic gaps): renormalize.
+            row /= total
+            total = 1.0
+        row[space.FULL] = max(0.0, 1.0 - total)
+        self._service_cache[key] = row
+        return row
+
+    def arrival_counts(self, latency_ms: float) -> np.ndarray:
+        """``P[k arrivals during latency_ms]`` for ``k = 0..max_queue``."""
+        key = round(float(latency_ms), 9)
+        cached = self._count_cache.get(key)
+        if cached is not None:
+            return cached
+        n_max = self._space.max_queue
+        counts = np.zeros(n_max + 1, dtype=np.float64)
+        counts[0] = 1.0 - self._gaps.equilibrium_cdf(latency_ms)
+        if latency_ms > 0.0:
+            half = 0.5 * latency_ms
+            u = half * (self._nodes_c + 1.0)
+            w = self._weights_c * half
+            f_e = self._gaps.equilibrium_density(u)
+            pmf = self._count_pmf_at(latency_ms - u)  # (N, Qc)
+            counts[1:] = pmf @ (w * f_e)
+        np.clip(counts, 0.0, 1.0, out=counts)
+        total = counts.sum()
+        if total > 1.0:
+            counts /= total  # quadrature overshoot; see service_row
+        self._count_cache[key] = counts
+        return counts
+
+    def partial_row(
+        self, latency_ms: float, leftover: int, leftover_slack_ms: float
+    ) -> np.ndarray:
+        """Transition row for a partial drain (see split-view analogue)."""
+        if leftover < 1:
+            raise ValueError("partial_row requires leftover >= 1")
+        space = self._space
+        row = np.zeros(space.size, dtype=np.float64)
+        j_left = self._grid.floor_index(leftover_slack_ms)
+        counts = self.arrival_counts(latency_ms)
+        for k in range(space.max_queue - leftover + 1):
+            row[space.index(leftover + k, j_left)] = counts[k]
+        row[space.FULL] = max(0.0, 1.0 - row.sum())
+        return row
+
+
+class ExactRoundRobinKernelBuilder:
+    """The paper's exact Eq. 2 for ``K`` round-robin workers.
+
+    Rows are produced *per phase* ``r`` (central arrivals since this
+    worker's last arrival, mod ``K``); the caller mixes them with the
+    phase distribution inferred from interval A via :meth:`phase_weights`.
+    """
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        central_arrivals: ArrivalDistribution,
+        num_workers: int,
+        max_queue: int,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._grid = grid
+        self._arrivals = central_arrivals
+        self._k = num_workers
+        self._space = StateSpace(max_queue=max_queue, grid_size=len(grid))
+        self._cache: Dict[float, np.ndarray] = {}
+
+    @property
+    def space(self) -> StateSpace:
+        """The state space the kernels are laid out over."""
+        return self._space
+
+    @property
+    def num_workers(self) -> int:
+        """``K`` — the round-robin fan-out."""
+        return self._k
+
+    def phase_weights(self, n: int, slack_ms: float) -> np.ndarray:
+        """Distribution of the round-robin phase ``r`` given state ``(n, T_j)``.
+
+        Interval A (length ``SLO - T_j``) saw the ``n - 1`` worker arrivals
+        after the earliest queued query, so the central queue received
+        ``k_A in [(n-1)K, nK - 1]`` queries; ``r = k_A % K`` enumerates that
+        range.  This is the denominator conditioning of Eq. 2.
+        """
+        t_a = max(self._grid.slo_ms - slack_ms, 0.0)
+        k = self._k
+        lo = (n - 1) * k
+        pmf = self._arrivals.pmf_vector(lo + k - 1, t_a)
+        weights = pmf[lo : lo + k].astype(np.float64, copy=True)
+        total = weights.sum()
+        if total <= _MASS_EPSILON:
+            # Degenerate conditioning (deep in the distribution tail):
+            # fall back to a uniform phase, which keeps rows well-defined.
+            return np.full(k, 1.0 / k)
+        return weights / total
+
+    def service_rows_by_phase(self, latency_ms: float) -> np.ndarray:
+        """``(K, S)`` matrix of transition rows, one per phase ``r``."""
+        key = round(float(latency_ms), 9)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        space = self._space
+        k = self._k
+        n_max = space.max_queue
+        rows = np.zeros((k, space.size), dtype=np.float64)
+        t_b, t_c, t_d = _service_windows(self._grid, latency_ms)
+
+        for r in range(k):
+            # n' = 0: at most K - r - 1 central arrivals during the service.
+            rows[r, space.EMPTY] = self._arrivals.cdf(k - r - 1, latency_ms)
+
+        for j in range(len(self._grid)):
+            if t_c[j] <= 0.0:
+                continue
+            sup_c = self._arrivals.support_bound(t_c[j])
+            sup_d = self._arrivals.support_bound(t_d[j])
+            need = (n_max + 1) * k  # largest window offset we will read
+            pmf_c = self._arrivals.pmf_vector(max(sup_c, need), t_c[j])
+            pmf_d = self._arrivals.pmf_vector(max(sup_d, 1), t_d[j])
+            sup_b = min(
+                self._arrivals.support_bound(t_b[j]), k - 1
+            )  # k_B < K - r <= K
+            pmf_b = self._arrivals.pmf_vector(sup_b, t_b[j])
+            for r in range(k):
+                for k_b in range(min(sup_b, k - r - 1) + 1):
+                    p_b = pmf_b[k_b]
+                    if p_b <= _MASS_EPSILON:
+                        continue
+                    c_min = k - r - k_b  # >= 1 worker arrival falls in C
+                    masked = pmf_c.copy()
+                    masked[:c_min] = 0.0
+                    if masked.sum() <= _MASS_EPSILON:
+                        continue
+                    g = np.convolve(masked, pmf_d)
+                    cum = np.concatenate(([0.0], np.cumsum(g)))
+                    for n_next in range(1, n_max + 1):
+                        lo_t = n_next * k - r - k_b
+                        hi_t = (n_next + 1) * k - r - k_b - 1
+                        lo_t = max(lo_t, 0)
+                        if lo_t >= len(cum) - 1:
+                            continue
+                        hi_idx = min(hi_t + 1, len(cum) - 1)
+                        mass = cum[hi_idx] - cum[lo_t]
+                        if mass > 0.0:
+                            rows[r, space.index(n_next, j)] += p_b * mass
+
+        totals = rows.sum(axis=1)
+        rows[:, space.FULL] = np.maximum(0.0, 1.0 - totals)
+        self._cache[key] = rows
+        return rows

@@ -1,0 +1,148 @@
+"""Monte-Carlo validation of worker MDPs and their guarantees.
+
+The §5.1 expectations are only as good as the transition kernels they are
+computed from.  :func:`simulate_chain` checks the kernels *directly*: it
+replays one worker's decision process against a sampled arrival stream from
+the same per-worker distribution the MDP was built on — no load balancer,
+no cluster — and measures empirical state-visit frequencies, accuracy per
+satisfied query, and violation rate.  Agreement with
+:func:`repro.core.guarantees.evaluate_policy` validates the kernel
+construction end to end; the test suite asserts it on every view.
+
+This is deliberately *not* the ISS simulator: it exercises exactly the
+abstraction the MDP models (single worker, renewal arrivals, policy-driven
+decisions), so discrepancies localize to the kernel math rather than to
+queueing or balancing effects.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.mdp import WorkerMDP
+from repro.core.policy import Policy
+
+__all__ = ["ChainStats", "simulate_chain"]
+
+
+@dataclass(frozen=True)
+class ChainStats:
+    """Empirical statistics from one chain replay."""
+
+    epochs: int
+    queries_served: int
+    accuracy_per_satisfied_query: float
+    violation_rate: float
+    state_frequency: Dict[Tuple[int, int], float]
+    idle_fraction: float
+    full_fraction: float
+
+
+def simulate_chain(
+    mdp: WorkerMDP,
+    policy: Policy,
+    num_epochs: int = 50_000,
+    seed: int = 0,
+    warmup_epochs: int = 500,
+) -> ChainStats:
+    """Replay ``policy`` on one worker against sampled renewal arrivals.
+
+    Uses the MDP's own per-worker arrival distribution, continuous
+    deadlines (no quantization — quantization only happens at decision
+    time, like the online selector), and the profiled p95 latencies.
+    """
+    config = mdp.config
+    arrivals = config.per_worker_arrivals()
+    rng = np.random.default_rng(seed)
+    slo = config.slo_ms
+
+    # Pre-sample a long arrival stream (regenerated on exhaustion).
+    def fresh_gaps() -> np.ndarray:
+        return arrivals.sample_interarrivals(rng, 65_536)
+
+    gaps = fresh_gaps()
+    gap_index = 0
+    next_arrival = float(gaps[0])
+
+    def advance_arrival() -> None:
+        nonlocal gap_index, gaps, next_arrival
+        gap_index += 1
+        if gap_index >= gaps.shape[0]:
+            gaps = fresh_gaps()
+            gap_index = 0
+        next_arrival += float(gaps[gap_index])
+
+    model_by_name = {m.name: m for m in config.effective_models()}
+    fastest = config.effective_models().fastest()
+
+    now = 0.0
+    queue: list = []  # deadlines, ascending (FIFO with a single SLO)
+    visits: Counter = Counter()
+    idle_epochs = 0
+    full_epochs = 0
+    served = 0
+    satisfied = 0
+    accuracy_sum = 0.0
+    drop_mode = config.drop_late
+
+    for epoch in range(num_epochs):
+        counting = epoch >= warmup_epochs
+        if not queue:
+            if counting:
+                idle_epochs += 1
+            # Arrival action: idle until the next arrival.
+            now = max(now, next_arrival)
+            queue.append(now + slo)
+            advance_arrival()
+            continue
+
+        n = len(queue)
+        slack = queue[0] - now
+        if counting:
+            if n > mdp.max_queue:
+                full_epochs += 1
+            else:
+                visits[(n, mdp.grid.floor_index(slack))] += 1
+
+        action = policy.action_for(n, slack)
+        if action.is_late and drop_mode:
+            if counting:
+                served += n
+            queue.clear()
+            continue
+        model = model_by_name.get(action.model, fastest)
+        batch = min(action.batch_size, n)
+        latency = model.latency_ms(batch)
+        batch_deadlines = queue[:batch]
+        del queue[:batch]
+        now += latency
+        if counting:
+            for deadline in batch_deadlines:
+                served += 1
+                if now <= deadline:
+                    satisfied += 1
+                    accuracy_sum += model.accuracy
+        # Admit the arrivals that landed during the service.
+        while next_arrival <= now:
+            queue.append(next_arrival + slo)
+            advance_arrival()
+
+    total_visits = sum(visits.values()) + idle_epochs + full_epochs
+    frequency = {
+        state: count / total_visits for state, count in visits.items()
+    }
+    return ChainStats(
+        epochs=num_epochs - warmup_epochs,
+        queries_served=served,
+        accuracy_per_satisfied_query=(
+            accuracy_sum / satisfied if satisfied else 0.0
+        ),
+        violation_rate=1.0 - (satisfied / served) if served else 0.0,
+        state_frequency=frequency,
+        idle_fraction=idle_epochs / total_visits if total_visits else 0.0,
+        full_fraction=full_epochs / total_visits if total_visits else 0.0,
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the RAMSIS reproduction.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch the whole family with one handler while still distinguishing categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An input configuration is inconsistent or out of range."""
+
+
+class ProfileError(ReproError):
+    """A model latency/accuracy profile is missing or malformed."""
+
+
+class PolicyError(ReproError):
+    """A policy is missing a state, action, or required metadata."""
+
+
+class SolverError(ReproError):
+    """An MDP solver failed to converge or was given an invalid MDP."""
+
+
+class TraceError(ReproError):
+    """A query-load trace is malformed or cannot be parsed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class CapacityError(ReproError):
+    """The requested load is not satisfiable with the given resources."""

@@ -1,0 +1,49 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each module reproduces one evaluation artifact (see DESIGN.md §4 for the
+full index):
+
+- :mod:`repro.experiments.scale` — cluster-scale presets.  Defaults run
+  paper-shaped workloads on a 10x smaller cluster with identical per-worker
+  load (DESIGN.md §6); ``ExperimentScale.paper()`` restores full scale.
+- :mod:`repro.experiments.tasks` — the image / text task specifications
+  (model sets, SLO grids) of §7.
+- :mod:`repro.experiments.runner` — shared machinery: policy-set
+  construction, ModelSwitching offline profiling, method execution.
+- :mod:`repro.experiments.fig5` .. :mod:`repro.experiments.fig8`,
+  :mod:`repro.experiments.appendix` — per-figure drivers.
+- :mod:`repro.experiments.tables` — Table 2 (policy-generation runtimes)
+  and Tables 3/4 (violation-rate grids).
+- :mod:`repro.experiments.reporting` — ASCII rendering plus the paper's
+  headline statistics (accuracy increase, resource savings).
+"""
+
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task, text_task
+from repro.experiments.runner import (
+    MethodPoint,
+    build_policy_set,
+    build_ramsis_policy,
+    modelswitching_table,
+    run_method,
+)
+from repro.experiments.reporting import (
+    accuracy_increase_summary,
+    format_table,
+    resource_savings_summary,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "TaskSpec",
+    "image_task",
+    "text_task",
+    "MethodPoint",
+    "build_policy_set",
+    "build_ramsis_policy",
+    "modelswitching_table",
+    "run_method",
+    "format_table",
+    "accuracy_increase_summary",
+    "resource_savings_summary",
+]

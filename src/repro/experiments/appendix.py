@@ -1,0 +1,394 @@
+"""Appendix experiments: Figs. 10-12, Appendix H (INFaaS), Appendix I (SQF).
+
+- **Fig. 10 (App. C)** — time-discretization sweep: FLD with
+  ``D in {2, 10, 100}`` versus MD.  Larger ``D`` recovers MD's accuracy
+  with diminishing returns.
+- **Fig. 11 (App. D)** — maximal vs variable batching: near-identical
+  accuracy, very different policy-generation cost (Table 2).
+- **Fig. 12 (App. E)** — a 3-model subset (min / medium / long latency)
+  versus the full set, RAMSIS vs Jellyfish+: RAMSIS does not rely on many
+  models.
+- **App. H** — INFaaS adapted via an accuracy-target sweep: its
+  minimize-latency objective pins it to the minimally accurate feasible
+  model.
+- **App. I** — shortest-queue-first balancing: policies generated from the
+  SQF conditional arrival rate, simulated with the SQF balancer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arrivals.traces import LoadTrace
+from repro.balancers import ShortestQueueBalancer, sqf_worker_rate_qps
+from repro.core.config import BatchingMode, Discretization, WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import MethodPoint, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task
+from repro.profiles.zoo import build_three_model_image_set
+from repro.selectors import InfaasAdaptedSelector, RamsisSelector
+from repro.sim.monitor import OracleLoadMonitor
+from repro.sim.simulator import Simulation, SimulationConfig
+
+__all__ = [
+    "run_fig10",
+    "render_variant_sweep",
+    "run_fig11",
+    "run_fig12",
+    "render_fig12",
+    "run_appendix_h",
+    "render_appendix_h",
+    "run_appendix_i",
+    "render_appendix_i",
+]
+
+
+@dataclass(frozen=True)
+class VariantPoint:
+    """One (variant label, load) accuracy/violation cell."""
+
+    variant: str
+    load_qps: float
+    accuracy: float
+    violation_rate: float
+
+
+def _run_policy_variants(
+    variants: Dict[str, Dict],
+    scale: ExperimentScale,
+    task: TaskSpec,
+    loads: Sequence[float],
+    workers: int,
+    seed: int,
+) -> List[VariantPoint]:
+    """Generate a policy per (variant overrides, load) and simulate it."""
+    slo = task.slos_ms[0]
+    points: List[VariantPoint] = []
+    for label, overrides in variants.items():
+        for load in loads:
+            config = WorkerMDPConfig.default_poisson(
+                task.model_set,
+                slo_ms=slo,
+                load_qps=load,
+                num_workers=workers,
+                fld_resolution=scale.fld_resolution,
+                max_batch_size=scale.max_batch_size,
+            )
+            config = dc_replace(config, **overrides)
+            policy = generate_policy(config, with_guarantees=False).policy
+            trace = LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"var-{load:g}"
+            )
+            cell = run_method(
+                "RAMSIS",
+                task,
+                slo,
+                workers,
+                trace,
+                scale,
+                seed=seed,
+                oracle_load=True,
+                selector=RamsisSelector(policy),
+            )
+            points.append(
+                VariantPoint(
+                    variant=label,
+                    load_qps=load,
+                    accuracy=cell.accuracy,
+                    violation_rate=cell.violation_rate,
+                )
+            )
+    return points
+
+
+def run_fig10(
+    scale: Optional[ExperimentScale] = None,
+    task: Optional[TaskSpec] = None,
+    resolutions: Sequence[int] = (2, 10, 100),
+    loads_qps: Optional[Sequence[float]] = None,
+    seed: int = 23,
+) -> List[VariantPoint]:
+    """Appendix C: FLD resolution sweep vs MD."""
+    scale = scale or ExperimentScale.default()
+    task = task or image_task()
+    loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
+    workers = scale.constant_workers_image
+    variants: Dict[str, Dict] = {
+        f"FLD D={d}": {"fld_resolution": d} for d in resolutions
+    }
+    variants["MD"] = {"discretization": Discretization.MODEL_BASED}
+    return _run_policy_variants(variants, scale, task, loads, workers, seed)
+
+
+def run_fig11(
+    scale: Optional[ExperimentScale] = None,
+    task: Optional[TaskSpec] = None,
+    loads_qps: Optional[Sequence[float]] = None,
+    seed: int = 29,
+) -> List[VariantPoint]:
+    """Appendix D: maximal vs variable batching."""
+    scale = scale or ExperimentScale.default()
+    task = task or image_task()
+    loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
+    workers = scale.constant_workers_image
+    variants = {
+        "maximal": {"batching": BatchingMode.MAXIMAL},
+        "variable": {"batching": BatchingMode.VARIABLE},
+    }
+    return _run_policy_variants(variants, scale, task, loads, workers, seed)
+
+
+def render_variant_sweep(points: Sequence[VariantPoint], title: str) -> str:
+    """ASCII rendition of a per-variant accuracy sweep."""
+    variants = sorted({p.variant for p in points})
+    loads = sorted({p.load_qps for p in points})
+    rows = []
+    for load in loads:
+        row: List[object] = [f"{load:g}"]
+        for v in variants:
+            match = [p for p in points if p.variant == v and p.load_qps == load]
+            if match and match[0].violation_rate < 0.05:
+                row.append(f"{match[0].accuracy * 100:.2f}%")
+            elif match:
+                row.append(f"({match[0].violation_rate * 100:.0f}% viol)")
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(["load (QPS)"] + variants, rows, title=title)
+
+
+def run_fig12(
+    scale: Optional[ExperimentScale] = None,
+    loads_qps: Optional[Sequence[float]] = None,
+    seed: int = 31,
+) -> List[MethodPoint]:
+    """Appendix E: 3-model subset vs full set, RAMSIS vs Jellyfish+."""
+    scale = scale or ExperimentScale.default()
+    task = image_task()
+    loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
+    workers = scale.constant_workers_image
+    slo = task.slos_ms[0]
+    three = build_three_model_image_set()
+    configs = [
+        ("RAMSIS", task.model_set, "RAMSIS (26 models)"),
+        ("JF", task.model_set, "JF+ (26 models)"),
+        ("RAMSIS", three, "RAMSIS (3 models)"),
+        ("JF", three, "JF+ (3 models)"),
+    ]
+    points: List[MethodPoint] = []
+    for method, models, label in configs:
+        spec = TaskSpec(name=task.name, model_set=models, slos_ms=task.slos_ms)
+        for load in loads:
+            trace = LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"f12-{load:g}"
+            )
+            cell = run_method(
+                method,
+                spec,
+                slo,
+                workers,
+                trace,
+                scale,
+                seed=seed,
+                oracle_load=True,
+                model_set=models,
+            )
+            points.append(
+                MethodPoint(
+                    task=cell.task,
+                    method=label,
+                    slo_ms=cell.slo_ms,
+                    num_workers=cell.num_workers,
+                    load_qps=cell.load_qps,
+                    accuracy=cell.accuracy,
+                    violation_rate=cell.violation_rate,
+                    queries=cell.queries,
+                )
+            )
+    return points
+
+
+def render_fig12(points: Sequence[MethodPoint]) -> str:
+    """ASCII rendition of the model-ablation sweep."""
+    methods = sorted({p.method for p in points})
+    loads = sorted({p.load_qps for p in points})
+    rows = []
+    for load in loads:
+        row: List[object] = [f"{load:g}"]
+        for m in methods:
+            match = [p for p in points if p.method == m and p.load_qps == load]
+            if match and match[0].plottable:
+                row.append(f"{match[0].accuracy * 100:.2f}%")
+            elif match:
+                row.append(f"({match[0].violation_rate * 100:.0f}% viol)")
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(
+        ["load (QPS)"] + methods, rows, title="Figure 12 — fewer-models ablation"
+    )
+
+
+def run_appendix_h(
+    scale: Optional[ExperimentScale] = None,
+    loads_qps: Optional[Sequence[float]] = None,
+    seed: int = 37,
+) -> List[Tuple[str, MethodPoint]]:
+    """Appendix H: INFaaS accuracy-target sweep vs RAMSIS.
+
+    Targets sweep the achievable model accuracies; labels carry the target.
+    """
+    scale = scale or ExperimentScale.default()
+    task = image_task()
+    loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
+    workers = scale.constant_workers_image
+    slo = task.slos_ms[0]
+    targets = sorted({m.accuracy for m in task.model_set.pareto_front()})
+    points: List[Tuple[str, MethodPoint]] = []
+    for load in loads:
+        trace = LoadTrace.constant(
+            load, scale.constant_duration_s * 1000.0, name=f"apph-{load:g}"
+        )
+        ramsis = run_method(
+            "RAMSIS", task, slo, workers, trace, scale, seed=seed, oracle_load=True
+        )
+        points.append(("RAMSIS", ramsis))
+        for target in targets:
+            cell = run_method(
+                f"INFaaS@{target:.5f}",
+                task,
+                slo,
+                workers,
+                trace,
+                scale,
+                seed=seed,
+                oracle_load=True,
+                selector=InfaasAdaptedSelector(target),
+            )
+            points.append((f"INFaaS@{target * 100:.1f}", cell))
+    return points
+
+
+def render_appendix_h(points: Sequence[Tuple[str, MethodPoint]]) -> str:
+    """ASCII rendition: best INFaaS target vs RAMSIS per load."""
+    loads = sorted({p.load_qps for _, p in points})
+    rows = []
+    for load in loads:
+        ramsis = [p for label, p in points if label == "RAMSIS" and p.load_qps == load]
+        infaas = [
+            p
+            for label, p in points
+            if label.startswith("INFaaS") and p.load_qps == load and p.plottable
+        ]
+        best_infaas = max((p.accuracy for p in infaas), default=float("nan"))
+        rows.append(
+            [
+                f"{load:g}",
+                f"{ramsis[0].accuracy * 100:.2f}%" if ramsis else "-",
+                f"{best_infaas * 100:.2f}%" if infaas else "-",
+            ]
+        )
+    return format_table(
+        ["load (QPS)", "RAMSIS", "best INFaaS target"],
+        rows,
+        title="Appendix H — INFaaS-adapted accuracy-target sweep",
+    )
+
+
+def run_appendix_i(
+    scale: Optional[ExperimentScale] = None,
+    loads_qps: Optional[Sequence[float]] = None,
+    seed: int = 41,
+) -> List[Tuple[str, MethodPoint]]:
+    """Appendix I: shortest-queue-first balancing.
+
+    SQF policies are generated from the Gupta et al. conditional per-worker
+    rate (queue length >= 3 branch, the steady-serving regime) and deployed
+    with the SQF balancer; round-robin RAMSIS is the reference.
+    """
+    scale = scale or ExperimentScale.default()
+    task = image_task()
+    loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
+    workers = scale.constant_workers_image
+    slo = task.slos_ms[0]
+    points: List[Tuple[str, MethodPoint]] = []
+    for load in loads:
+        trace = LoadTrace.constant(
+            load, scale.constant_duration_s * 1000.0, name=f"appi-{load:g}"
+        )
+        rr = run_method(
+            "RAMSIS", task, slo, workers, trace, scale, seed=seed, oracle_load=True
+        )
+        points.append(("round-robin", rr))
+
+        # SQF policy: per-worker Poisson at the conditional busy-state rate.
+        sqf_rate = sqf_worker_rate_qps(
+            load, workers, queue_length=3, model_set=task.model_set, slo_ms=slo
+        )
+        config = WorkerMDPConfig.default_poisson(
+            task.model_set,
+            slo_ms=slo,
+            load_qps=max(sqf_rate, load / workers) * workers,
+            num_workers=workers,
+            fld_resolution=scale.fld_resolution,
+            max_batch_size=scale.max_batch_size,
+        )
+        policy = generate_policy(config, with_guarantees=False).policy
+        selector = RamsisSelector(policy)
+        sim = Simulation(
+            SimulationConfig(
+                model_set=task.model_set,
+                slo_ms=slo,
+                num_workers=workers,
+                max_batch_size=scale.max_batch_size,
+                balancer=ShortestQueueBalancer(),
+                monitor=OracleLoadMonitor(trace),
+                seed=seed,
+                track_responses=False,
+            )
+        )
+        from repro.experiments.runner import shared_arrivals
+
+        metrics = sim.run(selector, trace, arrival_times=shared_arrivals(trace, seed))
+        points.append(
+            (
+                "shortest-queue",
+                MethodPoint(
+                    task=task.name,
+                    method="RAMSIS-SQF",
+                    slo_ms=slo,
+                    num_workers=workers,
+                    load_qps=load,
+                    accuracy=metrics.accuracy_per_satisfied_query,
+                    violation_rate=metrics.violation_rate,
+                    queries=metrics.total_queries,
+                ),
+            )
+        )
+    return points
+
+
+def render_appendix_i(points: Sequence[Tuple[str, MethodPoint]]) -> str:
+    """ASCII rendition of round-robin vs shortest-queue-first."""
+    loads = sorted({p.load_qps for _, p in points})
+    rows = []
+    for load in loads:
+        row: List[object] = [f"{load:g}"]
+        for label in ("round-robin", "shortest-queue"):
+            match = [p for lab, p in points if lab == label and p.load_qps == load]
+            if match:
+                row.append(
+                    f"{match[0].accuracy * 100:.2f}% "
+                    f"({match[0].violation_rate * 100:.2f}% viol)"
+                )
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(
+        ["load (QPS)", "round-robin", "shortest-queue"],
+        rows,
+        title="Appendix I — load-balancing strategies",
+    )

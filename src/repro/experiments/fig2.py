@@ -1,0 +1,163 @@
+"""Figure 2: the motivating timeline (§2.2).
+
+The paper's Fig. 2 shows the *same* sequence of query inter-arrivals served
+by a load-granular scheme and by RAMSIS: the load-granular scheme runs the
+one model whose throughput covers the load for every batch, while RAMSIS
+occasionally upgrades to a slower, more accurate model during arrival lulls
+— at the same (zero) SLO violations.
+
+:func:`run_fig2` reproduces that demonstration quantitatively: one Poisson
+arrival realization, two selectors, full decision logs, and a textual
+timeline of the decisions around the longest lull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arrivals.analysis import find_lulls
+from repro.arrivals.traces import LoadTrace
+from repro.experiments.runner import (
+    build_ramsis_policy,
+    modelswitching_table,
+    shared_arrivals,
+)
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task
+from repro.selectors import ModelSwitchingSelector, RamsisSelector
+from repro.selectors.recording import DecisionRecord, RecordingSelector
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.monitor import OracleLoadMonitor
+from repro.sim.simulator import Simulation, SimulationConfig
+
+__all__ = ["Fig2Result", "run_fig2", "render_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Both schemes' outcomes on one shared arrival timeline."""
+
+    load_qps: float
+    num_workers: int
+    slo_ms: float
+    ramsis_metrics: SimulationMetrics
+    baseline_metrics: SimulationMetrics
+    ramsis_decisions: Tuple[DecisionRecord, ...]
+    baseline_decisions: Tuple[DecisionRecord, ...]
+    lulls: Tuple[Tuple[float, float], ...]
+    model_accuracy: dict
+
+    @property
+    def ramsis_models_used(self) -> List[str]:
+        """Distinct models RAMSIS selected."""
+        return sorted({d.action.model for d in self.ramsis_decisions})
+
+    @property
+    def baseline_models_used(self) -> List[str]:
+        """Distinct models the load-granular baseline selected."""
+        return sorted({d.action.model for d in self.baseline_decisions})
+
+    def ramsis_upgrades(self) -> List[DecisionRecord]:
+        """RAMSIS decisions on models more accurate than the baseline's."""
+        baseline_best = max(
+            self.model_accuracy[m] for m in self.baseline_models_used
+        )
+        return [
+            d
+            for d in self.ramsis_decisions
+            if self.model_accuracy[d.action.model] > baseline_best
+        ]
+
+
+def run_fig2(
+    scale: Optional[ExperimentScale] = None,
+    task: Optional[TaskSpec] = None,
+    load_per_worker_qps: float = 15.0,
+    num_workers: int = 2,
+    duration_ms: float = 20_000.0,
+    seed: int = 47,
+) -> Fig2Result:
+    """Serve one arrival realization with both schemes and log decisions."""
+    scale = scale or ExperimentScale.default()
+    task = task or image_task()
+    slo = task.slos_ms[0]
+    load = load_per_worker_qps * num_workers
+    trace = LoadTrace.constant(load, duration_ms, name=f"fig2-{load:g}")
+    arrivals = shared_arrivals(trace, seed)
+
+    policy = build_ramsis_policy(task.model_set, slo, load, num_workers, scale)
+    ramsis = RecordingSelector(RamsisSelector(policy))
+    # The load-granular reference: ModelSwitching, whose offline-profiled
+    # p99 response latencies make it pick a genuinely sustainable model.
+    table = modelswitching_table(
+        task.model_set, slo, num_workers, load * 1.1, scale
+    )
+    baseline = RecordingSelector(ModelSwitchingSelector(table))
+
+    metrics = {}
+    for label, selector in (("ramsis", ramsis), ("baseline", baseline)):
+        sim = Simulation(
+            SimulationConfig(
+                model_set=task.model_set,
+                slo_ms=slo,
+                num_workers=num_workers,
+                max_batch_size=scale.max_batch_size,
+                monitor=OracleLoadMonitor(trace),
+                seed=seed,
+                track_responses=False,
+            )
+        )
+        metrics[label] = sim.run(selector, trace, arrival_times=arrivals)
+
+    return Fig2Result(
+        load_qps=load,
+        num_workers=num_workers,
+        slo_ms=slo,
+        ramsis_metrics=metrics["ramsis"],
+        baseline_metrics=metrics["baseline"],
+        ramsis_decisions=tuple(ramsis.decisions),
+        baseline_decisions=tuple(baseline.decisions),
+        lulls=tuple(find_lulls(np.asarray(arrivals), threshold=3.0)),
+        model_accuracy=task.model_set.accuracy_table(),
+    )
+
+
+def render_fig2(result: Fig2Result, window_ms: float = 1_500.0) -> str:
+    """Textual Fig. 2: summary plus the decisions around the longest lull."""
+    lines: List[str] = [
+        "Figure 2 — same inter-arrival timeline, two MS&S schemes",
+        f"load {result.load_qps:g} QPS, {result.num_workers} workers, "
+        f"SLO {result.slo_ms:g} ms",
+        "",
+        f"{'scheme':<14} {'accuracy':>9} {'violations':>11}  models used",
+        f"{'RAMSIS':<14} "
+        f"{result.ramsis_metrics.accuracy_per_satisfied_query * 100:>8.2f}% "
+        f"{result.ramsis_metrics.violation_rate * 100:>10.3f}%  "
+        f"{', '.join(result.ramsis_models_used)}",
+        f"{'load-granular':<14} "
+        f"{result.baseline_metrics.accuracy_per_satisfied_query * 100:>8.2f}% "
+        f"{result.baseline_metrics.violation_rate * 100:>10.3f}%  "
+        f"{', '.join(result.baseline_models_used)}",
+        "",
+        f"arrival lulls (> 3x mean gap): {len(result.lulls)}; "
+        f"RAMSIS upgrade decisions: {len(result.ramsis_upgrades())}",
+    ]
+    if result.lulls:
+        longest = max(result.lulls, key=lambda span: span[1] - span[0])
+        lo = longest[0] - window_ms / 2
+        hi = longest[1] + window_ms / 2
+        lines.append(
+            f"\ndecisions around the longest lull "
+            f"({longest[0]:.0f}-{longest[1]:.0f} ms):"
+        )
+        for d in result.ramsis_decisions:
+            if lo <= d.now_ms <= hi:
+                lines.append(
+                    f"  t={d.now_ms:8.1f} ms  n={d.queue_length:<2d} "
+                    f"slack={d.earliest_slack_ms:6.1f} ms  -> "
+                    f"{d.action.model} (b={d.action.batch_size})"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Figure 5: production-trace evaluation (§7.1).
+
+Accuracy (per satisfied query) versus number of workers on the Twitter
+trace, for RAMSIS, Jellyfish+, and ModelSwitching, per task and SLO.  Only
+cells with a latency SLO violation rate below 5 % are plotted; Table 3
+(``repro.experiments.tables``) reports the violation rates of the same
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arrivals.traces import LoadTrace, synthesize_twitter_trace
+from repro.experiments.reporting import format_table, render_comparison
+from repro.experiments.runner import METHODS, MethodPoint, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task, text_task
+
+__all__ = ["Fig5Result", "run_fig5", "render_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """All cells of the production-trace experiment."""
+
+    points: Tuple[MethodPoint, ...]
+    trace_name: str
+
+    def series(
+        self, task: str, slo_ms: float, method: str
+    ) -> List[Tuple[int, float]]:
+        """(workers, accuracy) pairs of one plotted line (plottable only)."""
+        return [
+            (p.num_workers, p.accuracy)
+            for p in self.points
+            if p.task == task
+            and p.slo_ms == slo_ms
+            and p.method == method
+            and p.plottable
+        ]
+
+
+def production_trace(scale: ExperimentScale) -> LoadTrace:
+    """The (synthesized) Twitter trace at this preset's cluster scale."""
+    trace = synthesize_twitter_trace(duration_s=scale.trace_duration_s)
+    if scale.cluster_scale != 1.0:
+        trace = trace.scaled(1.0 / scale.cluster_scale)
+    return trace
+
+
+def run_fig5(
+    scale: Optional[ExperimentScale] = None,
+    tasks: Optional[Sequence[TaskSpec]] = None,
+    methods: Sequence[str] = METHODS,
+    slos_per_task: Optional[int] = None,
+    seed: int = 11,
+) -> Fig5Result:
+    """Execute the §7.1 sweep: methods x worker counts x SLOs x tasks.
+
+    ``slos_per_task`` limits the SLO grid (1 keeps only the lowest SLO,
+    the benchmark default; ``None`` keeps the paper's three).
+    """
+    scale = scale or ExperimentScale.default()
+    tasks = tasks if tasks is not None else (image_task(), text_task())
+    trace = production_trace(scale)
+    points: List[MethodPoint] = []
+    for task in tasks:
+        slos = task.slos_ms[:slos_per_task] if slos_per_task else task.slos_ms
+        for slo in slos:
+            for workers in scale.worker_counts:
+                for method in methods:
+                    points.append(
+                        run_method(
+                            method,
+                            task,
+                            slo,
+                            workers,
+                            trace,
+                            scale,
+                            seed=seed,
+                        )
+                    )
+    return Fig5Result(points=tuple(points), trace_name=trace.name)
+
+
+def render_fig5(result: Fig5Result) -> str:
+    """ASCII rendition: one table per (task, SLO), plus headline stats."""
+    blocks: List[str] = [f"Figure 5 — production trace ({result.trace_name})"]
+    combos = sorted({(p.task, p.slo_ms) for p in result.points})
+    for task, slo in combos:
+        cells = [p for p in result.points if p.task == task and p.slo_ms == slo]
+        workers = sorted({p.num_workers for p in cells})
+        methods = sorted({p.method for p in cells})
+        rows = []
+        for w in workers:
+            row: List[object] = [w]
+            for m in methods:
+                match = [p for p in cells if p.num_workers == w and p.method == m]
+                if match and match[0].plottable:
+                    row.append(f"{match[0].accuracy * 100:.2f}%")
+                elif match:
+                    row.append(f"({match[0].violation_rate * 100:.0f}% viol)")
+                else:
+                    row.append("-")
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["workers"] + methods,
+                rows,
+                title=f"\n[{task}] SLO = {slo:g} ms — accuracy per satisfied query",
+            )
+        )
+    blocks.append("")
+    blocks.append(render_comparison(result.points, ["MS", "JF"]))
+    return "\n".join(blocks)

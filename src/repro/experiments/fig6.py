@@ -1,0 +1,117 @@
+"""Figure 6: constant-query-load evaluation (§7.2).
+
+Accuracy versus constant query load under Poisson arrivals, with the
+worker count fixed (paper: 60 for image, 20 for text) so that at the top of
+the load range only the lowest-latency model sustains the load.  The load
+monitor is assumed perfect (oracle), isolating MS&S quality from load
+prediction.  Table 4 reports the same runs' violation rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arrivals.traces import LoadTrace
+from repro.experiments.reporting import format_table, render_comparison
+from repro.experiments.runner import METHODS, MethodPoint, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task, text_task
+
+__all__ = ["Fig6Result", "run_fig6", "render_fig6", "constant_workers_for"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """All cells of the constant-load experiment."""
+
+    points: Tuple[MethodPoint, ...]
+
+    def series(
+        self, task: str, slo_ms: float, method: str
+    ) -> List[Tuple[float, float]]:
+        """(load, accuracy) pairs of one plotted line (plottable only)."""
+        return [
+            (p.load_qps or 0.0, p.accuracy)
+            for p in self.points
+            if p.task == task
+            and p.slo_ms == slo_ms
+            and p.method == method
+            and p.plottable
+        ]
+
+
+def constant_workers_for(task: TaskSpec, scale: ExperimentScale) -> int:
+    """The fixed worker count of §7.2 for a task at this scale."""
+    if task.name == "text":
+        return scale.constant_workers_text
+    return scale.constant_workers_image
+
+
+def run_fig6(
+    scale: Optional[ExperimentScale] = None,
+    tasks: Optional[Sequence[TaskSpec]] = None,
+    methods: Sequence[str] = METHODS,
+    slos_per_task: Optional[int] = None,
+    seed: int = 13,
+) -> Fig6Result:
+    """Execute the §7.2 sweep: methods x constant loads x SLOs x tasks."""
+    scale = scale or ExperimentScale.default()
+    tasks = tasks if tasks is not None else (image_task(), text_task())
+    points: List[MethodPoint] = []
+    for task in tasks:
+        workers = constant_workers_for(task, scale)
+        slos = task.slos_ms[:slos_per_task] if slos_per_task else task.slos_ms
+        for slo in slos:
+            for load in scale.constant_loads_qps:
+                trace = LoadTrace.constant(
+                    load,
+                    scale.constant_duration_s * 1000.0,
+                    name=f"const-{load:g}",
+                )
+                for method in methods:
+                    points.append(
+                        run_method(
+                            method,
+                            task,
+                            slo,
+                            workers,
+                            trace,
+                            scale,
+                            seed=seed,
+                            oracle_load=True,
+                        )
+                    )
+    return Fig6Result(points=tuple(points))
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """ASCII rendition: one table per (task, SLO), plus headline stats."""
+    blocks: List[str] = ["Figure 6 — constant query load (oracle monitor)"]
+    combos = sorted({(p.task, p.slo_ms) for p in result.points})
+    for task, slo in combos:
+        cells = [p for p in result.points if p.task == task and p.slo_ms == slo]
+        loads = sorted({p.load_qps for p in cells})
+        methods = sorted({p.method for p in cells})
+        rows = []
+        for load in loads:
+            row: List[object] = [f"{load:g}"]
+            for m in methods:
+                match = [p for p in cells if p.load_qps == load and p.method == m]
+                if match and match[0].plottable:
+                    row.append(f"{match[0].accuracy * 100:.2f}%")
+                elif match:
+                    row.append(f"({match[0].violation_rate * 100:.0f}% viol)")
+                else:
+                    row.append("-")
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["load (QPS)"] + methods,
+                rows,
+                title=f"\n[{task}] SLO = {slo:g} ms — accuracy per satisfied query",
+            )
+        )
+    blocks.append("")
+    blocks.append(render_comparison(result.points, ["MS", "JF"]))
+    return "\n".join(blocks)

@@ -1,0 +1,173 @@
+"""Figure 7: RAMSIS fidelity (§7.3.1).
+
+Compares three variants of the same RAMSIS policy at constant loads:
+
+- **expectation** — the §5.1 stationary-analysis numbers;
+- **simulation** — deterministic p95 execution latencies;
+- **implementation** — stochastic execution latencies (the prototype's
+  behaviour; here the stochastic latency model plays that role, DESIGN.md
+  §3).
+
+The paper's findings, which this experiment reproduces: simulation closely
+follows the expectation; the implementation achieves *higher* accuracy and
+*fewer* violations than both, because real executions usually finish ahead
+of the planned p95; and near peak capacity the expectation over-estimates
+the violation rate (the full-queue state's pessimistic accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arrivals.traces import LoadTrace
+from repro.core.generator import generate_policy
+from repro.core.config import WorkerMDPConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import build_ramsis_policy, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task
+from repro.selectors import RamsisSelector
+from repro.sim.latency_model import StochasticLatency
+
+__all__ = ["FidelityPoint", "Fig7Result", "run_fig7", "render_fig7"]
+
+VARIANTS = ("expectation", "simulation", "implementation")
+
+
+@dataclass(frozen=True)
+class FidelityPoint:
+    """One (variant, workers, load) cell."""
+
+    variant: str
+    num_workers: int
+    load_qps: float
+    accuracy: float
+    violation_rate: float
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """All cells of the fidelity experiment."""
+
+    points: Tuple[FidelityPoint, ...]
+
+    def series(
+        self, variant: str, num_workers: int
+    ) -> List[Tuple[float, float, float]]:
+        """(load, accuracy, violation) triples for one line."""
+        return [
+            (p.load_qps, p.accuracy, p.violation_rate)
+            for p in self.points
+            if p.variant == variant and p.num_workers == num_workers
+        ]
+
+
+def run_fig7(
+    scale: Optional[ExperimentScale] = None,
+    task: Optional[TaskSpec] = None,
+    loads_qps: Optional[Sequence[float]] = None,
+    seed: int = 17,
+) -> Fig7Result:
+    """Execute the fidelity sweep on the image task."""
+    scale = scale or ExperimentScale.default()
+    task = task or image_task()
+    slo = task.slos_ms[0]
+    loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
+    points: List[FidelityPoint] = []
+    for workers in scale.fidelity_worker_counts:
+        for load in loads:
+            policy = build_ramsis_policy(
+                task.model_set, slo, load, workers, scale
+            )
+            # Expectation: recompute guarantees for this exact policy.
+            config = WorkerMDPConfig.default_poisson(
+                task.model_set,
+                slo_ms=slo,
+                load_qps=load,
+                num_workers=workers,
+                fld_resolution=scale.fld_resolution,
+                max_batch_size=scale.max_batch_size,
+            )
+            expectation = generate_policy(config).guarantees
+            points.append(
+                FidelityPoint(
+                    variant="expectation",
+                    num_workers=workers,
+                    load_qps=load,
+                    accuracy=expectation.expected_accuracy,
+                    violation_rate=expectation.expected_violation_rate,
+                )
+            )
+            trace = LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"fid-{load:g}"
+            )
+            for variant, latency_model in (
+                ("simulation", None),
+                ("implementation", StochasticLatency(seed=seed + 1)),
+            ):
+                cell = run_method(
+                    "RAMSIS",
+                    task,
+                    slo,
+                    workers,
+                    trace,
+                    scale,
+                    seed=seed,
+                    oracle_load=True,
+                    latency_model=latency_model,
+                    selector=RamsisSelector(policy),
+                )
+                points.append(
+                    FidelityPoint(
+                        variant=variant,
+                        num_workers=workers,
+                        load_qps=load,
+                        accuracy=cell.accuracy,
+                        violation_rate=cell.violation_rate,
+                    )
+                )
+    return Fig7Result(points=tuple(points))
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """ASCII rendition: accuracy and violation tables per worker count."""
+    blocks: List[str] = ["Figure 7 — expectation vs simulation vs implementation"]
+    worker_counts = sorted({p.num_workers for p in result.points})
+    for workers in worker_counts:
+        loads = sorted(
+            {p.load_qps for p in result.points if p.num_workers == workers}
+        )
+        acc_rows, viol_rows = [], []
+        for load in loads:
+            acc_row: List[object] = [f"{load:g}"]
+            viol_row: List[object] = [f"{load:g}"]
+            for variant in VARIANTS:
+                match = [
+                    p
+                    for p in result.points
+                    if p.num_workers == workers
+                    and p.load_qps == load
+                    and p.variant == variant
+                ]
+                acc_row.append(f"{match[0].accuracy * 100:.2f}%" if match else "-")
+                viol_row.append(
+                    f"{match[0].violation_rate * 100:.3f}%" if match else "-"
+                )
+            acc_rows.append(acc_row)
+            viol_rows.append(viol_row)
+        blocks.append(
+            format_table(
+                ["load (QPS)"] + list(VARIANTS),
+                acc_rows,
+                title=f"\n{workers} workers — accuracy",
+            )
+        )
+        blocks.append(
+            format_table(
+                ["load (QPS)"] + list(VARIANTS),
+                viol_rows,
+                title=f"\n{workers} workers — SLO violation rate",
+            )
+        )
+    return "\n".join(blocks)

@@ -1,0 +1,121 @@
+"""Figure 8: scaling to many models (§7.3.2).
+
+Compares RAMSIS and ModelSwitching with the original 9 Pareto models
+(``M = 9``) versus a synthetic 60-model superset built by interpolating the
+Pareto front in 0.5 % accuracy steps.  The paper's insight, reproduced
+here: RAMSIS gains almost nothing from more models — its fine-grained
+per-batch decisions already emulate a dense model set — while
+ModelSwitching improves markedly because it is stuck with a single model
+per load level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arrivals.traces import LoadTrace
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import MethodPoint, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec, image_task
+from repro.profiles.models import ModelSet
+from repro.profiles.zoo import build_synthetic_model_set
+
+__all__ = ["Fig8Result", "run_fig8", "render_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Cells keyed by (method, model count, load)."""
+
+    points: Tuple[Tuple[str, int, MethodPoint], ...]
+
+    def series(self, method: str, model_count: int) -> List[Tuple[float, float]]:
+        """(load, accuracy) pairs for one line (plottable only)."""
+        return [
+            (p.load_qps or 0.0, p.accuracy)
+            for label, count, p in self.points
+            if label == method and count == model_count and p.plottable
+        ]
+
+
+def run_fig8(
+    scale: Optional[ExperimentScale] = None,
+    task: Optional[TaskSpec] = None,
+    methods: Sequence[str] = ("RAMSIS", "MS"),
+    synthetic_count: int = 60,
+    seed: int = 19,
+) -> Fig8Result:
+    """Execute the model-count sensitivity sweep."""
+    scale = scale or ExperimentScale.default()
+    task = task or image_task()
+    slo = task.slos_ms[0]
+    workers = scale.many_model_workers
+
+    low = task.model_set.pareto_front()
+    high = build_synthetic_model_set(task.model_set, target_count=synthetic_count)
+    model_sets: List[Tuple[int, ModelSet]] = [(len(low), low), (len(high), high)]
+
+    points: List[Tuple[str, int, MethodPoint]] = []
+    for count, models in model_sets:
+        spec = TaskSpec(name=task.name, model_set=models, slos_ms=task.slos_ms)
+        for load in scale.constant_loads_qps:
+            trace = LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"f8-{load:g}"
+            )
+            for method in methods:
+                cell = run_method(
+                    method,
+                    spec,
+                    slo,
+                    workers,
+                    trace,
+                    scale,
+                    seed=seed,
+                    oracle_load=True,
+                    model_set=models,
+                )
+                points.append((method, count, cell))
+    return Fig8Result(points=tuple(points))
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """ASCII rendition: accuracy per (method, model count) over load."""
+    blocks: List[str] = ["Figure 8 — model-count sensitivity (M=9 vs M=60)"]
+    combos = sorted({(m, c) for m, c, _ in result.points})
+    loads = sorted({p.load_qps for _, _, p in result.points})
+    headers = ["load (QPS)"] + [f"{m} M={c}" for m, c in combos]
+    rows = []
+    for load in loads:
+        row: List[object] = [f"{load:g}"]
+        for m, c in combos:
+            match = [
+                p
+                for mm, cc, p in result.points
+                if mm == m and cc == c and p.load_qps == load
+            ]
+            if match and match[0].plottable:
+                row.append(f"{match[0].accuracy * 100:.2f}%")
+            elif match:
+                row.append(f"({match[0].violation_rate * 100:.0f}% viol)")
+            else:
+                row.append("-")
+        rows.append(row)
+    blocks.append(format_table(headers, rows))
+    # Headline deltas: gain from M=9 -> M=60 per method.
+    for method in sorted({m for m, _, _ in result.points}):
+        counts = sorted({c for m, c, _ in result.points if m == method})
+        if len(counts) == 2:
+            low_series = dict(result.series(method, counts[0]))
+            high_series = dict(result.series(method, counts[1]))
+            common = sorted(set(low_series) & set(high_series))
+            if common:
+                gain = sum(high_series[x] - low_series[x] for x in common) / len(
+                    common
+                )
+                blocks.append(
+                    f"{method}: average accuracy gain from M={counts[0]} to "
+                    f"M={counts[1]}: {gain * 100:.2f}%"
+                )
+    return "\n".join(blocks)

@@ -1,0 +1,150 @@
+"""Experiment reporting: ASCII tables and the paper's headline statistics.
+
+The paper summarizes figures with two derived statistics, both reproduced
+here:
+
+- **accuracy increase**: average / highest percentage-point accuracy gain
+  of RAMSIS over a baseline across plottable cells (§7.1, §7.2, and the
+  artifact's ``plot.py`` output);
+- **resource savings**: for each baseline cell, the smallest RAMSIS worker
+  count achieving at least that accuracy — "RAMSIS requires as low as X %
+  (on average Y %) fewer resources" (§7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import MethodPoint
+
+__all__ = [
+    "format_table",
+    "accuracy_increase_summary",
+    "resource_savings_summary",
+    "series_by_method",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_by_method(
+    points: Iterable[MethodPoint],
+) -> Dict[str, List[MethodPoint]]:
+    """Group points by method, each series sorted by its x-coordinate."""
+    grouped: Dict[str, List[MethodPoint]] = {}
+    for p in points:
+        grouped.setdefault(p.method, []).append(p)
+    for series in grouped.values():
+        series.sort(key=lambda p: (p.num_workers, p.load_qps or 0.0))
+    return grouped
+
+
+def _matching_cells(
+    ramsis: Sequence[MethodPoint], baseline: Sequence[MethodPoint]
+) -> List[Tuple[MethodPoint, MethodPoint]]:
+    """Pair RAMSIS and baseline points at identical configurations,
+    keeping only pairs where both sides are plottable (violations < 5%)."""
+    index = {
+        (p.slo_ms, p.num_workers, p.load_qps): p for p in ramsis if p.plottable
+    }
+    pairs = []
+    for b in baseline:
+        if not b.plottable:
+            continue
+        r = index.get((b.slo_ms, b.num_workers, b.load_qps))
+        if r is not None:
+            pairs.append((r, b))
+    return pairs
+
+
+def accuracy_increase_summary(
+    points: Iterable[MethodPoint], baseline_method: str
+) -> Optional[Tuple[float, float]]:
+    """(average, highest) accuracy increase of RAMSIS over a baseline, in
+    percentage points; ``None`` when no comparable cells exist."""
+    grouped = series_by_method(points)
+    ramsis = grouped.get("RAMSIS", [])
+    baseline = grouped.get(baseline_method, [])
+    pairs = _matching_cells(ramsis, baseline)
+    if not pairs:
+        return None
+    gains = [(r.accuracy - b.accuracy) * 100.0 for r, b in pairs]
+    return (sum(gains) / len(gains), max(gains))
+
+
+def resource_savings_summary(
+    points: Iterable[MethodPoint], baseline_method: str
+) -> Optional[Tuple[float, float]]:
+    """(average, highest) fraction of workers RAMSIS saves vs a baseline.
+
+    For every plottable baseline cell at ``K`` workers, find the smallest
+    RAMSIS worker count ``K'`` (same SLO) with accuracy at least the
+    baseline's; the saving is ``(K - K') / K``.  Cells where no smaller
+    RAMSIS configuration reaches the baseline accuracy contribute zero.
+    """
+    grouped = series_by_method(points)
+    ramsis = [p for p in grouped.get("RAMSIS", []) if p.plottable]
+    baseline = [p for p in grouped.get(baseline_method, []) if p.plottable]
+    if not ramsis or not baseline:
+        return None
+    savings: List[float] = []
+    for b in baseline:
+        candidates = [
+            r.num_workers
+            for r in ramsis
+            if r.slo_ms == b.slo_ms
+            and r.load_qps == b.load_qps
+            and r.accuracy >= b.accuracy
+            and r.num_workers <= b.num_workers
+        ]
+        if candidates:
+            savings.append((b.num_workers - min(candidates)) / b.num_workers)
+        else:
+            savings.append(0.0)
+    if not savings:
+        return None
+    return (sum(savings) / len(savings), max(savings))
+
+
+def render_comparison(points: Iterable[MethodPoint], baselines: Sequence[str]) -> str:
+    """The artifact's plot.py-style textual summary block."""
+    points = list(points)
+    lines: List[str] = []
+    for base in baselines:
+        label = {"JF": "Jellyfish", "MS": "ModelSwitching"}.get(base, base)
+        acc = accuracy_increase_summary(points, base)
+        if acc is not None:
+            avg, best = acc
+            lines.append(
+                f"average accuracy % increase for RAMSIS vs. {label}: {avg:.2f}"
+            )
+            lines.append(
+                f"highest accuracy % increase for RAMSIS vs. {label}: {best:.2f}"
+            )
+        saving = resource_savings_summary(points, base)
+        if saving is not None:
+            avg_s, best_s = saving
+            lines.append(
+                f"resource savings for RAMSIS vs. {label}: "
+                f"avg {avg_s * 100:.2f}%, up to {best_s * 100:.2f}%"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Cluster-scale presets (DESIGN.md §6).
+
+The paper's evaluation runs up to 100 workers at up to 4,000 QPS over a
+five-minute trace (554,395 queries) — for every (method, SLO, task, worker
+count) cell.  A pure-Python reproduction sweeps dozens of such cells, so the
+default preset scales the cluster down by ``cluster_scale`` while keeping
+**per-worker load identical**: 6 workers at 240 QPS see the same per-worker
+regime as 60 workers at 2,400 QPS, and the per-worker MDP depends on load
+only through the per-worker arrival process.
+
+Three presets:
+
+- :meth:`ExperimentScale.smoke` — seconds; used by the test suite;
+- :meth:`ExperimentScale.default` — minutes per figure; used by the
+  benchmarks (1/10th cluster);
+- :meth:`ExperimentScale.paper` — the paper's full parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+__all__ = ["ExperimentScale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All scale-dependent experiment parameters.
+
+    ``cluster_scale`` divides both worker counts and trace/constant loads,
+    so ``load / workers`` matches the paper at every point.
+    """
+
+    name: str
+    cluster_scale: float
+    #: Fig. 5 / Tables 3: worker sweep (paper: 20..100 step 10).
+    worker_counts: Tuple[int, ...]
+    #: Fig. 6 / Table 4: constant loads in QPS (paper: 400..4000 step 400)
+    #: — already divided by ``cluster_scale``.
+    constant_loads_qps: Tuple[float, ...]
+    #: Fig. 6: fixed worker counts (paper: image 60, text 20).
+    constant_workers_image: int
+    constant_workers_text: int
+    #: Trace duration in seconds (paper: 300).
+    trace_duration_s: float
+    #: Constant-load run duration in seconds (paper: 30).
+    constant_duration_s: float
+    #: FLD resolution for policy generation (paper: D = 100).
+    fld_resolution: int
+    #: Number of load levels in a pre-computed policy set.
+    policy_grid_points: int
+    #: Adjacent expected-accuracy refinement threshold (paper: 1%).
+    policy_accuracy_gap: float
+    #: ModelSwitching offline profiling: per-cell duration and grid points.
+    ms_profile_duration_s: float
+    ms_profile_grid_points: int
+    #: Supported batch-size cap (paper observed B_w = 29, used N_w = 32).
+    max_batch_size: int
+    #: Fig. 7 fidelity experiment worker counts (paper: 40, 60, 80).
+    fidelity_worker_counts: Tuple[int, ...]
+    #: Fig. 8 many-model experiment worker count (paper: 100).
+    many_model_workers: int
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper() -> "ExperimentScale":
+        """The paper's full-scale parameters (§7)."""
+        return ExperimentScale(
+            name="paper",
+            cluster_scale=1.0,
+            worker_counts=tuple(range(20, 101, 10)),
+            constant_loads_qps=tuple(float(q) for q in range(400, 4001, 400)),
+            constant_workers_image=60,
+            constant_workers_text=20,
+            trace_duration_s=300.0,
+            constant_duration_s=30.0,
+            fld_resolution=100,
+            policy_grid_points=20,
+            policy_accuracy_gap=0.01,
+            ms_profile_duration_s=30.0,
+            ms_profile_grid_points=37,  # 400..4000 step 100
+            max_batch_size=32,
+            fidelity_worker_counts=(40, 60, 80),
+            many_model_workers=100,
+        )
+
+    @staticmethod
+    def default() -> "ExperimentScale":
+        """1/10th cluster, same per-worker load — the benchmark preset."""
+        return ExperimentScale(
+            name="default",
+            cluster_scale=10.0,
+            worker_counts=(2, 3, 4, 5, 6, 7, 8, 9, 10),
+            constant_loads_qps=tuple(float(q) / 10.0 for q in range(400, 4001, 400)),
+            constant_workers_image=6,
+            constant_workers_text=2,
+            trace_duration_s=120.0,
+            constant_duration_s=30.0,
+            fld_resolution=50,
+            policy_grid_points=8,
+            policy_accuracy_gap=0.01,
+            ms_profile_duration_s=10.0,
+            ms_profile_grid_points=10,
+            max_batch_size=32,
+            fidelity_worker_counts=(4, 6, 8),
+            many_model_workers=10,
+        )
+
+    @staticmethod
+    def smoke() -> "ExperimentScale":
+        """Tiny configuration for the test suite (seconds end to end)."""
+        return ExperimentScale(
+            name="smoke",
+            cluster_scale=40.0,
+            worker_counts=(1, 2),
+            constant_loads_qps=(20.0, 50.0, 80.0),
+            constant_workers_image=2,
+            constant_workers_text=1,
+            trace_duration_s=20.0,
+            constant_duration_s=8.0,
+            fld_resolution=15,
+            policy_grid_points=3,
+            policy_accuracy_gap=0.05,
+            ms_profile_duration_s=3.0,
+            ms_profile_grid_points=4,
+            max_batch_size=16,
+            fidelity_worker_counts=(1, 2),
+            many_model_workers=2,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def scaled_trace_qps(self, paper_qps: float) -> float:
+        """A paper-scale QPS value translated to this preset's cluster."""
+        return paper_qps / self.cluster_scale
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,54 @@
+"""The two inference tasks of §7.
+
+Each :class:`TaskSpec` bundles a model set with the paper's SLO grid for
+that task.  The grid follows the paper's rule: the middle SLO is the
+highest-latency model's p95 rounded up to the nearest 100 ms, the lowest is
+half that, the highest is 1.5x the highest-latency model's p95 rounded up —
+:func:`slo_grid_for` computes the rule so custom model sets get consistent
+grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.profiles.models import ModelSet
+from repro.profiles.zoo import build_image_model_set, build_text_model_set
+
+__all__ = ["TaskSpec", "image_task", "text_task", "slo_grid_for"]
+
+
+def slo_grid_for(model_set: ModelSet) -> Tuple[float, float, float]:
+    """(low, middle, high) SLOs per the paper's §7 rule."""
+    slowest = model_set.slowest().latency_ms(1)
+    middle = math.ceil(slowest / 100.0) * 100.0
+    high = math.ceil(1.5 * slowest / 100.0) * 100.0
+    return (middle / 2.0, middle, high)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One evaluation task: models + SLO grid."""
+
+    name: str
+    model_set: ModelSet
+    slos_ms: Tuple[float, ...]
+
+    @property
+    def middle_slo_ms(self) -> float:
+        """The task's representative (middle) SLO."""
+        return self.slos_ms[len(self.slos_ms) // 2]
+
+
+def image_task() -> TaskSpec:
+    """ImageNet classification: 26 TorchVision models, SLOs {150, 300, 500}."""
+    models = build_image_model_set()
+    return TaskSpec(name="image", model_set=models, slos_ms=slo_grid_for(models))
+
+
+def text_task() -> TaskSpec:
+    """GLUE-MNLI classification: 5 BERTs, SLOs {100, 200, 300}."""
+    models = build_text_model_set()
+    return TaskSpec(name="text", model_set=models, slos_ms=slo_grid_for(models))

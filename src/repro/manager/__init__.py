@@ -1,0 +1,28 @@
+"""Resource manager (Fig. 1's other controller half).
+
+The paper's ISS architecture pairs the model selector & scheduler with a
+*resource manager* that provisions workers; §5.1 points out that RAMSIS's
+offline expectations (accuracy lower bound, violation upper bound) let the
+resource manager search resource configurations offline.  This subpackage
+implements that loop:
+
+- :mod:`repro.manager.planner` — capacity planning: the smallest worker
+  count whose RAMSIS policy meets accuracy/violation targets at a load,
+  and trace-wide schedules with scale-down hysteresis;
+- cost accounting in worker-seconds, so "same accuracy with fewer
+  resources" (§7.1's headline) is measurable as a provisioning decision.
+"""
+
+from repro.manager.planner import (
+    CapacityPlan,
+    CapacityPlanner,
+    ScheduleEntry,
+    WorkerSchedule,
+)
+
+__all__ = [
+    "CapacityPlanner",
+    "CapacityPlan",
+    "WorkerSchedule",
+    "ScheduleEntry",
+]

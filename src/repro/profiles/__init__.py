@@ -1,0 +1,34 @@
+"""Model profiles: inference accuracy and per-batch-size latency.
+
+RAMSIS's offline inputs (§3.1.1) include a *latency profile* ``l_w(m, b)``
+for every (worker type, model, batch size) triple and an *inference accuracy
+profile* ``Accuracy(m)`` per model.  The paper collects these with TorchServe
+on GCP n1 CPU VMs; this reproduction ships a synthetic zoo calibrated to the
+published profiles (Fig. 3, Fig. 9 — see DESIGN.md §3 for the substitution
+rationale) plus a simulated profiler that "measures" latencies the same way
+the paper does, by timing repeated invocations and taking the 95th
+percentile.
+"""
+
+from repro.profiles.latency import LatencyProfile, LinearLatencyModel
+from repro.profiles.models import ModelProfile, ModelSet
+from repro.profiles.profiler import SimulatedHardware, profile_model_set
+from repro.profiles.zoo import (
+    build_image_model_set,
+    build_synthetic_model_set,
+    build_text_model_set,
+    build_three_model_image_set,
+)
+
+__all__ = [
+    "LatencyProfile",
+    "LinearLatencyModel",
+    "ModelProfile",
+    "ModelSet",
+    "SimulatedHardware",
+    "profile_model_set",
+    "build_image_model_set",
+    "build_text_model_set",
+    "build_synthetic_model_set",
+    "build_three_model_image_set",
+]

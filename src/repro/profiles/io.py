@@ -1,0 +1,114 @@
+"""Model-set serialization and measured-profile fitting.
+
+The paper's artifact ships profiles as JSON files (accuracy dictionaries
+plus per-batch latency samples).  This module provides the equivalent
+persistence layer plus the bridge back from measured tables to the
+parametric form the zoo uses:
+
+- :func:`save_model_set` / :func:`load_model_set` — JSON round-trip of a
+  full :class:`~repro.profiles.models.ModelSet`;
+- :func:`fit_linear_model` — least-squares fit of a
+  :class:`~repro.profiles.latency.LinearLatencyModel` to a measured
+  :class:`~repro.profiles.latency.LatencyProfile`, so users who profile
+  real hardware (batch-latency tables) can plug straight into policy
+  generation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.profiles.latency import LatencyProfile, LinearLatencyModel
+from repro.profiles.models import ModelProfile, ModelSet
+
+__all__ = ["save_model_set", "load_model_set", "fit_linear_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model_set(model_set: ModelSet, path: Union[str, Path]) -> None:
+    """Write a model set as JSON (artifact-style profile store)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "task": model_set.task,
+        "models": [
+            {
+                "name": m.name,
+                "family": m.family,
+                "accuracy": m.accuracy,
+                "latency": {
+                    "overhead_ms": m.latency.overhead_ms,
+                    "per_item_ms": m.latency.per_item_ms,
+                    "std_ms": m.latency.std_ms,
+                },
+            }
+            for m in model_set
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_model_set(path: Union[str, Path]) -> ModelSet:
+    """Read a model set written by :func:`save_model_set`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ProfileError(
+                f"unsupported model-set format version {payload.get('version')!r}"
+            )
+        models = [
+            ModelProfile(
+                name=str(raw["name"]),
+                accuracy=float(raw["accuracy"]),
+                family=str(raw.get("family", "")),
+                latency=LinearLatencyModel(
+                    overhead_ms=float(raw["latency"]["overhead_ms"]),
+                    per_item_ms=float(raw["latency"]["per_item_ms"]),
+                    std_ms=float(raw["latency"]["std_ms"]),
+                ),
+            )
+            for raw in payload["models"]
+        ]
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise ProfileError(f"malformed model-set file {path}: {exc}") from exc
+    return ModelSet(models, task=str(payload.get("task", "custom")))
+
+
+def fit_linear_model(
+    profile: LatencyProfile, std_ms: float = 10.0
+) -> LinearLatencyModel:
+    """Least-squares fit ``overhead + per_item * b`` to a measured profile.
+
+    Fits against the *p95* table (what a profiler measures) and then
+    removes the p95 offset implied by ``std_ms`` so the fitted model's own
+    p95 reproduces the measurements.  The overhead is clamped at zero —
+    measured tables whose batch-1 point dips below the trend would
+    otherwise fit a (meaningless) negative overhead.
+    """
+    batches = np.arange(1, profile.max_batch_size + 1, dtype=np.float64)
+    p95 = np.array([profile.latency_ms(int(b)) for b in batches])
+    if batches.shape[0] == 1:
+        # One point: attribute everything to per-item cost.
+        per_item = float(p95[0])
+        overhead = 0.0
+    else:
+        slope, intercept = np.polyfit(batches, p95, deg=1)
+        per_item = float(max(slope, 1e-6))
+        overhead = float(max(intercept, 0.0))
+    # The p95 of Normal(mean, std) sits z95 * std above the mean; pull the
+    # fitted line down so the parametric p95 matches the measured table.
+    z95 = 1.6448536269514722
+    candidate = LinearLatencyModel(
+        overhead_ms=overhead, per_item_ms=per_item, std_ms=std_ms
+    )
+    # Effective std may be capped for small models; use the cap at batch 1.
+    offset = z95 * candidate.effective_std_ms(1)
+    adjusted_overhead = max(overhead - offset, 0.0)
+    return LinearLatencyModel(
+        overhead_ms=adjusted_overhead, per_item_ms=per_item, std_ms=std_ms
+    )

@@ -1,0 +1,162 @@
+"""Per-batch-size inference latency profiles.
+
+The paper defines inference latency ``l_w(m, b)`` as the time elapsed between
+sending a batch of ``b`` queries to model ``m`` on worker ``w`` and receiving
+the response at the central controller (§3.1.1) — it includes transfer and
+pre-processing time.  Policies consume the *95th-percentile* profile value
+(Fig. 3 caption, §7.3.1), while the prototype's real executions vary around
+it with a standard deviation of ~10 ms (§7.3.1).
+
+Two representations are provided:
+
+- :class:`LinearLatencyModel` — a parametric ``overhead + per_item * b``
+  model used by the synthetic zoo.  CPU inference without intra-batch
+  parallelism scales close to linearly in batch size, which is also what
+  makes the paper's ``B_w = 29`` cap arise naturally.
+- :class:`LatencyProfile` — a tabulated profile (one p95 value per batch
+  size) as produced by the simulated profiler; this is the only form the
+  MDP construction consumes, so users can plug in measured tables directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro._util import validate_non_negative, validate_positive
+from repro.errors import ProfileError
+
+__all__ = ["LinearLatencyModel", "LatencyProfile"]
+
+#: z-score of the 95th percentile of a normal distribution.
+_Z95 = 1.6448536269514722
+
+
+@dataclass(frozen=True)
+class LinearLatencyModel:
+    """Parametric latency model ``l(b) = overhead_ms + per_item_ms * b``.
+
+    ``std_ms`` captures run-to-run latency variance (the paper observed a
+    standard deviation of about 10 ms across all models, §7.3.1).  The
+    *profiled* latency reported for a batch size is the 95th percentile of
+    ``Normal(mean(b), std_ms)``, mirroring how the paper profiles models.
+    """
+
+    overhead_ms: float
+    per_item_ms: float
+    std_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        validate_non_negative("overhead_ms", self.overhead_ms)
+        validate_positive("per_item_ms", self.per_item_ms)
+        validate_non_negative("std_ms", self.std_ms)
+
+    def mean_ms(self, batch_size: int) -> float:
+        """Mean inference latency of a batch of ``batch_size`` queries."""
+        if batch_size < 1:
+            raise ProfileError(f"batch_size must be >= 1, got {batch_size}")
+        return self.overhead_ms + self.per_item_ms * batch_size
+
+    def effective_std_ms(self, batch_size: int) -> float:
+        """Run-to-run std, capped so tiny models keep positive latencies."""
+        return min(self.std_ms, 0.2 * self.mean_ms(batch_size))
+
+    def p95_ms(self, batch_size: int) -> float:
+        """95th-percentile latency — the value policies plan against."""
+        return self.mean_ms(batch_size) + _Z95 * self.effective_std_ms(batch_size)
+
+    def sample_ms(self, batch_size: int, rng: np.random.Generator) -> float:
+        """Draw one stochastic execution latency (truncated normal)."""
+        mean = self.mean_ms(batch_size)
+        std = self.effective_std_ms(batch_size)
+        if std == 0.0:
+            return mean
+        draw = rng.normal(loc=mean, scale=std)
+        floor = 0.25 * mean
+        return float(max(draw, floor))
+
+    def tabulate(self, max_batch_size: int) -> "LatencyProfile":
+        """Materialize a :class:`LatencyProfile` for batches ``1..max``."""
+        return LatencyProfile(
+            p95_ms_by_batch={
+                b: self.p95_ms(b) for b in range(1, max_batch_size + 1)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Tabulated p95 latency per supported batch size.
+
+    This is the representation the MDP construction and the baselines
+    consume: a mapping ``batch size -> p95 latency (ms)``.  Batch sizes must
+    form a contiguous range starting at 1 and latencies must be
+    non-decreasing in batch size (serving a bigger batch never gets faster).
+    """
+
+    p95_ms_by_batch: Mapping[int, float]
+    _values: Tuple[float, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.p95_ms_by_batch:
+            raise ProfileError("latency profile must cover at least batch size 1")
+        sizes = sorted(self.p95_ms_by_batch)
+        if sizes[0] != 1 or sizes != list(range(1, len(sizes) + 1)):
+            raise ProfileError(
+                f"batch sizes must be contiguous from 1, got {sizes[:5]}..."
+            )
+        values = tuple(float(self.p95_ms_by_batch[b]) for b in sizes)
+        if any(v <= 0 for v in values):
+            raise ProfileError("latencies must be positive")
+        if any(later < earlier for earlier, later in zip(values, values[1:])):
+            raise ProfileError("latencies must be non-decreasing in batch size")
+        object.__setattr__(self, "_values", values)
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest batch size covered by this profile."""
+        return len(self._values)
+
+    def latency_ms(self, batch_size: int) -> float:
+        """Profiled p95 latency for ``batch_size`` queries."""
+        if not 1 <= batch_size <= self.max_batch_size:
+            raise ProfileError(
+                f"batch size {batch_size} outside profiled range "
+                f"[1, {self.max_batch_size}]"
+            )
+        return self._values[batch_size - 1]
+
+    def max_batch_within(self, budget_ms: float) -> Optional[int]:
+        """Largest batch size whose latency fits ``budget_ms``, if any."""
+        best: Optional[int] = None
+        for b, latency in enumerate(self._values, start=1):
+            if latency <= budget_ms:
+                best = b
+            else:
+                break
+        return best
+
+    def throughput_qps(self, batch_size: int) -> float:
+        """Sustained throughput when serving back-to-back ``batch_size``
+        batches: ``batch_size / latency`` converted to queries/second."""
+        return batch_size / self.latency_ms(batch_size) * 1000.0
+
+    def peak_throughput_qps(self, budget_ms: Optional[float] = None) -> float:
+        """Best throughput over batch sizes whose latency fits ``budget_ms``.
+
+        With no budget, all profiled batch sizes are considered.
+        """
+        candidates = [
+            self.throughput_qps(b)
+            for b in range(1, self.max_batch_size + 1)
+            if budget_ms is None or self.latency_ms(b) <= budget_ms
+        ]
+        if not candidates:
+            return 0.0
+        return max(candidates)
+
+    def as_dict(self) -> Dict[int, float]:
+        """Plain-dict copy (for JSON serialization)."""
+        return {b: self._values[b - 1] for b in range(1, self.max_batch_size + 1)}

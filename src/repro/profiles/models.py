@@ -1,0 +1,237 @@
+"""Model profiles and model sets.
+
+A :class:`ModelProfile` bundles what RAMSIS knows about one trained model:
+its inference accuracy on the application's test set (§3.1.1) and its
+latency behaviour on the target worker type.  A :class:`ModelSet` is the
+ordered collection of models pre-loaded on each worker (``M_w`` in the
+paper), with helpers for Pareto-front pruning (§4.3.3) and the SLO-derived
+quantities used throughout (``B_w``, the fastest model, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import validate_probability
+from repro.errors import ProfileError
+from repro.profiles.latency import LinearLatencyModel
+
+__all__ = ["ModelProfile", "ModelSet"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """One trained model's accuracy and latency profile.
+
+    Attributes
+    ----------
+    name:
+        Model identifier (e.g. ``"efficientnet_b2"``).
+    accuracy:
+        Profiled inference accuracy in [0, 1] (ImageNet top-1 for the image
+        task, GLUE-MNLI for the text task).
+    latency:
+        Parametric latency model on the target worker type; the MDP consumes
+        its 95th-percentile values, the "implementation" latency model draws
+        stochastic samples from it.
+    family:
+        Architecture family, for reporting (e.g. ``"efficientnet"``).
+    """
+
+    name: str
+    accuracy: float
+    latency: LinearLatencyModel
+    family: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProfileError("model name must be non-empty")
+        validate_probability("accuracy", self.accuracy)
+
+    def latency_ms(self, batch_size: int) -> float:
+        """Profiled (p95) inference latency for ``batch_size`` queries."""
+        return self.latency.p95_ms(batch_size)
+
+    def mean_latency_ms(self, batch_size: int) -> float:
+        """Mean inference latency for ``batch_size`` queries."""
+        return self.latency.mean_ms(batch_size)
+
+    def sample_latency_ms(self, batch_size: int, rng: np.random.Generator) -> float:
+        """One stochastic execution latency (prototype behaviour)."""
+        return self.latency.sample_ms(batch_size, rng)
+
+    def max_batch_within(self, budget_ms: float, cap: int) -> Optional[int]:
+        """Largest batch size ``<= cap`` whose p95 latency fits the budget."""
+        best: Optional[int] = None
+        for b in range(1, cap + 1):
+            if self.latency.p95_ms(b) <= budget_ms:
+                best = b
+            else:
+                break
+        return best
+
+    def peak_throughput_qps(self, budget_ms: float, cap: int) -> float:
+        """Best queries/second over batch sizes fitting ``budget_ms``."""
+        best = 0.0
+        for b in range(1, cap + 1):
+            latency = self.latency.p95_ms(b)
+            if latency > budget_ms:
+                break
+            best = max(best, b / latency * 1000.0)
+        return best
+
+
+class ModelSet:
+    """An ordered set of models pre-loaded on a worker type (``M_w``).
+
+    Iteration order is the registration order; lookup by name is constant
+    time.  The set is immutable after construction — derive new sets with
+    :meth:`subset` or :meth:`pareto_front`.
+    """
+
+    def __init__(self, models: Sequence[ModelProfile], task: str = "custom") -> None:
+        if not models:
+            raise ProfileError("a model set needs at least one model")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ProfileError(f"duplicate model names: {dupes}")
+        self._models: Tuple[ModelProfile, ...] = tuple(models)
+        self._by_name: Dict[str, ModelProfile] = {m.name: m for m in models}
+        self._task = task
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[ModelProfile]:
+        return iter(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, index: int) -> ModelProfile:
+        return self._models[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelSet(task={self._task!r}, n={len(self._models)})"
+
+    @property
+    def task(self) -> str:
+        """Task label (``"image"``, ``"text"``, or ``"custom"``)."""
+        return self._task
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Model names in registration order."""
+        return tuple(m.name for m in self._models)
+
+    def get(self, name: str) -> ModelProfile:
+        """Model by name; raises :class:`ProfileError` when unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ProfileError(
+                f"unknown model {name!r}; available: {sorted(self._by_name)}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the registration order."""
+        for i, m in enumerate(self._models):
+            if m.name == name:
+                return i
+        raise ProfileError(f"unknown model {name!r}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def fastest(self) -> ModelProfile:
+        """Lowest-latency model (``m_w_min`` — the forced fallback, §4.3.1)."""
+        return min(self._models, key=lambda m: m.latency_ms(1))
+
+    def slowest(self) -> ModelProfile:
+        """Highest-latency model (defines the paper's SLO grid, §7)."""
+        return max(self._models, key=lambda m: m.latency_ms(1))
+
+    def most_accurate(self) -> ModelProfile:
+        """Highest-accuracy model."""
+        return max(self._models, key=lambda m: m.accuracy)
+
+    def max_batch_size(self, slo_ms: float, cap: int = 64) -> int:
+        """``B_w``: the largest batch size (``<= cap``) whose p95 latency
+        meets the SLO for *some* model (§4.2.1)."""
+        best = 0
+        for model in self._models:
+            b = model.max_batch_within(slo_ms, cap)
+            if b is not None:
+                best = max(best, b)
+        if best == 0:
+            raise ProfileError(
+                f"no model serves even a single query within {slo_ms} ms"
+            )
+        return best
+
+    def subset(self, names: Sequence[str]) -> "ModelSet":
+        """New set restricted to ``names`` (order taken from ``names``)."""
+        return ModelSet([self.get(n) for n in names], task=self._task)
+
+    def with_latency_scale(self, factor: float) -> "ModelSet":
+        """The same models on a worker type ``factor``x slower (or faster).
+
+        Worker homogeneity is not fundamental to RAMSIS — policies are
+        generated per worker type (§4, §7 "Inference Tasks") — and this is
+        how a heterogeneous cluster's per-type profiles are derived: every
+        latency parameter scales by ``factor``, accuracies are unchanged.
+        """
+        if factor <= 0:
+            raise ProfileError(f"latency scale factor must be > 0, got {factor}")
+        scaled = [
+            ModelProfile(
+                name=m.name,
+                accuracy=m.accuracy,
+                family=m.family,
+                latency=LinearLatencyModel(
+                    overhead_ms=m.latency.overhead_ms * factor,
+                    per_item_ms=m.latency.per_item_ms * factor,
+                    std_ms=m.latency.std_ms * factor,
+                ),
+            )
+            for m in self._models
+        ]
+        return ModelSet(scaled, task=self._task)
+
+    def pareto_front(self) -> "ModelSet":
+        """Models on the accuracy-latency Pareto front (§4.3.3).
+
+        A model is pruned when another model has both lower-or-equal batch-1
+        latency and strictly higher accuracy, or equal accuracy at strictly
+        lower latency.
+        """
+        front: List[ModelProfile] = []
+        for candidate in self._models:
+            dominated = False
+            for other in self._models:
+                if other is candidate:
+                    continue
+                better_latency = other.latency_ms(1) <= candidate.latency_ms(1)
+                better_accuracy = other.accuracy >= candidate.accuracy
+                strictly = (
+                    other.latency_ms(1) < candidate.latency_ms(1)
+                    or other.accuracy > candidate.accuracy
+                )
+                if better_latency and better_accuracy and strictly:
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(candidate)
+        front.sort(key=lambda m: m.latency_ms(1))
+        return ModelSet(front, task=self._task)
+
+    def accuracy_table(self) -> Dict[str, float]:
+        """``Accuracy(m)`` as a plain name -> accuracy dict."""
+        return {m.name: m.accuracy for m in self._models}

@@ -1,0 +1,32 @@
+"""Prototype-style serving runtime (§6 "Prototype Implementation").
+
+The paper's prototype is a client-server deployment: a central controller
+VM runs a workload generator, a load balancer, and per-worker model
+selector processes; worker VMs execute inference behind TorchServe.  This
+subpackage reproduces that architecture *in process*, with real threads and
+wall-clock time:
+
+- :class:`~repro.runtime.worker.InferenceWorker` — a worker thread that
+  executes (simulated) inference, sleeping for the sampled latency;
+- :class:`~repro.runtime.controller.CentralController` — central queue,
+  load balancer, per-worker selector threads, and the load monitor;
+- :class:`~repro.runtime.workload.WorkloadGenerator` — produces the query
+  stream from a trace + inter-arrival pattern in wall-clock time.
+
+A ``time_scale`` compresses wall-clock time uniformly (e.g. 0.1 makes a
+150 ms inference sleep 15 ms) so demonstrations finish quickly while every
+relative timing — deadlines, arrivals, service — is preserved.  The
+discrete-event simulator remains the tool for large experiments; this
+runtime exists to exercise the same MS&S code under real concurrency.
+"""
+
+from repro.runtime.controller import CentralController, RuntimeReport
+from repro.runtime.worker import InferenceWorker
+from repro.runtime.workload import WorkloadGenerator
+
+__all__ = [
+    "CentralController",
+    "RuntimeReport",
+    "InferenceWorker",
+    "WorkloadGenerator",
+]

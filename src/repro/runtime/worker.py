@@ -1,0 +1,117 @@
+"""Worker threads: the prototype's worker-VM stand-ins.
+
+Each :class:`InferenceWorker` owns a worker queue (filled by the
+controller's load balancer) and runs a service loop on its own thread: when
+the queue is non-empty, consult the model selector for the queue state,
+take the chosen batch, "execute" it by sleeping the sampled inference
+latency on the shared virtual clock, and report completions back to the
+controller.  This mirrors §3.2.2's per-worker model selectors dispatching
+from their worker queues.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.profiles.models import ModelSet
+from repro.runtime.clock import VirtualClock
+from repro.selectors.base import ModelSelector
+from repro.sim.latency_model import LatencyModel
+from repro.sim.queries import Query
+
+__all__ = ["InferenceWorker", "CompletionCallback"]
+
+#: (worker_id, model_name, served queries, completion virtual time)
+CompletionCallback = Callable[[int, str, List[Query], float], None]
+
+
+class InferenceWorker:
+    """One worker VM: a queue, a selector, and a service thread."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        model_set: ModelSet,
+        selector: ModelSelector,
+        latency_model: LatencyModel,
+        clock: VirtualClock,
+        on_complete: CompletionCallback,
+        load_probe: Callable[[float], float],
+    ) -> None:
+        self._id = worker_id
+        self._models = model_set
+        self._selector = selector
+        self._latency_model = latency_model
+        self._clock = clock
+        self._on_complete = on_complete
+        self._load_probe = load_probe
+        self._queue: Deque[Query] = deque()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Controller-facing API
+    # ------------------------------------------------------------------
+    @property
+    def worker_id(self) -> int:
+        """Stable worker index."""
+        return self._id
+
+    def queue_length(self) -> int:
+        """Current worker-queue depth (approximate under concurrency)."""
+        with self._lock:
+            return len(self._queue)
+
+    def enqueue(self, query: Query) -> None:
+        """Load balancer hands this worker one query."""
+        with self._work_ready:
+            self._queue.append(query)
+            self._work_ready.notify()
+
+    def start(self) -> None:
+        """Spawn the service thread."""
+        self._thread = threading.Thread(
+            target=self._serve_loop, name=f"worker-{self._id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Ask the service loop to exit once its queue is drained."""
+        with self._work_ready:
+            self._stopping = True
+            self._work_ready.notify()
+
+    def join(self, timeout_s: float = 30.0) -> None:
+        """Wait for the service thread to finish."""
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while not self._queue and not self._stopping:
+                    self._work_ready.wait(timeout=0.05)
+                if not self._queue and self._stopping:
+                    return
+                now = self._clock.now_ms()
+                head = self._queue[0]
+                action = self._selector.select(
+                    queue_length=len(self._queue),
+                    earliest_slack_ms=head.slack_at(now),
+                    now_ms=now,
+                    anticipated_load_qps=self._load_probe(now),
+                )
+                batch = min(action.batch_size, len(self._queue))
+                served = [self._queue.popleft() for _ in range(max(batch, 1))]
+                model = self._models.get(action.model)
+            # Execute outside the lock: new arrivals may queue meanwhile.
+            exec_ms = self._latency_model.execution_ms(model, len(served))
+            self._clock.sleep_ms(exec_ms)
+            self._on_complete(self._id, model.name, served, self._clock.now_ms())

@@ -1,0 +1,51 @@
+"""Model selectors: RAMSIS and the baselines it is evaluated against (§7).
+
+Every selector implements :class:`repro.selectors.base.ModelSelector` —
+given a queue state, the current time, and the anticipated load, return a
+``(model, batch size)`` decision:
+
+- :class:`~repro.selectors.ramsis.RamsisSelector` — looks up the
+  pre-computed MS policy for the anticipated load (§3.2.2);
+- :class:`~repro.selectors.jellyfish.JellyfishPlusSelector` — Jellyfish [32]
+  extended to multiple workers: most accurate model whose aggregate
+  throughput sustains the load with inference latency under SLO/2;
+- :class:`~repro.selectors.modelswitching.ModelSwitchingSelector` —
+  ModelSwitching [57]: most accurate model whose offline-profiled p99
+  *response* latency under the anticipated load meets the SLO;
+- :class:`~repro.selectors.infaas.InfaasAdaptedSelector` — Appendix H's
+  adaptation of INFaaS [38]: the lowest-latency model meeting an accuracy
+  target;
+- :class:`~repro.selectors.greedy.GreedyDeadlineSelector` — the
+  MDInference/ALERT-style greedy policy (§8): most accurate model that
+  meets the current earliest deadline, ignoring future arrivals;
+- :class:`~repro.selectors.fixed.FixedModelSelector` — a pinned model, used
+  by the ModelSwitching offline profiler and as an experiment control.
+"""
+
+from repro.selectors.base import ModelSelector, SelectorContext
+from repro.selectors.fixed import FixedModelSelector
+from repro.selectors.greedy import GreedyDeadlineSelector
+from repro.selectors.infaas import InfaasAdaptedSelector
+from repro.selectors.jellyfish import JellyfishPlusSelector
+from repro.selectors.modelswitching import (
+    ModelSwitchingSelector,
+    ResponseLatencyTable,
+    profile_response_latency,
+)
+from repro.selectors.ramsis import RamsisSelector
+from repro.selectors.recording import DecisionRecord, RecordingSelector
+
+__all__ = [
+    "DecisionRecord",
+    "RecordingSelector",
+    "ModelSelector",
+    "SelectorContext",
+    "RamsisSelector",
+    "JellyfishPlusSelector",
+    "ModelSwitchingSelector",
+    "ResponseLatencyTable",
+    "profile_response_latency",
+    "InfaasAdaptedSelector",
+    "GreedyDeadlineSelector",
+    "FixedModelSelector",
+]

@@ -1,0 +1,75 @@
+"""Model-selector interface shared by RAMSIS and the baselines.
+
+A selector is consulted whenever a worker is free and has pending queries.
+It receives the worker-queue state (length + earliest slack), the current
+simulation time, and the anticipated query load from the shared load
+monitor, and returns an :class:`~repro.core.policy.Action`.
+
+``queue_scope`` declares the scheduling discipline a selector is designed
+for: RAMSIS-style selectors operate on per-worker queues filled by the load
+balancer (§3.2), while the load-granular baselines let idle workers eagerly
+grab batches from the central queue (§7 "Baseline MS&S Policies").
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.core.policy import Action
+from repro.profiles.models import ModelSet
+
+__all__ = ["QueueScope", "SelectorContext", "ModelSelector"]
+
+
+class QueueScope(enum.Enum):
+    """Which queue a selector draws batches from."""
+
+    PER_WORKER = "per_worker"
+    CENTRAL = "central"
+
+
+@dataclass(frozen=True)
+class SelectorContext:
+    """Run-wide facts handed to selectors before a simulation starts."""
+
+    model_set: ModelSet
+    slo_ms: float
+    num_workers: int
+    max_batch_size: int
+
+
+class ModelSelector(abc.ABC):
+    """Maps a queue state to a model-selection decision."""
+
+    #: Scheduling discipline the selector expects (default: per-worker).
+    queue_scope: QueueScope = QueueScope.PER_WORKER
+
+    #: Short name used in experiment reports.
+    name: str = "selector"
+
+    def bind(self, context: SelectorContext) -> None:
+        """Receive run-wide context; called once before serving starts."""
+        self._context = context
+
+    @property
+    def context(self) -> SelectorContext:
+        """The bound run context (raises if :meth:`bind` was skipped)."""
+        try:
+            return self._context
+        except AttributeError:
+            raise RuntimeError(
+                f"{type(self).__name__} used before bind(); the simulator "
+                "calls bind() automatically"
+            ) from None
+
+    @abc.abstractmethod
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        """Decide ``(model, batch <= queue_length)`` for the queue state."""

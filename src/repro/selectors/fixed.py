@@ -1,0 +1,58 @@
+"""A selector pinned to one model.
+
+Used by the ModelSwitching offline profiler (each model's response latency
+is measured with that model pinned) and as an experiment control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policy import Action
+from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
+
+__all__ = ["FixedModelSelector"]
+
+
+class FixedModelSelector(ModelSelector):
+    """Always select ``model_name`` with adaptive batching.
+
+    ``batch_budget_ms`` caps the batch like the baselines do (largest batch
+    whose profiled latency fits the budget); defaults to SLO/2, matching
+    the baselines' shared scheduling strategy.
+    """
+
+    queue_scope = QueueScope.CENTRAL
+    name = "Fixed"
+
+    def __init__(
+        self, model_name: str, batch_budget_ms: Optional[float] = None
+    ) -> None:
+        self._model_name = model_name
+        self._budget_override = batch_budget_ms
+
+    def bind(self, context: SelectorContext) -> None:
+        super().bind(context)
+        model = context.model_set.get(self._model_name)
+        budget = (
+            self._budget_override
+            if self._budget_override is not None
+            else context.slo_ms / 2.0
+        )
+        max_batch = model.max_batch_within(budget, context.max_batch_size)
+        # A model too slow for the budget still serves one query at a time
+        # (queries are never dropped).
+        self._max_batch = max_batch if max_batch is not None else 1
+        self._model = model
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        return Action(
+            model=self._model.name,
+            batch_size=min(queue_length, self._max_batch),
+        )

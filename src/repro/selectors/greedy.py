@@ -1,0 +1,49 @@
+"""Greedy deadline-aware baseline (§8 "MS&S for Inference Latency Variance").
+
+MDInference [33] and ALERT [48] greedily select the most accurate model
+given the *currently arrived* queries and their deadlines — without
+anticipating future arrivals.  The paper argues this is insufficient under
+varying load and stochastic inter-arrival patterns: an optimistic decision
+for one batch can starve the next burst.  Implemented here so the claim is
+testable (see benchmarks/bench_ablation_greedy.py).
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Action
+from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
+
+__all__ = ["GreedyDeadlineSelector"]
+
+
+class GreedyDeadlineSelector(ModelSelector):
+    """Most accurate model that meets the current earliest deadline."""
+
+    queue_scope = QueueScope.PER_WORKER
+    name = "Greedy"
+
+    def bind(self, context: SelectorContext) -> None:
+        super().bind(context)
+        # Fastest-first; the scan below keeps the most accurate feasible.
+        self._models = sorted(
+            context.model_set.pareto_front(), key=lambda m: m.latency_ms(1)
+        )
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        best = None
+        for model in self._models:
+            if model.latency_ms(queue_length) <= earliest_slack_ms:
+                if best is None or model.accuracy > best.accuracy:
+                    best = model
+        if best is None:
+            # Deadline unmeetable: serve late on the fastest model (§4.3.1).
+            return Action(
+                model=self._models[0].name, batch_size=queue_length, is_late=True
+            )
+        return Action(model=best.name, batch_size=queue_length)

@@ -1,0 +1,81 @@
+"""INFaaS-adapted baseline (Appendix H).
+
+INFaaS [38] takes both an accuracy SLO and a latency SLO and selects the
+lowest-cost (typically lowest-latency) model that meets both — a different
+objective from RAMSIS's maximize-accuracy-under-latency-SLO.  Appendix H
+adapts it to the paper's evaluation by sweeping accuracy targets over the
+set of model accuracies; for each target the selector picks the
+minimum-latency model that reaches the target and can sustain the load.
+As in the appendix, its minimize-latency objective makes it select the
+minimally accurate feasible model, so it never beats RAMSIS or the
+baselines — reproduced by benchmarks/bench_apph_infaas.py.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.policy import Action
+from repro.errors import CapacityError
+from repro.profiles.models import ModelProfile
+from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
+
+__all__ = ["InfaasAdaptedSelector"]
+
+
+class InfaasAdaptedSelector(ModelSelector):
+    """Lowest-latency model meeting an accuracy target under the load."""
+
+    queue_scope = QueueScope.CENTRAL
+    name = "INFaaS"
+
+    def __init__(self, accuracy_target: float) -> None:
+        if not 0.0 <= accuracy_target <= 1.0:
+            raise CapacityError(
+                f"accuracy_target must be in [0, 1], got {accuracy_target}"
+            )
+        self._target = accuracy_target
+
+    @property
+    def accuracy_target(self) -> float:
+        """The accuracy SLO being swept."""
+        return self._target
+
+    def bind(self, context: SelectorContext) -> None:
+        super().bind(context)
+        budget = context.slo_ms / 2.0
+        cap = context.max_batch_size
+        self._candidates: List[Tuple[float, ModelProfile, int, float]] = []
+        for model in context.model_set.pareto_front():
+            max_batch = model.max_batch_within(budget, cap)
+            if max_batch is None:
+                continue
+            throughput = (
+                model.peak_throughput_qps(budget, cap) * context.num_workers
+            )
+            self._candidates.append(
+                (model.latency_ms(1), model, max_batch, throughput)
+            )
+        if not self._candidates:
+            raise CapacityError(
+                f"no model can serve a query within SLO/2 = {budget} ms"
+            )
+        self._candidates.sort(key=lambda row: row[0])  # lowest latency first
+
+    def model_for_load(self, load_qps: float) -> Tuple[ModelProfile, int]:
+        """Cheapest model meeting accuracy target + load, else fastest."""
+        for _, model, max_batch, throughput in self._candidates:
+            if model.accuracy >= self._target and throughput >= load_qps:
+                return model, max_batch
+        fastest = self._candidates[0]
+        return fastest[1], fastest[2]
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        model, max_batch = self.model_for_load(anticipated_load_qps)
+        return Action(model=model.name, batch_size=min(queue_length, max_batch))

@@ -1,0 +1,76 @@
+"""Jellyfish+ baseline (§7 "Baseline MS&S Policies").
+
+Jellyfish [32] assumes a single worker per SLO; Jellyfish+ extends it to
+multiple workers.  Given an anticipated query load it selects the most
+accurate model such that:
+
+- the model's aggregate average throughput across workers exceeds the load,
+  and
+- the model's inference latency is below **half** the latency SLO — the
+  conservative headroom Jellyfish/Nexus reserve for worst-case central
+  queue wait.
+
+Workers eagerly grab batches from the central queue up to an adaptive
+maximum batch size — the largest batch whose profiled latency still fits
+the SLO/2 budget (Clipper-style adaptive batching [7]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.policy import Action
+from repro.errors import CapacityError
+from repro.profiles.models import ModelProfile
+from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
+
+__all__ = ["JellyfishPlusSelector"]
+
+
+class JellyfishPlusSelector(ModelSelector):
+    """Load-granular most-accurate-model selection with SLO/2 headroom."""
+
+    queue_scope = QueueScope.CENTRAL
+    name = "Jellyfish+"
+
+    def bind(self, context: SelectorContext) -> None:
+        super().bind(context)
+        budget = context.slo_ms / 2.0
+        cap = context.max_batch_size
+        self._candidates: List[Tuple[float, ModelProfile, int, float]] = []
+        for model in context.model_set.pareto_front():
+            max_batch = model.max_batch_within(budget, cap)
+            if max_batch is None:
+                continue  # cannot serve even one query within SLO/2
+            throughput = (
+                model.peak_throughput_qps(budget, cap) * context.num_workers
+            )
+            self._candidates.append((model.accuracy, model, max_batch, throughput))
+        if not self._candidates:
+            raise CapacityError(
+                f"no model can serve a query within SLO/2 = {budget} ms"
+            )
+        # Most accurate first so the first feasible candidate wins.
+        self._candidates.sort(key=lambda row: -row[0])
+
+    def model_for_load(self, load_qps: float) -> Tuple[ModelProfile, int]:
+        """Most accurate (model, adaptive max batch) sustaining the load."""
+        fallback: Optional[Tuple[ModelProfile, int]] = None
+        for _, model, max_batch, throughput in self._candidates:
+            fallback = (model, max_batch)  # least accurate seen so far
+            if throughput >= load_qps:
+                return model, max_batch
+        # Load exceeds every model's throughput: serve with the fastest
+        # (the paper's systems do not drop queries).
+        assert fallback is not None
+        return fallback
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        model, max_batch = self.model_for_load(anticipated_load_qps)
+        return Action(model=model.name, batch_size=min(queue_length, max_batch))

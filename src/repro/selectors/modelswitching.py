@@ -1,0 +1,162 @@
+"""ModelSwitching baseline (§7 "Baseline MS&S Policies").
+
+ModelSwitching [57] measures each model's *response latency* (queueing +
+inference) under anticipated query loads in an offline profiling step, then
+online selects the most accurate model whose 99th-percentile response
+latency under the anticipated load stays within the SLO.  It shares the
+baselines' scheduling strategy: central queue, eager workers, adaptive
+batching with an SLO/2 latency budget.
+
+The paper profiles response latency on its real testbed over a load grid
+(400-4,000 QPS in steps of 100) for every resource configuration.  Here the
+same measurement is taken against the simulator: each (model, load) cell
+pins the model with :class:`~repro.selectors.fixed.FixedModelSelector`,
+replays a constant-load Poisson trace, and records the p99 response
+latency.  Profiles are cached in a :class:`ResponseLatencyTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.core.policy import Action
+from repro.errors import CapacityError
+from repro.profiles.models import ModelProfile, ModelSet
+from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
+from repro.selectors.fixed import FixedModelSelector
+
+__all__ = [
+    "ResponseLatencyTable",
+    "profile_response_latency",
+    "ModelSwitchingSelector",
+]
+
+
+@dataclass
+class ResponseLatencyTable:
+    """Offline-profiled p99 response latency per (model, load) cell.
+
+    ``loads_qps`` is the profiled load grid (ascending).  Lookups for an
+    arbitrary anticipated load use the next grid point **at or above** it —
+    the conservative rounding a production profiler would use.
+    """
+
+    loads_qps: Tuple[float, ...]
+    p99_ms: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+
+    def p99_at(self, model_name: str, load_qps: float) -> float:
+        """p99 response latency of ``model_name`` at ``load_qps``.
+
+        Loads above the grid return the top cell's value — by construction
+        the profiling grid covers the relevant range, and past saturation
+        the p99 only grows, so this stays conservative *within* the grid.
+        """
+        series = self.p99_ms[model_name]
+        for load, value in zip(self.loads_qps, series):
+            if load >= load_qps:
+                return value
+        return series[-1]
+
+    def models(self) -> List[str]:
+        """Profiled model names."""
+        return sorted(self.p99_ms)
+
+
+def profile_response_latency(
+    model_set: ModelSet,
+    loads_qps: Sequence[float],
+    num_workers: int,
+    slo_ms: float,
+    max_batch_size: int = 32,
+    duration_ms: float = 10_000.0,
+    seed: int = 7,
+    pareto_only: bool = True,
+) -> ResponseLatencyTable:
+    """Measure the ModelSwitching offline profile against the simulator.
+
+    Only Pareto-front models are profiled by default: a dominated model is
+    never the most accurate feasible choice.  Each cell replays
+    ``duration_ms`` of constant-load Poisson arrivals with the model
+    pinned and adaptive batching, and records the p99 response latency.
+    """
+    # Imported here: the simulator depends on the selector *interface*, and
+    # this profiler closes the loop by driving the simulator.
+    from repro.sim.latency_model import DeterministicLatency
+    from repro.sim.simulator import Simulation, SimulationConfig
+
+    loads = tuple(sorted(float(q) for q in loads_qps))
+    if not loads:
+        raise CapacityError("profiling requires a non-empty load grid")
+    models = model_set.pareto_front() if pareto_only else model_set
+    table = ResponseLatencyTable(loads_qps=loads)
+    for model in models:
+        series: List[float] = []
+        for load in loads:
+            trace = LoadTrace.constant(load, duration_ms, name="profile")
+            sim = Simulation(
+                SimulationConfig(
+                    model_set=model_set,
+                    slo_ms=slo_ms,
+                    num_workers=num_workers,
+                    max_batch_size=max_batch_size,
+                    latency_model=DeterministicLatency(),
+                    seed=seed,
+                )
+            )
+            metrics = sim.run(
+                FixedModelSelector(model.name),
+                trace,
+                pattern=PoissonArrivals(load),
+            )
+            series.append(metrics.p99_response_ms)
+        table.p99_ms[model.name] = tuple(series)
+    return table
+
+
+class ModelSwitchingSelector(ModelSelector):
+    """Most accurate model whose profiled p99 response latency meets the SLO."""
+
+    queue_scope = QueueScope.CENTRAL
+    name = "ModelSwitching"
+
+    def __init__(self, table: ResponseLatencyTable) -> None:
+        self._table = table
+
+    def bind(self, context: SelectorContext) -> None:
+        super().bind(context)
+        budget = context.slo_ms / 2.0
+        cap = context.max_batch_size
+        self._ranked: List[Tuple[float, ModelProfile, int]] = []
+        for name in self._table.models():
+            model = context.model_set.get(name)
+            max_batch = model.max_batch_within(budget, cap)
+            if max_batch is None:
+                max_batch = 1  # too slow for adaptive batching; serve singly
+            self._ranked.append((model.accuracy, model, max_batch))
+        if not self._ranked:
+            raise CapacityError("response-latency table is empty")
+        self._ranked.sort(key=lambda row: -row[0])
+
+    def model_for_load(self, load_qps: float) -> Tuple[ModelProfile, int]:
+        """Most accurate (model, max batch) whose p99 fits the SLO."""
+        slo = self.context.slo_ms
+        fallback: Optional[Tuple[ModelProfile, int]] = None
+        for _, model, max_batch in self._ranked:
+            fallback = (model, max_batch)
+            if self._table.p99_at(model.name, load_qps) <= slo:
+                return model, max_batch
+        assert fallback is not None
+        return fallback  # nothing fits; fastest model, never drop
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        model, max_batch = self.model_for_load(anticipated_load_qps)
+        return Action(model=model.name, batch_size=min(queue_length, max_batch))

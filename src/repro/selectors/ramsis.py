@@ -1,0 +1,58 @@
+"""The RAMSIS online model selector (§3.2.2).
+
+Per-worker model selectors service queries from their worker queue in
+deadline order according to the offline-generated MS policies.  Given the
+anticipated load from the monitor, the selector picks the lowest-load
+pre-computed policy that meets it; if none does and a generator is
+attached, a new policy is generated on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.policy import Action, Policy
+from repro.core.policy_set import PolicySet
+from repro.selectors.base import ModelSelector, QueueScope
+
+__all__ = ["RamsisSelector"]
+
+
+class RamsisSelector(ModelSelector):
+    """Policy-set-driven selector for per-worker queues.
+
+    Parameters
+    ----------
+    policies:
+        Either one :class:`Policy` (pinned — used by the constant-load
+        experiments where the load is known) or a :class:`PolicySet` for
+        load-adaptive selection.
+    """
+
+    queue_scope = QueueScope.PER_WORKER
+    name = "RAMSIS"
+
+    def __init__(self, policies: Union[Policy, PolicySet]) -> None:
+        if isinstance(policies, Policy):
+            self._set: Optional[PolicySet] = None
+            self._pinned: Optional[Policy] = policies
+        else:
+            self._set = policies
+            self._pinned = None
+
+    def current_policy(self, anticipated_load_qps: float) -> Policy:
+        """The policy in effect for the anticipated load."""
+        if self._pinned is not None:
+            return self._pinned
+        assert self._set is not None
+        return self._set.policy_for(anticipated_load_qps)
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        policy = self.current_policy(anticipated_load_qps)
+        return policy.action_for(queue_length, earliest_slack_ms)

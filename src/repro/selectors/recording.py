@@ -1,0 +1,72 @@
+"""A selector wrapper that records every MS&S decision.
+
+Used by the Fig. 2 motivation experiment and available as a debugging tool:
+wrap any selector and get the full decision log (time, queue state, action)
+after a run — the paper's simulator "records MS&S decisions" the same way
+(§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.policy import Action
+from repro.selectors.base import ModelSelector, SelectorContext
+
+__all__ = ["DecisionRecord", "RecordingSelector"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One recorded MS&S decision."""
+
+    now_ms: float
+    queue_length: int
+    earliest_slack_ms: float
+    anticipated_load_qps: float
+    action: Action
+
+
+class RecordingSelector(ModelSelector):
+    """Delegates to an inner selector and logs each decision."""
+
+    def __init__(self, inner: ModelSelector) -> None:
+        self._inner = inner
+        self.queue_scope = inner.queue_scope
+        self.name = f"{inner.name}+rec"
+        self.decisions: List[DecisionRecord] = []
+
+    def bind(self, context: SelectorContext) -> None:
+        super().bind(context)
+        self._inner.bind(context)
+        self.decisions = []
+
+    def select(
+        self,
+        queue_length: int,
+        earliest_slack_ms: float,
+        now_ms: float,
+        anticipated_load_qps: float,
+    ) -> Action:
+        action = self._inner.select(
+            queue_length, earliest_slack_ms, now_ms, anticipated_load_qps
+        )
+        self.decisions.append(
+            DecisionRecord(
+                now_ms=now_ms,
+                queue_length=queue_length,
+                earliest_slack_ms=earliest_slack_ms,
+                anticipated_load_qps=anticipated_load_qps,
+                action=action,
+            )
+        )
+        return action
+
+    def models_used(self) -> List[str]:
+        """Distinct models selected, in first-use order."""
+        seen: List[str] = []
+        for record in self.decisions:
+            if record.action.model not in seen:
+                seen.append(record.action.model)
+        return seen

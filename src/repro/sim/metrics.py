@@ -1,0 +1,130 @@
+"""Online performance metrics (§7 "Performance Metrics").
+
+The paper compares MS&S schemes on:
+
+- **Latency SLO Violation Rate** — the fraction of all serviced queries
+  whose latency deadline is missed;
+- **Accuracy Per Satisfied Query** — the average profiled accuracy over all
+  satisfied queries, given each query's model-selection decision.
+
+:class:`MetricsCollector` accumulates these online (O(1) per completion);
+:class:`SimulationMetrics` is the frozen result with the derived statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro._util import percentile
+
+__all__ = ["MetricsCollector", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregate outcome of one simulated (or executed) serving run."""
+
+    total_queries: int
+    satisfied_queries: int
+    violation_rate: float
+    accuracy_per_satisfied_query: float
+    mean_response_ms: float
+    p50_response_ms: float
+    p99_response_ms: float
+    mean_batch_size: float
+    decisions: int
+    model_query_counts: Mapping[str, int]
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """1 - violation rate."""
+        return 1.0 - self.violation_rate
+
+    def model_share(self) -> Dict[str, float]:
+        """Fraction of queries served by each model."""
+        if self.total_queries == 0:
+            return {}
+        return {
+            name: count / self.total_queries
+            for name, count in sorted(self.model_query_counts.items())
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"queries={self.total_queries} "
+            f"violations={self.violation_rate * 100:.3f}% "
+            f"accuracy={self.accuracy_per_satisfied_query * 100:.2f}% "
+            f"p99={self.p99_response_ms:.1f}ms "
+            f"mean_batch={self.mean_batch_size:.2f}"
+        )
+
+
+class MetricsCollector:
+    """Accumulates per-query completions into :class:`SimulationMetrics`."""
+
+    def __init__(self, track_responses: bool = True) -> None:
+        self._track_responses = track_responses
+        self._total = 0
+        self._satisfied = 0
+        self._accuracy_sum = 0.0
+        self._response_sum = 0.0
+        self._responses: List[float] = []
+        self._model_counts: Counter = Counter()
+        self._decisions = 0
+        self._batch_sum = 0
+
+    def record_decision(self, batch_size: int) -> None:
+        """Note one MS&S decision serving ``batch_size`` queries."""
+        self._decisions += 1
+        self._batch_sum += batch_size
+
+    def record_completion(
+        self,
+        model_name: str,
+        model_accuracy: float,
+        response_ms: float,
+        satisfied: bool,
+    ) -> None:
+        """Note one query's completion."""
+        self._total += 1
+        self._response_sum += response_ms
+        if self._track_responses:
+            self._responses.append(response_ms)
+        self._model_counts[model_name] += 1
+        if satisfied:
+            self._satisfied += 1
+            self._accuracy_sum += model_accuracy
+
+    @property
+    def total(self) -> int:
+        """Completions recorded so far."""
+        return self._total
+
+    def finalize(self) -> SimulationMetrics:
+        """Freeze the accumulated statistics."""
+        total = self._total
+        satisfied = self._satisfied
+        violation = 0.0 if total == 0 else 1.0 - satisfied / total
+        accuracy = 0.0 if satisfied == 0 else self._accuracy_sum / satisfied
+        mean_resp = 0.0 if total == 0 else self._response_sum / total
+        if self._track_responses and self._responses:
+            p50 = percentile(self._responses, 50.0)
+            p99 = percentile(self._responses, 99.0)
+        else:
+            p50 = p99 = mean_resp
+        mean_batch = 0.0 if self._decisions == 0 else self._batch_sum / self._decisions
+        return SimulationMetrics(
+            total_queries=total,
+            satisfied_queries=satisfied,
+            violation_rate=violation,
+            accuracy_per_satisfied_query=accuracy,
+            mean_response_ms=mean_resp,
+            p50_response_ms=p50,
+            p99_response_ms=p99,
+            mean_batch_size=mean_batch,
+            decisions=self._decisions,
+            model_query_counts=dict(self._model_counts),
+        )

@@ -1,0 +1,78 @@
+"""Query-load monitoring (§3.2.2, §6 "Load Monitor").
+
+RAMSIS and all baselines share one load monitor that tracks query load as a
+moving average of central-queue arrivals over a 500 ms window.  For the
+constant-load experiments (§7.2) the paper assumes the monitor perfectly
+predicts the load to isolate MS&S quality from prediction error;
+:class:`OracleLoadMonitor` provides that mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.arrivals.traces import LoadTrace
+
+__all__ = ["LoadMonitor", "OracleLoadMonitor"]
+
+
+class LoadMonitor:
+    """Moving-average arrival-rate estimator.
+
+    ``record_arrival`` is called for every central-queue arrival;
+    ``anticipated_load_qps(now)`` returns the average rate over the trailing
+    ``window_ms`` (500 ms in the paper).
+    """
+
+    def __init__(self, window_ms: float = 500.0) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms}")
+        self._window_ms = window_ms
+        self._arrivals: Deque[float] = deque()
+
+    @property
+    def window_ms(self) -> float:
+        """Averaging window length."""
+        return self._window_ms
+
+    def record_arrival(self, t_ms: float) -> None:
+        """Note one arrival at time ``t_ms`` (non-decreasing)."""
+        self._arrivals.append(t_ms)
+        self._evict(t_ms)
+
+    def anticipated_load_qps(self, now_ms: float) -> float:
+        """Estimated query load at ``now_ms`` in queries per second.
+
+        Before a full window has elapsed, the denominator is the elapsed
+        time so early estimates are not biased low.
+        """
+        self._evict(now_ms)
+        if not self._arrivals:
+            return 0.0
+        horizon = min(now_ms, self._window_ms)
+        if horizon <= 0:
+            return 0.0
+        return len(self._arrivals) / horizon * 1000.0
+
+    def _evict(self, now_ms: float) -> None:
+        cutoff = now_ms - self._window_ms
+        arrivals = self._arrivals
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+
+    def reset(self) -> None:
+        """Forget all recorded arrivals."""
+        self._arrivals.clear()
+
+
+class OracleLoadMonitor(LoadMonitor):
+    """A monitor that reads the true load off the trace (§7.2's setting)."""
+
+    def __init__(self, trace: LoadTrace) -> None:
+        super().__init__(window_ms=500.0)
+        self._trace = trace
+
+    def anticipated_load_qps(self, now_ms: float) -> float:
+        clamped = min(max(now_ms, 0.0), self._trace.duration_ms - 1e-9)
+        return self._trace.load_at(clamped)

@@ -1,0 +1,167 @@
+"""Serving multiple latency SLOs (Appendix G).
+
+The paper handles multiple SLOs the way existing systems do: each worker is
+assigned one latency SLO, a central queue is instantiated per SLO, and
+workers attach to the queue whose SLO matches.  Because the partitions
+share nothing, the composition is a set of independent single-SLO systems;
+:func:`run_multi_slo` builds and runs them together and reports per-class
+and aggregate metrics.
+
+:func:`partition_workers` implements a simple proportional worker split
+(by each class's expected work — load x fastest-feasible service time),
+which a resource manager would refine with the §5.1 expectations (see
+``examples/capacity_planning.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.arrivals.distributions import ArrivalDistribution, PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.errors import ConfigurationError
+from repro.profiles.models import ModelSet
+from repro.selectors.base import ModelSelector
+from repro.sim.latency_model import DeterministicLatency, LatencyModel
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.monitor import OracleLoadMonitor
+from repro.sim.simulator import Simulation, SimulationConfig
+
+__all__ = ["SLOClass", "MultiSLOReport", "partition_workers", "run_multi_slo"]
+
+
+@dataclass
+class SLOClass:
+    """One application SLO class: its latency target, workload, selector."""
+
+    slo_ms: float
+    trace: LoadTrace
+    selector: ModelSelector
+    num_workers: Optional[int] = None  # None -> assigned by the partitioner
+    pattern: Optional[ArrivalDistribution] = None
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise ConfigurationError(f"slo_ms must be > 0, got {self.slo_ms}")
+
+
+@dataclass(frozen=True)
+class MultiSLOReport:
+    """Per-class and aggregate outcomes of a multi-SLO run."""
+
+    per_class: Mapping[float, SimulationMetrics]
+    workers: Mapping[float, int]
+
+    @property
+    def total_queries(self) -> int:
+        """Queries served across all SLO classes."""
+        return sum(m.total_queries for m in self.per_class.values())
+
+    @property
+    def aggregate_violation_rate(self) -> float:
+        """Query-weighted violation rate across classes."""
+        total = self.total_queries
+        if total == 0:
+            return 0.0
+        missed = sum(
+            m.total_queries - m.satisfied_queries for m in self.per_class.values()
+        )
+        return missed / total
+
+    @property
+    def aggregate_accuracy(self) -> float:
+        """Query-weighted accuracy per satisfied query across classes."""
+        satisfied = sum(m.satisfied_queries for m in self.per_class.values())
+        if satisfied == 0:
+            return 0.0
+        weighted = sum(
+            m.accuracy_per_satisfied_query * m.satisfied_queries
+            for m in self.per_class.values()
+        )
+        return weighted / satisfied
+
+
+def partition_workers(
+    classes: Sequence[SLOClass], model_set: ModelSet, total_workers: int
+) -> Dict[float, int]:
+    """Split ``total_workers`` across SLO classes proportionally to work.
+
+    Each class's weight is its mean load times the per-query service time
+    of the fastest model at the batch size that fits half its SLO — a
+    first-order estimate of required capacity.  Every class gets at least
+    one worker; leftovers go to the heaviest classes.
+    """
+    if total_workers < len(classes):
+        raise ConfigurationError(
+            f"{total_workers} workers cannot cover {len(classes)} SLO classes"
+        )
+    weights: List[float] = []
+    for cls in classes:
+        fastest = model_set.fastest()
+        throughput = fastest.peak_throughput_qps(cls.slo_ms / 2.0, cap=32)
+        throughput = max(throughput, 1e-9)
+        weights.append(cls.trace.mean_qps / throughput)
+    total_weight = sum(weights) or 1.0
+    shares = [max(1, round(total_workers * w / total_weight)) for w in weights]
+    # Normalize rounding drift while keeping every class >= 1.
+    while sum(shares) > total_workers:
+        largest = max(range(len(shares)), key=lambda i: shares[i])
+        if shares[largest] <= 1:
+            raise ConfigurationError("not enough workers for all SLO classes")
+        shares[largest] -= 1
+    while sum(shares) < total_workers:
+        heaviest = max(range(len(shares)), key=lambda i: weights[i] / shares[i])
+        shares[heaviest] += 1
+    return {cls.slo_ms: share for cls, share in zip(classes, shares)}
+
+
+def run_multi_slo(
+    model_set: ModelSet,
+    classes: Sequence[SLOClass],
+    total_workers: Optional[int] = None,
+    latency_model: Optional[LatencyModel] = None,
+    max_batch_size: int = 32,
+    seed: int = 0,
+    oracle_load: bool = True,
+) -> MultiSLOReport:
+    """Run every SLO class against its dedicated worker partition.
+
+    Worker counts come from each class's ``num_workers`` when set;
+    otherwise ``total_workers`` is split with :func:`partition_workers`.
+    """
+    if not classes:
+        raise ConfigurationError("need at least one SLO class")
+    slos = [cls.slo_ms for cls in classes]
+    if len(set(slos)) != len(slos):
+        raise ConfigurationError("SLO classes must have distinct slo_ms")
+
+    if any(cls.num_workers is None for cls in classes):
+        if total_workers is None:
+            raise ConfigurationError(
+                "total_workers required when classes omit num_workers"
+            )
+        assigned = partition_workers(classes, model_set, total_workers)
+    else:
+        assigned = {cls.slo_ms: int(cls.num_workers) for cls in classes}
+
+    per_class: Dict[float, SimulationMetrics] = {}
+    for index, cls in enumerate(classes):
+        workers = (
+            cls.num_workers if cls.num_workers is not None else assigned[cls.slo_ms]
+        )
+        sim = Simulation(
+            SimulationConfig(
+                model_set=model_set,
+                slo_ms=cls.slo_ms,
+                num_workers=workers,
+                max_batch_size=max_batch_size,
+                latency_model=latency_model or DeterministicLatency(),
+                monitor=OracleLoadMonitor(cls.trace) if oracle_load else None,
+                seed=seed + index,
+                track_responses=False,
+            )
+        )
+        pattern = cls.pattern or PoissonArrivals(max(cls.trace.mean_qps, 1e-9))
+        per_class[cls.slo_ms] = sim.run(cls.selector, cls.trace, pattern=pattern)
+    return MultiSLOReport(per_class=per_class, workers=dict(assigned))

@@ -1,0 +1,40 @@
+"""Inference queries.
+
+A query arrives at the central queue at ``arrival_ms`` and must be answered
+by ``deadline_ms = arrival_ms + SLO`` (§3.2.1).  Queries are compared by
+deadline so priority structures serve earliest-deadline-first; with a single
+SLO per application (the paper's setting, Appendix G) this coincides with
+FIFO order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True, order=True)
+class Query:
+    """One inference request.
+
+    Ordered by ``(deadline_ms, query_id)`` so heaps and sorts are
+    deterministic.
+    """
+
+    deadline_ms: float
+    query_id: int
+    arrival_ms: float = field(compare=False)
+
+    @staticmethod
+    def create(query_id: int, arrival_ms: float, slo_ms: float) -> "Query":
+        """Assign the §3.2.1 deadline: arrival time plus the latency SLO."""
+        return Query(
+            deadline_ms=arrival_ms + slo_ms,
+            query_id=query_id,
+            arrival_ms=arrival_ms,
+        )
+
+    def slack_at(self, now_ms: float) -> float:
+        """Remaining time before the deadline (negative when missed)."""
+        return self.deadline_ms - now_ms

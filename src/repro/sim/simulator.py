@@ -1,0 +1,284 @@
+"""The discrete-event ISS simulator (§6).
+
+Replays a trace of query arrivals against a cluster of ``K`` workers and a
+model selector, tracking queue states, worker busy periods, and per-query
+outcomes.  Two scheduling disciplines are supported, matching how the paper
+runs RAMSIS and its baselines in the same framework:
+
+- **per-worker queues** (RAMSIS, §3.2): the load balancer assigns each
+  arriving query to a worker queue; each worker's model selector serves its
+  own queue in deadline order;
+- **central queue** (Jellyfish+/ModelSwitching, §7): idle workers eagerly
+  grab batches from the shared queue, batch size capped by the baseline's
+  adaptive-batching rule.
+
+The event loop merges the (pre-sampled, sorted) arrival stream with a heap
+of service completions, so the run cost is O((arrivals + decisions) log K).
+Queries are never dropped — like the paper's evaluation, late queries are
+"better served late than never" (§4.3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arrivals.distributions import ArrivalDistribution, PoissonArrivals
+from repro.arrivals.processes import sample_arrival_times
+from repro.arrivals.traces import LoadTrace
+from repro.balancers import LoadBalancer, RoundRobinBalancer
+from repro.errors import SimulationError
+from repro.profiles.models import ModelSet
+from repro.sim.latency_model import DeterministicLatency, LatencyModel
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.monitor import LoadMonitor
+from repro.sim.queries import Query
+from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
+
+__all__ = ["QueueDiscipline", "SimulationConfig", "Simulation"]
+
+
+class QueueDiscipline(enum.Enum):
+    """Where pending queries wait (see module docstring)."""
+
+    PER_WORKER = "per_worker"
+    CENTRAL = "central"
+
+
+@dataclass
+class SimulationConfig:
+    """Cluster and instrumentation configuration for one simulation."""
+
+    model_set: ModelSet
+    slo_ms: float
+    num_workers: int
+    max_batch_size: int = 32
+    latency_model: LatencyModel = field(default_factory=DeterministicLatency)
+    balancer: LoadBalancer = field(default_factory=RoundRobinBalancer)
+    monitor: Optional[LoadMonitor] = None
+    seed: int = 0
+    track_responses: bool = True
+    #: §4.3.1 alternative: when the selector returns a late (unsatisfiable)
+    #: action, drop the queued queries instead of serving them late.
+    #: Dropped queries count as SLO violations.  Default off, as in the
+    #: paper's evaluation.
+    drop_late: bool = False
+    #: Heterogeneous clusters (§7: homogeneity is not fundamental): worker
+    #: ``i``'s execution latencies are multiplied by ``factors[i]``.
+    #: ``None`` means a homogeneous cluster (all 1.0).
+    worker_speed_factors: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise SimulationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.slo_ms <= 0:
+            raise SimulationError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if self.worker_speed_factors is not None:
+            if len(self.worker_speed_factors) != self.num_workers:
+                raise SimulationError(
+                    f"worker_speed_factors has {len(self.worker_speed_factors)} "
+                    f"entries for {self.num_workers} workers"
+                )
+            if any(f <= 0 for f in self.worker_speed_factors):
+                raise SimulationError("worker speed factors must be > 0")
+
+
+class Simulation:
+    """One reusable simulation driver.
+
+    Each :meth:`run` is independent: queues, monitor, balancer, and the
+    latency model's randomness are reset from the configured seed.
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The cluster configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        selector: Union[ModelSelector, Sequence[ModelSelector]],
+        trace: LoadTrace,
+        pattern: Optional[ArrivalDistribution] = None,
+        arrival_times: Optional[np.ndarray] = None,
+    ) -> SimulationMetrics:
+        """Serve one realization of ``trace`` with ``selector``.
+
+        ``pattern`` defaults to Poisson (the paper's inter-arrival model);
+        pass ``arrival_times`` to replay an explicit timestamp array
+        instead of sampling.  ``selector`` may be a sequence of
+        ``num_workers`` selectors — one per worker, the heterogeneous-
+        cluster setting where each worker type runs its own policy.
+        """
+        cfg = self._config
+        if arrival_times is None:
+            rng = np.random.default_rng(cfg.seed)
+            if pattern is None:
+                pattern = PoissonArrivals(max(trace.mean_qps, 1e-9))
+            arrival_times = sample_arrival_times(trace, pattern, rng)
+        arrivals = np.ascontiguousarray(np.sort(arrival_times))
+
+        if isinstance(selector, ModelSelector):
+            selectors: List[ModelSelector] = [selector] * cfg.num_workers
+        else:
+            selectors = list(selector)
+            if len(selectors) != cfg.num_workers:
+                raise SimulationError(
+                    f"{len(selectors)} selectors for {cfg.num_workers} workers"
+                )
+            if len({s.queue_scope for s in selectors}) != 1:
+                raise SimulationError(
+                    "per-worker selectors must share one queue scope"
+                )
+        context = SelectorContext(
+            model_set=cfg.model_set,
+            slo_ms=cfg.slo_ms,
+            num_workers=cfg.num_workers,
+            max_batch_size=cfg.max_batch_size,
+        )
+        for s in dict.fromkeys(selectors):  # bind each distinct selector once
+            s.bind(context)
+        discipline = (
+            QueueDiscipline.PER_WORKER
+            if selectors[0].queue_scope is QueueScope.PER_WORKER
+            else QueueDiscipline.CENTRAL
+        )
+        return self._event_loop(selectors, arrivals, discipline)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _event_loop(
+        self,
+        selectors: List[ModelSelector],
+        arrivals: np.ndarray,
+        discipline: QueueDiscipline,
+    ) -> SimulationMetrics:
+        cfg = self._config
+        monitor = cfg.monitor if cfg.monitor is not None else LoadMonitor()
+        monitor.reset()
+        balancer = cfg.balancer
+        balancer.reset()
+        latency_model = cfg.latency_model.clone(cfg.seed + 1)
+        metrics = MetricsCollector(track_responses=cfg.track_responses)
+        model_set = cfg.model_set
+
+        num_workers = cfg.num_workers
+        per_worker = discipline is QueueDiscipline.PER_WORKER
+        queues: List[Deque[Query]] = [
+            deque() for _ in range(num_workers if per_worker else 1)
+        ]
+        busy = [False] * num_workers
+        idle_workers: List[int] = list(range(num_workers - 1, -1, -1))
+
+        # Completion heap entries: (time, sequence, worker, model_name, batch)
+        completions: List[Tuple[float, int, int, str, List[Query]]] = []
+        sequence = 0
+
+        speed = (
+            cfg.worker_speed_factors
+            if cfg.worker_speed_factors is not None
+            else (1.0,) * num_workers
+        )
+
+        def dispatch(worker: int, queue: Deque[Query], now: float) -> bool:
+            """Consult the worker's selector and start service; False when
+            the decision dropped the queue and the worker stays idle."""
+            nonlocal sequence
+            head = queue[0]
+            action = selectors[worker].select(
+                queue_length=len(queue),
+                earliest_slack_ms=head.slack_at(now),
+                now_ms=now,
+                anticipated_load_qps=monitor.anticipated_load_qps(now),
+            )
+            batch = min(action.batch_size, len(queue))
+            if batch < 1:
+                raise SimulationError(
+                    f"selector {selectors[worker].name} returned batch {batch}"
+                )
+            if action.is_late and cfg.drop_late:
+                # Drop the whole queue (the (n, T_j) abstraction knows only
+                # the earliest deadline is missed; see DESIGN.md §3) and
+                # leave the worker idle.
+                while queue:
+                    dropped = queue.popleft()
+                    metrics.record_completion(
+                        model_name="<dropped>",
+                        model_accuracy=0.0,
+                        response_ms=now - dropped.arrival_ms,
+                        satisfied=False,
+                    )
+                return False
+            served = [queue.popleft() for _ in range(batch)]
+            model = model_set.get(action.model)
+            exec_ms = latency_model.execution_ms(model, batch) * speed[worker]
+            metrics.record_decision(batch)
+            busy[worker] = True
+            sequence += 1
+            heapq.heappush(
+                completions, (now + exec_ms, sequence, worker, model.name, served)
+            )
+            return True
+
+        arrival_index = 0
+        total_arrivals = arrivals.shape[0]
+        next_query_id = 0
+
+        while arrival_index < total_arrivals or completions:
+            next_arrival = (
+                arrivals[arrival_index]
+                if arrival_index < total_arrivals
+                else float("inf")
+            )
+            next_done = completions[0][0] if completions else float("inf")
+
+            if next_arrival <= next_done:
+                now = float(next_arrival)
+                arrival_index += 1
+                monitor.record_arrival(now)
+                query = Query.create(next_query_id, now, cfg.slo_ms)
+                next_query_id += 1
+                if per_worker:
+                    worker = balancer.assign([len(q) for q in queues])
+                    queues[worker].append(query)
+                    if not busy[worker]:
+                        dispatch(worker, queues[worker], now)
+                else:
+                    queues[0].append(query)
+                    if idle_workers:
+                        worker = idle_workers.pop()
+                        if not dispatch(worker, queues[0], now):
+                            idle_workers.append(worker)
+            else:
+                now, _, worker, model_name, served = heapq.heappop(completions)
+                model = model_set.get(model_name)
+                for query in served:
+                    metrics.record_completion(
+                        model_name=model_name,
+                        model_accuracy=model.accuracy,
+                        response_ms=now - query.arrival_ms,
+                        satisfied=now <= query.deadline_ms,
+                    )
+                busy[worker] = False
+                if per_worker:
+                    if queues[worker]:
+                        dispatch(worker, queues[worker], now)
+                else:
+                    if not queues[0] or not dispatch(worker, queues[0], now):
+                        idle_workers.append(worker)
+
+        return metrics.finalize()

@@ -1,0 +1,111 @@
+"""Tests for arrival-pattern analytics (§2.1's burst/lull premise)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.analysis import (
+    dispersion_index,
+    find_bursts,
+    find_lulls,
+    interarrival_cv,
+    summarize,
+)
+from repro.arrivals.distributions import (
+    DeterministicArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+)
+from repro.arrivals.processes import sample_arrival_times
+from repro.arrivals.traces import LoadTrace
+
+
+def _sample(pattern, qps=200.0, duration_ms=120_000.0, seed=7):
+    trace = LoadTrace.constant(qps, duration_ms)
+    return sample_arrival_times(trace, pattern, np.random.default_rng(seed))
+
+
+class TestInterarrivalCV:
+    def test_poisson_near_one(self):
+        times = _sample(PoissonArrivals(200.0))
+        assert interarrival_cv(times) == pytest.approx(1.0, abs=0.1)
+
+    def test_erlang_below_one(self):
+        times = _sample(GammaArrivals(200.0, shape=8.0))
+        assert interarrival_cv(times) == pytest.approx(1 / np.sqrt(8), abs=0.08)
+
+    def test_bursty_above_one(self):
+        times = _sample(GammaArrivals(200.0, shape=0.3))
+        assert interarrival_cv(times) > 1.3
+
+    def test_deterministic_zero(self):
+        times = _sample(DeterministicArrivals(200.0))
+        assert interarrival_cv(times) == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_two_arrivals(self):
+        with pytest.raises(ValueError):
+            interarrival_cv(np.array([1.0]))
+
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError):
+            interarrival_cv(np.array([2.0, 1.0, 3.0]))
+
+
+class TestDispersionIndex:
+    def test_poisson_near_one(self):
+        times = _sample(PoissonArrivals(200.0))
+        assert dispersion_index(times) == pytest.approx(1.0, abs=0.25)
+
+    def test_regular_below_one(self):
+        times = _sample(GammaArrivals(200.0, shape=8.0))
+        assert dispersion_index(times) < 0.6
+
+    def test_window_validation(self):
+        times = _sample(PoissonArrivals(200.0), duration_ms=3_000.0)
+        with pytest.raises(ValueError):
+            dispersion_index(times, window_ms=2_000.0)
+        with pytest.raises(ValueError):
+            dispersion_index(times, window_ms=0.0)
+
+
+class TestLullsAndBursts:
+    def test_poisson_has_lulls(self):
+        """The paper's premise: Poisson arrivals exhibit exploitable lulls."""
+        times = _sample(PoissonArrivals(200.0))
+        lulls = find_lulls(times, threshold=3.0)
+        assert len(lulls) > 0
+        mean_gap = float(np.diff(times).mean())
+        for start, end in lulls:
+            assert end - start > 3.0 * mean_gap
+
+    def test_deterministic_has_no_lulls(self):
+        times = _sample(DeterministicArrivals(200.0))
+        assert find_lulls(times, threshold=1.5) == []
+
+    def test_bursty_process_has_bursts(self):
+        # Short windows (~10 expected arrivals) expose burstiness that a
+        # wide window would average away.
+        times = _sample(GammaArrivals(200.0, shape=0.3))
+        assert len(find_bursts(times, window_ms=50.0)) > 0
+
+    def test_deterministic_has_no_bursts(self):
+        times = _sample(DeterministicArrivals(200.0))
+        assert find_bursts(times, window_ms=50.0, threshold=1.5) == []
+
+
+class TestSummarize:
+    def test_poisson_summary(self):
+        times = _sample(PoissonArrivals(200.0))
+        s = summarize(times)
+        assert s.num_arrivals == times.shape[0]
+        assert s.mean_rate_qps == pytest.approx(200.0, rel=0.1)
+        assert s.poisson_like
+        assert s.num_lulls > 0
+
+    def test_regular_not_poisson_like(self):
+        times = _sample(GammaArrivals(200.0, shape=10.0))
+        assert not summarize(times).poisson_like
+
+    def test_longest_lull_is_max_gap(self):
+        times = np.array([0.0, 10.0, 1000.0, 1010.0, 1020.0, 1030.0, 5000.0])
+        s = summarize(times, window_ms=500.0)
+        assert s.longest_lull_ms == pytest.approx(3970.0)

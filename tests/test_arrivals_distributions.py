@@ -1,0 +1,159 @@
+"""Tests for repro.arrivals.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import (
+    DeterministicArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+    resolve_distribution,
+)
+
+
+class TestPoissonArrivals:
+    def test_rate_conversion(self):
+        d = PoissonArrivals(1000.0)
+        assert d.rate_per_ms == pytest.approx(1.0)
+        assert d.mean_interarrival_ms == pytest.approx(1.0)
+
+    def test_pmf_matches_closed_form(self):
+        d = PoissonArrivals(100.0)  # 0.1 / ms
+        mu = 0.1 * 50.0
+        for k in range(6):
+            expected = math.exp(-mu) * mu**k / math.factorial(k)
+            assert d.pmf(k, 50.0) == pytest.approx(expected, rel=1e-12)
+
+    def test_pmf_vector_sums_to_one(self):
+        d = PoissonArrivals(200.0)
+        bound = d.support_bound(100.0)
+        assert d.pmf_vector(bound, 100.0).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_window_is_degenerate(self):
+        d = PoissonArrivals(500.0)
+        vec = d.pmf_vector(5, 0.0)
+        assert vec[0] == 1.0
+        assert vec[1:].sum() == 0.0
+
+    def test_negative_k_probability_zero(self):
+        assert PoissonArrivals(10.0).pmf(-1, 5.0) == 0.0
+
+    def test_cdf_monotone(self):
+        d = PoissonArrivals(80.0)
+        cdf = d.cdf_vector(30, 200.0)
+        assert np.all(np.diff(cdf) >= -1e-15)
+
+    def test_support_bound_captures_tail(self):
+        d = PoissonArrivals(1000.0)
+        bound = d.support_bound(100.0, epsilon=1e-9)
+        assert d.cdf(bound, 100.0) >= 1.0 - 1e-9
+
+    def test_sample_interarrivals_mean(self, rng):
+        d = PoissonArrivals(100.0)
+        gaps = d.sample_interarrivals(rng, 50_000)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_split_divides_load(self):
+        d = PoissonArrivals(120.0).split(4)
+        assert isinstance(d, PoissonArrivals)
+        assert d.load_qps == pytest.approx(30.0)
+
+    def test_split_round_robin_is_erlang(self):
+        d = PoissonArrivals(120.0).split_round_robin(4)
+        assert isinstance(d, GammaArrivals)
+        assert d.shape == pytest.approx(4.0)
+        assert d.load_qps == pytest.approx(30.0)
+
+    def test_split_round_robin_single_worker_is_identity(self):
+        base = PoissonArrivals(120.0)
+        assert base.split_round_robin(1) is base
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(-5.0)
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(10.0).split(0)
+
+
+class TestGammaArrivals:
+    def test_shape_one_matches_poisson(self):
+        gamma = GammaArrivals(150.0, shape=1.0)
+        poisson = PoissonArrivals(150.0)
+        for k in range(8):
+            assert gamma.pmf(k, 40.0) == pytest.approx(
+                poisson.pmf(k, 40.0), abs=1e-9
+            )
+
+    def test_pmf_vector_full_mass(self):
+        d = GammaArrivals(100.0, shape=3.0)
+        bound = d.support_bound(80.0)
+        assert d.pmf_vector(bound, 80.0).sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_higher_shape_more_regular(self):
+        """Count variance shrinks as the gap distribution gets regular."""
+        window = 200.0
+
+        def count_variance(shape: float) -> float:
+            d = GammaArrivals(100.0, shape=shape)
+            ks = np.arange(0, 200)
+            pmf = d.pmf_vector(199, window)
+            mean = float((ks * pmf).sum())
+            return float(((ks - mean) ** 2 * pmf).sum())
+
+        assert count_variance(4.0) < count_variance(1.0)
+
+    def test_sample_mean_matches_load(self, rng):
+        d = GammaArrivals(50.0, shape=2.5)
+        gaps = d.sample_interarrivals(rng, 50_000)
+        assert gaps.mean() == pytest.approx(20.0, rel=0.05)
+
+    def test_split_round_robin_multiplies_shape(self):
+        d = GammaArrivals(90.0, shape=2.0).split_round_robin(3)
+        assert isinstance(d, GammaArrivals)
+        assert d.shape == pytest.approx(6.0)
+        assert d.load_qps == pytest.approx(30.0)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            GammaArrivals(10.0, shape=0.0)
+
+
+class TestDeterministicArrivals:
+    def test_counts_are_deterministic(self):
+        d = DeterministicArrivals(100.0)  # gap 10 ms
+        assert d.pmf(3, 35.0) == 1.0
+        assert d.pmf(2, 35.0) == 0.0
+        assert d.pmf(0, 5.0) == 1.0
+
+    def test_sample_constant_gaps(self, rng):
+        d = DeterministicArrivals(200.0)
+        gaps = d.sample_interarrivals(rng, 10)
+        assert np.all(gaps == 5.0)
+
+    def test_support_bound_terminates(self):
+        d = DeterministicArrivals(100.0)
+        assert d.support_bound(55.0) >= 5
+
+
+class TestResolveDistribution:
+    def test_resolves_all_names(self):
+        assert isinstance(resolve_distribution("poisson", 10.0), PoissonArrivals)
+        assert isinstance(resolve_distribution("gamma", 10.0), GammaArrivals)
+        assert isinstance(
+            resolve_distribution("deterministic", 10.0), DeterministicArrivals
+        )
+
+    def test_gamma_shape_passthrough(self):
+        d = resolve_distribution("gamma", 10.0, shape=5.0)
+        assert isinstance(d, GammaArrivals)
+        assert d.shape == 5.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_distribution("weibull", 10.0)

@@ -1,0 +1,73 @@
+"""Tests for repro.arrivals.processes."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import (
+    DeterministicArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+)
+from repro.arrivals.processes import ArrivalProcess, sample_arrival_times
+from repro.arrivals.traces import LoadTrace
+
+
+class TestSampleArrivalTimes:
+    def test_count_close_to_expectation(self, rng):
+        trace = LoadTrace.constant(1000.0, 60_000.0)
+        times = sample_arrival_times(trace, PoissonArrivals(1000.0), rng)
+        assert times.shape[0] == pytest.approx(60_000, rel=0.05)
+
+    def test_all_within_trace(self, rng):
+        trace = LoadTrace(interval_ms=5_000.0, qps=(100.0, 300.0))
+        times = sample_arrival_times(trace, PoissonArrivals(200.0), rng)
+        assert times.min() >= 0.0
+        assert times.max() < trace.duration_ms
+
+    def test_sorted_output(self, rng):
+        trace = LoadTrace.constant(500.0, 10_000.0)
+        times = sample_arrival_times(trace, PoissonArrivals(500.0), rng)
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_interval_rates_respected(self, rng):
+        trace = LoadTrace(interval_ms=30_000.0, qps=(100.0, 1000.0))
+        times = sample_arrival_times(trace, PoissonArrivals(500.0), rng)
+        first = np.sum(times < 30_000.0)
+        second = np.sum(times >= 30_000.0)
+        assert first == pytest.approx(3000, rel=0.15)
+        assert second == pytest.approx(30_000, rel=0.1)
+
+    def test_zero_load_interval_empty(self, rng):
+        trace = LoadTrace(interval_ms=10_000.0, qps=(0.0, 100.0))
+        times = sample_arrival_times(trace, PoissonArrivals(100.0), rng)
+        assert np.sum(times < 10_000.0) == 0
+
+    def test_deterministic_pattern_evenly_spaced(self, rng):
+        trace = LoadTrace.constant(100.0, 5_000.0)
+        times = sample_arrival_times(trace, DeterministicArrivals(100.0), rng)
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 10.0)
+
+    def test_gamma_pattern_runs(self, rng):
+        trace = LoadTrace.constant(200.0, 20_000.0)
+        times = sample_arrival_times(trace, GammaArrivals(200.0, shape=3.0), rng)
+        assert times.shape[0] == pytest.approx(4000, rel=0.1)
+
+    def test_reproducible_for_seed(self):
+        trace = LoadTrace.constant(300.0, 5_000.0)
+        a = sample_arrival_times(trace, PoissonArrivals(300.0), np.random.default_rng(5))
+        b = sample_arrival_times(trace, PoissonArrivals(300.0), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_defaults_when_args_omitted(self):
+        trace = LoadTrace.constant(100.0, 2_000.0)
+        times = sample_arrival_times(trace)
+        assert times.shape[0] > 0
+
+
+class TestArrivalProcess:
+    def test_sample_and_expectation(self, rng):
+        trace = LoadTrace.constant(400.0, 10_000.0)
+        proc = ArrivalProcess(trace=trace, pattern=PoissonArrivals(400.0))
+        assert proc.expected_queries() == pytest.approx(4000.0)
+        assert proc.sample(rng).shape[0] == pytest.approx(4000, rel=0.1)

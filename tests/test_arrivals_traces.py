@@ -1,0 +1,119 @@
+"""Tests for repro.arrivals.traces."""
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace, synthesize_twitter_trace
+from repro.errors import TraceError
+
+
+class TestLoadTrace:
+    def test_basic_properties(self):
+        t = LoadTrace(interval_ms=10_000.0, qps=(100.0, 200.0, 300.0))
+        assert t.duration_ms == 30_000.0
+        assert t.peak_qps == 300.0
+        assert t.min_qps == 100.0
+        assert t.mean_qps == pytest.approx(200.0)
+
+    def test_expected_queries(self):
+        t = LoadTrace(interval_ms=10_000.0, qps=(100.0, 200.0))
+        assert t.expected_queries() == pytest.approx(3000.0)
+
+    def test_load_at(self):
+        t = LoadTrace(interval_ms=1_000.0, qps=(10.0, 20.0))
+        assert t.load_at(0.0) == 10.0
+        assert t.load_at(999.999) == 10.0
+        assert t.load_at(1_000.0) == 20.0
+
+    def test_load_at_out_of_range(self):
+        t = LoadTrace(interval_ms=1_000.0, qps=(10.0,))
+        with pytest.raises(TraceError):
+            t.load_at(-1.0)
+        with pytest.raises(TraceError):
+            t.load_at(1_000.0)
+
+    def test_intervals_iteration(self):
+        t = LoadTrace(interval_ms=500.0, qps=(1.0, 2.0))
+        assert list(t.intervals()) == [(0.0, 500.0, 1.0), (500.0, 1000.0, 2.0)]
+
+    def test_constant_constructor(self):
+        t = LoadTrace.constant(42.0, 5_000.0)
+        assert t.qps == (42.0,)
+        assert t.duration_ms == 5_000.0
+
+    def test_scaled(self):
+        t = LoadTrace.constant(100.0, 1_000.0).scaled(0.1)
+        assert t.qps == (10.0,)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(TraceError):
+            LoadTrace.constant(1.0, 1.0).scaled(0.0)
+
+    def test_truncated(self):
+        t = LoadTrace(interval_ms=1_000.0, qps=(1.0, 2.0, 3.0, 4.0))
+        assert t.truncated(2_500.0).qps == (1.0, 2.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            LoadTrace(interval_ms=0.0, qps=(1.0,))
+        with pytest.raises(TraceError):
+            LoadTrace(interval_ms=1.0, qps=())
+        with pytest.raises(TraceError):
+            LoadTrace(interval_ms=1.0, qps=(-1.0,))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = LoadTrace(interval_ms=10_000.0, qps=(1617.25, 3905.5))
+        path = tmp_path / "trace.txt"
+        t.save(path)
+        loaded = LoadTrace.load(path)
+        assert loaded.qps == pytest.approx(t.qps)
+        assert loaded.interval_ms == 10_000.0
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n100\n\n200\n")
+        assert LoadTrace.load(path).qps == (100.0, 200.0)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("100\nnot-a-number\n")
+        with pytest.raises(TraceError):
+            LoadTrace.load(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("\n")
+        with pytest.raises(TraceError):
+            LoadTrace.load(path)
+
+
+class TestTwitterSynthesizer:
+    def test_matches_paper_envelope(self):
+        t = synthesize_twitter_trace()
+        assert len(t.qps) == 30  # 5 minutes of 10-second intervals
+        assert t.min_qps == pytest.approx(1617.0)
+        assert t.peak_qps == pytest.approx(3905.0)
+
+    def test_deterministic_for_seed(self):
+        assert (
+            synthesize_twitter_trace(seed=7).qps
+            == synthesize_twitter_trace(seed=7).qps
+        )
+
+    def test_different_seeds_differ(self):
+        assert (
+            synthesize_twitter_trace(seed=1).qps
+            != synthesize_twitter_trace(seed=2).qps
+        )
+
+    def test_has_variation_not_monotone(self):
+        """Diurnal + spikes: the trace rises and falls."""
+        qps = synthesize_twitter_trace().qps
+        diffs = [b - a for a, b in zip(qps, qps[1:])]
+        assert any(d > 0 for d in diffs)
+        assert any(d < 0 for d in diffs)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TraceError):
+            synthesize_twitter_trace(duration_s=0.0)
+        with pytest.raises(TraceError):
+            synthesize_twitter_trace(min_qps=100.0, max_qps=50.0)

@@ -1,0 +1,88 @@
+"""Tests for load balancers and the Appendix I SQF rate."""
+
+import pytest
+
+from repro.balancers import (
+    RoundRobinBalancer,
+    ShortestQueueBalancer,
+    sqf_worker_rate_qps,
+)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        b = RoundRobinBalancer()
+        picks = [b.assign([0, 0, 0]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_ignores_queue_lengths(self):
+        b = RoundRobinBalancer()
+        assert b.assign([100, 0]) == 0
+
+    def test_reset(self):
+        b = RoundRobinBalancer()
+        b.assign([0, 0])
+        b.reset()
+        assert b.assign([0, 0]) == 0
+
+
+class TestShortestQueue:
+    def test_picks_minimum(self):
+        b = ShortestQueueBalancer()
+        assert b.assign([3, 1, 2]) == 1
+
+    def test_ties_break_low_index(self):
+        b = ShortestQueueBalancer()
+        assert b.assign([2, 2, 2]) == 0
+
+
+class TestSqfWorkerRate:
+    def test_short_queue_gets_even_share(self, image_models):
+        rate = sqf_worker_rate_qps(
+            240.0, 6, queue_length=0, model_set=image_models, slo_ms=300.0
+        )
+        assert rate == pytest.approx(40.0)
+        rate2 = sqf_worker_rate_qps(
+            240.0, 6, queue_length=2, model_set=image_models, slo_ms=300.0
+        )
+        assert rate2 == pytest.approx(40.0)
+
+    def test_long_queue_rate_reduced(self, image_models):
+        """A worker whose queue is long receives (lambda/K mu)^K mu, which
+        under SQF is below the even share when lambda < K mu (the regime
+        the Gupta et al. approximation targets)."""
+        even = 10.0
+        busy = sqf_worker_rate_qps(
+            60.0, 6, queue_length=3, model_set=image_models, slo_ms=300.0
+        )
+        assert busy < even
+
+    def test_heavy_traffic_rate_exceeds_share(self, image_models):
+        """Past mu the approximation inflates the busy-worker rate — the
+        conservative direction for policy generation."""
+        busy = sqf_worker_rate_qps(
+            240.0, 6, queue_length=3, model_set=image_models, slo_ms=300.0
+        )
+        assert busy > 40.0
+
+    def test_rate_positive(self, image_models):
+        for n in (0, 3, 10):
+            assert (
+                sqf_worker_rate_qps(
+                    100.0, 4, queue_length=n, model_set=image_models, slo_ms=500.0
+                )
+                > 0.0
+            )
+
+    def test_invalid_inputs(self, image_models):
+        with pytest.raises(ValueError):
+            sqf_worker_rate_qps(100.0, 0, 0, image_models, 300.0)
+        with pytest.raises(ValueError):
+            sqf_worker_rate_qps(100.0, 2, -1, image_models, 300.0)
+
+    def test_falls_back_when_no_model_sustains(self, tiny_models):
+        # Absurd load: no model sustains; mu falls back to fastest model.
+        rate = sqf_worker_rate_qps(
+            1e6, 2, queue_length=3, model_set=tiny_models, slo_ms=100.0
+        )
+        assert rate > 0.0

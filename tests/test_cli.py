@@ -1,0 +1,128 @@
+"""Tests for the artifact-style CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("gen", "ms-gen", "simulate", "report", "trace", "zoo"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestZoo:
+    def test_prints_pareto_markers(self, capsys):
+        assert main(["zoo", "--task", "image"]) == 0
+        out = capsys.readouterr().out
+        assert "26 models" in out
+        assert "shufflenet_v2_x0_5" in out
+        assert "*" in out
+
+    def test_text_task(self, capsys):
+        assert main(["zoo", "--task", "text"]) == 0
+        assert "bert_base" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        assert main(["trace", "--out", str(out), "--duration", "60"]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 6
+        assert "trace written" in capsys.readouterr().out
+
+
+class TestGen:
+    def test_writes_policy_json(self, tmp_path, capsys):
+        code = main(
+            [
+                "gen",
+                "--task",
+                "image",
+                "--slo",
+                "150",
+                "--workers",
+                "2",
+                "--load",
+                "40",
+                "--fld-resolution",
+                "12",
+                "--out",
+                str(tmp_path / "pol"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "script complete!" in out
+        policy_file = tmp_path / "pol" / "RAMSIS_2_150" / "40.json"
+        assert policy_file.exists()
+        payload = json.loads(policy_file.read_text())
+        assert payload["metadata"]["load_qps"] == 40.0
+
+
+class TestSimulateAndReport:
+    def test_constant_roundtrip(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        for method in ("RAMSIS", "JF"):
+            code = main(
+                [
+                    "simulate",
+                    "--m",
+                    method,
+                    "--trace",
+                    "constant",
+                    "--task",
+                    "image",
+                    "--load",
+                    "40",
+                    "--workers",
+                    "2",
+                    "--scale",
+                    "smoke",
+                    "--results-dir",
+                    str(results),
+                ]
+            )
+            assert code == 0
+        files = list(results.glob("*.json"))
+        assert len(files) == 2
+        assert main(["report", "--trace", "constant", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "RAMSIS" in out and "JF" in out
+
+    def test_report_empty_dir(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 1
+        assert "no results" in capsys.readouterr().out
+
+    def test_bad_task_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["zoo", "--task", "audio"])
+
+    def test_bad_scale_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--m",
+                    "RAMSIS",
+                    "--trace",
+                    "constant",
+                    "--load",
+                    "10",
+                    "--workers",
+                    "1",
+                    "--scale",
+                    "galactic",
+                    "--results-dir",
+                    str(tmp_path),
+                ]
+            )

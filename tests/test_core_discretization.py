@@ -1,0 +1,106 @@
+"""Tests for slack-time discretization (MD and FLD, §4.2)."""
+
+import pytest
+
+from repro.core.discretization import TimeGrid, fixed_length_grid, model_based_grid
+from repro.errors import ConfigurationError
+
+
+class TestTimeGrid:
+    def test_requires_zero_start(self):
+        with pytest.raises(ConfigurationError):
+            TimeGrid(values=(1.0, 2.0), slo_ms=2.0)
+
+    def test_requires_slo_end(self):
+        with pytest.raises(ConfigurationError):
+            TimeGrid(values=(0.0, 1.0), slo_ms=2.0)
+
+    def test_requires_strictly_increasing(self):
+        with pytest.raises(ConfigurationError):
+            TimeGrid(values=(0.0, 1.0, 1.0, 2.0), slo_ms=2.0)
+
+    def test_floor_index_basics(self):
+        g = TimeGrid(values=(0.0, 10.0, 20.0, 50.0), slo_ms=50.0)
+        assert g.floor_index(0.0) == 0
+        assert g.floor_index(9.99) == 0
+        assert g.floor_index(10.0) == 1
+        assert g.floor_index(49.0) == 2
+        assert g.floor_index(50.0) == 3
+
+    def test_floor_index_clamps(self):
+        g = TimeGrid(values=(0.0, 10.0), slo_ms=10.0)
+        assert g.floor_index(-5.0) == 0
+        assert g.floor_index(1e9) == 1
+
+    def test_floor_never_overestimates(self):
+        """The §5.1 conservatism property: grid value <= real slack."""
+        g = fixed_length_grid(100.0, 7)
+        for slack in [0.0, 3.3, 14.28, 14.29, 57.1, 99.9, 100.0]:
+            assert g[g.floor_index(slack)] <= slack + 1e-9
+
+    def test_upper_bounds(self):
+        g = TimeGrid(values=(0.0, 10.0, 50.0), slo_ms=50.0)
+        assert g.upper(0) == 10.0
+        assert g.upper(1) == 50.0
+        assert g.upper(2) == 50.0  # top bin has zero width
+        with pytest.raises(IndexError):
+            g.upper(3)
+
+    def test_slo_index(self):
+        g = fixed_length_grid(100.0, 4)
+        assert g[g.slo_index] == 100.0
+
+
+class TestFixedLengthGrid:
+    def test_size_is_resolution_plus_one(self):
+        assert len(fixed_length_grid(100.0, 10)) == 11
+
+    def test_even_spacing(self):
+        g = fixed_length_grid(100.0, 4)
+        assert g.values == (0.0, 25.0, 50.0, 75.0, 100.0)
+
+    def test_d1_is_endpoints(self):
+        assert fixed_length_grid(100.0, 1).values == (0.0, 100.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            fixed_length_grid(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            fixed_length_grid(100.0, 0)
+
+
+class TestModelBasedGrid:
+    def test_contains_all_relevant_latencies(self, tiny_models):
+        g = model_based_grid(tiny_models, slo_ms=100.0, max_batch_size=4)
+        for model in tiny_models:
+            for b in range(1, 5):
+                latency = model.latency_ms(b)
+                if latency <= 100.0:
+                    assert latency in g.values
+
+    def test_excludes_latencies_beyond_slo(self, tiny_models):
+        g = model_based_grid(tiny_models, slo_ms=100.0, max_batch_size=4)
+        assert all(v <= 100.0 for v in g.values)
+
+    def test_always_contains_endpoints(self, tiny_models):
+        g = model_based_grid(tiny_models, slo_ms=100.0, max_batch_size=4)
+        assert g.values[0] == 0.0
+        assert g.values[-1] == 100.0
+
+    def test_size_bounded_by_models_times_batches(self, tiny_models):
+        g = model_based_grid(tiny_models, slo_ms=100.0, max_batch_size=4)
+        assert len(g) <= len(tiny_models) * 4 + 2
+
+    def test_dedupes_identical_latencies(self):
+        from tests.conftest import make_tiny_model_set
+
+        models = make_tiny_model_set()
+        g = model_based_grid(models, slo_ms=100.0, max_batch_size=2)
+        assert len(set(g.values)) == len(g.values)
+
+    def test_action_validity_exactness(self, tiny_models):
+        """MD never under-estimates slack at an action-latency boundary:
+        for any slack equal to a latency, the grid value equals it."""
+        g = model_based_grid(tiny_models, slo_ms=100.0, max_batch_size=4)
+        latency = tiny_models.get("medium").latency_ms(2)
+        assert g[g.floor_index(latency)] == latency

@@ -1,0 +1,52 @@
+"""Tests for the high-level policy generation API."""
+
+import math
+
+import pytest
+
+from repro.core.generator import PolicyGenerator, generate_policy
+
+
+class TestGeneratePolicy:
+    def test_produces_annotated_policy(self, tiny_config):
+        result = generate_policy(tiny_config)
+        assert result.iterations > 0
+        assert result.runtime_s > 0.0
+        meta = result.policy.metadata
+        assert meta.expected_accuracy == pytest.approx(
+            result.guarantees.expected_accuracy
+        )
+        assert meta.expected_violation_rate == pytest.approx(
+            result.guarantees.expected_violation_rate
+        )
+
+    def test_without_guarantees_is_faster_and_nan(self, tiny_config):
+        result = generate_policy(tiny_config, with_guarantees=False)
+        assert math.isnan(result.guarantees.expected_accuracy)
+        assert result.policy.metadata.expected_accuracy is None
+
+    def test_deterministic(self, tiny_config):
+        a = generate_policy(tiny_config).policy
+        b = generate_policy(tiny_config).policy
+        assert a.states() == b.states()
+
+    def test_metadata_reflects_config(self, tiny_config):
+        meta = generate_policy(tiny_config).policy.metadata
+        assert meta.arrival_family == "PoissonArrivals"
+        assert meta.view == "rr_marginal"
+        assert meta.discretization == "FLD"
+        assert meta.fld_resolution == 10
+
+
+class TestPolicyGeneratorCache:
+    def test_distinct_loads_distinct_policies(self, tiny_config):
+        gen = PolicyGenerator(tiny_config)
+        low = gen.generate(5.0)
+        high = gen.generate(45.0)
+        assert low.policy.load_qps == 5.0
+        assert high.policy.load_qps == 45.0
+        # Higher load must not have strictly higher expected accuracy.
+        assert (
+            high.guarantees.expected_accuracy
+            <= low.guarantees.expected_accuracy + 1e-9
+        )

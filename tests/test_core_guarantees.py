@@ -1,0 +1,116 @@
+"""Tests for stationary analysis and §5.1 guarantees."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.core.generator import generate_policy
+from repro.core.guarantees import evaluate_policy, stationary_distribution
+from repro.core.mdp import build_worker_mdp
+from repro.core.solvers import value_iteration
+
+
+class TestStationaryDistribution:
+    def test_is_probability_vector(self, tiny_config):
+        mdp = build_worker_mdp(tiny_config)
+        policy = mdp.extract_policy(value_iteration(mdp).values)
+        dist = stationary_distribution(mdp, policy)
+        assert dist.min() >= 0.0
+        assert dist.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_is_fixed_point(self, tiny_config):
+        """dist @ P == dist for the policy-induced chain."""
+        mdp = build_worker_mdp(tiny_config)
+        policy = mdp.extract_policy(value_iteration(mdp).values)
+        dist = stationary_distribution(mdp, policy, tolerance=1e-12)
+        from repro.core.guarantees import _policy_action_table
+
+        table = _policy_action_table(mdp, policy)
+        stepped = np.zeros_like(dist)
+        for state in range(mdp.space.size):
+            if state == mdp.space.EMPTY:
+                row = mdp.transition_row(state, (0, 1))
+            else:
+                n, _ = mdp.space.decode(state)
+                row = mdp.transition_row(state, table[state])
+            stepped += dist[state] * row
+        assert np.allclose(stepped, dist, atol=1e-8)
+
+    def test_low_load_alternates_idle_and_single_query(self, tiny_config):
+        """The chain is over decision epochs: at negligible load the worker
+        alternates empty -> (1, SLO) -> empty, each ~half the epochs."""
+        config = tiny_config.with_load(1.0)  # 1 QPS, services ~10-60 ms
+        mdp = build_worker_mdp(config)
+        policy = mdp.extract_policy(value_iteration(mdp).values)
+        dist = stationary_distribution(mdp, policy)
+        fresh = mdp.space.index(1, mdp.grid.slo_index)
+        assert dist[mdp.space.EMPTY] > 0.45
+        assert dist[fresh] > 0.45
+        assert dist[mdp.space.FULL] < 1e-9
+
+
+class TestGuarantees:
+    def test_shapes_and_ranges(self, tiny_config):
+        g = generate_policy(tiny_config).guarantees
+        assert 0.0 <= g.expected_accuracy <= 1.0
+        assert 0.0 <= g.expected_violation_rate <= 1.0
+        assert 0.0 <= g.full_state_probability <= 1.0
+        assert 0.0 <= g.idle_probability <= 1.0
+
+    def test_meets_thresholds(self, tiny_config):
+        g = generate_policy(tiny_config).guarantees
+        assert g.meets(0.0, 1.0)
+        assert not g.meets(1.01, 1.0)
+        assert not g.meets(0.0, -0.1)
+
+    def test_accuracy_between_model_extremes(self, tiny_config):
+        g = generate_policy(tiny_config).guarantees
+        assert 0.60 - 1e-9 <= g.expected_accuracy <= 0.90 + 1e-9
+
+    def test_load_monotonicity(self, tiny_config):
+        """More load -> lower (or equal) expected accuracy: the policy must
+        fall back to faster models (the paper's Fig. 6 trend)."""
+        accuracies = []
+        for load in (5.0, 20.0, 45.0):
+            g = generate_policy(tiny_config.with_load(load)).guarantees
+            accuracies.append(g.expected_accuracy)
+        assert accuracies[0] >= accuracies[1] >= accuracies[2] - 0.02
+
+    def test_overload_blows_up_violations(self, tiny_config):
+        """Beyond the fastest model's throughput the violation bound must
+        be large (the §4.2.3 full-queue regime)."""
+        g = generate_policy(tiny_config.with_load(1000.0)).guarantees
+        assert g.expected_violation_rate > 0.5
+        assert g.full_state_probability > 0.1
+
+    def test_per_epoch_variants_populated(self, tiny_config):
+        g = generate_policy(tiny_config).guarantees
+        assert 0.0 <= g.per_epoch_accuracy <= 1.0
+        assert 0.0 <= g.per_epoch_violation_rate <= 1.0
+
+    def test_expected_accuracy_lower_bounds_simulation(self, tiny_config):
+        """§5.1's headline claim at a satisfiable load: observed accuracy
+        >= expectation, observed violations <= expectation."""
+        from repro.arrivals.distributions import PoissonArrivals
+        from repro.arrivals.traces import LoadTrace
+        from repro.selectors import RamsisSelector
+        from repro.sim import OracleLoadMonitor, Simulation, SimulationConfig
+
+        result = generate_policy(tiny_config.with_load(20.0))
+        trace = LoadTrace.constant(20.0, 60_000.0)
+        sim = Simulation(
+            SimulationConfig(
+                model_set=tiny_config.model_set,
+                slo_ms=tiny_config.slo_ms,
+                num_workers=1,
+                max_batch_size=8,
+                monitor=OracleLoadMonitor(trace),
+                seed=2,
+            )
+        )
+        metrics = sim.run(
+            RamsisSelector(result.policy), trace, pattern=PoissonArrivals(20.0)
+        )
+        g = result.guarantees
+        assert metrics.accuracy_per_satisfied_query >= g.expected_accuracy - 0.02
+        assert metrics.violation_rate <= g.expected_violation_rate + 0.02

@@ -1,0 +1,114 @@
+"""Tests for the naive joint-deadline MDP (§3.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.core.config import WorkerMDPConfig
+from repro.core.discretization import fixed_length_grid
+from repro.core.generator import generate_policy
+from repro.core.naive import NaiveWorkerMDP
+
+
+@pytest.fixture
+def naive(tiny_models):
+    grid = fixed_length_grid(100.0, 5)
+    return NaiveWorkerMDP(
+        tiny_models, grid, PoissonArrivals(30.0), max_queue=3, max_states=50_000
+    )
+
+
+class TestEnumeration:
+    def test_contains_core_states(self, naive):
+        assert naive.num_states >= 3  # empty, fresh arrival, overflow
+        assert not naive.truncated
+
+    def test_transitions_are_distributions(self, naive):
+        for actions in naive._transitions:
+            for _, rows in actions:
+                total = sum(p for _, p in rows)
+                assert total <= 1.0 + 1e-9
+                assert total >= 0.95  # probability floor truncation only
+
+    def test_state_space_grows_with_resolution(self, tiny_models):
+        def count(d, n):
+            grid = fixed_length_grid(100.0, d)
+            return NaiveWorkerMDP(
+                tiny_models, grid, PoissonArrivals(30.0), max_queue=n
+            ).num_states
+
+        assert count(3, 2) < count(5, 3) < count(7, 4)
+
+    def test_truncation_flag(self, tiny_models):
+        grid = fixed_length_grid(100.0, 8)
+        mdp = NaiveWorkerMDP(
+            tiny_models, grid, PoissonArrivals(30.0), max_queue=5, max_states=50
+        )
+        assert mdp.truncated
+
+    def test_exponential_vs_decomposed_size(self, tiny_models):
+        """§3.1.2's point in miniature: the naive space dwarfs RAMSIS's."""
+        d, n = 7, 4
+        grid = fixed_length_grid(100.0, d)
+        naive = NaiveWorkerMDP(
+            tiny_models, grid, PoissonArrivals(30.0), max_queue=n
+        )
+        from repro.core.mdp import build_worker_mdp
+
+        decomposed = build_worker_mdp(
+            WorkerMDPConfig(
+                model_set=tiny_models,
+                slo_ms=100.0,
+                arrivals=PoissonArrivals(30.0),
+                max_queue=n,
+                fld_resolution=d,
+            )
+        )
+        assert naive.num_states > 3 * decomposed.num_states
+
+
+class TestSolving:
+    def test_converges(self, naive):
+        values, stats = naive.solve(tolerance=1e-6)
+        assert stats.iterations > 0
+        assert np.isfinite(values).all()
+        assert values.min() >= 0.0
+
+    def test_values_bounded(self, naive, tiny_models):
+        values, _ = naive.solve(tolerance=1e-6)
+        bound = tiny_models.most_accurate().accuracy / (1.0 - 0.98)
+        assert values.max() <= bound + 1e-6
+
+    def test_greedy_actions_valid(self, naive, tiny_models):
+        values, _ = naive.solve(tolerance=1e-6)
+        grid = naive._grid
+        for state in list(naive._states)[:50]:
+            action = naive.greedy_action(state, values)
+            if state == ():
+                assert action is None
+                continue
+            assert action in tiny_models.names
+
+    def test_agrees_with_decomposed_on_fresh_arrival(self, tiny_models):
+        """Both formulations agree on the (1 query, full slack) decision —
+        the state where their abstractions coincide exactly."""
+        d, n = 5, 3
+        grid = fixed_length_grid(100.0, d)
+        naive = NaiveWorkerMDP(
+            tiny_models, grid, PoissonArrivals(30.0), max_queue=n
+        )
+        values, _ = naive.solve(tolerance=1e-7)
+        naive_choice = naive.greedy_action((grid.slo_index,), values)
+
+        decomposed = generate_policy(
+            WorkerMDPConfig(
+                model_set=tiny_models,
+                slo_ms=100.0,
+                arrivals=PoissonArrivals(30.0),
+                max_queue=n,
+                fld_resolution=d,
+            ),
+            with_guarantees=False,
+        ).policy
+        decomposed_choice = decomposed.action_at(1, grid.slo_index).model
+        assert naive_choice == decomposed_choice

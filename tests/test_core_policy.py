@@ -1,0 +1,101 @@
+"""Tests for Policy / Action / serialization."""
+
+import pytest
+
+from repro.core.discretization import fixed_length_grid
+from repro.core.policy import Action, Policy, PolicyMetadata
+from repro.errors import PolicyError
+
+GRID = fixed_length_grid(100.0, 4)  # values 0, 25, 50, 75, 100
+META = PolicyMetadata(task="t", slo_ms=100.0, load_qps=10.0, num_workers=1)
+
+
+def full_actions(max_queue=3):
+    return {
+        (n, j): Action(model=f"m{j % 2}", batch_size=n)
+        for n in range(1, max_queue + 1)
+        for j in range(len(GRID))
+    }
+
+
+class TestAction:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            Action(model="m", batch_size=0)
+        with pytest.raises(PolicyError):
+            Action(model="", batch_size=1)
+
+    def test_frozen_equality(self):
+        assert Action("m", 2) == Action("m", 2)
+        assert Action("m", 2) != Action("m", 2, is_late=True)
+
+
+class TestPolicy:
+    def test_requires_complete_coverage(self):
+        actions = full_actions()
+        del actions[(2, 3)]
+        with pytest.raises(PolicyError):
+            Policy(grid=GRID, max_queue=3, actions=actions, metadata=META)
+
+    def test_action_at(self):
+        policy = Policy(grid=GRID, max_queue=3, actions=full_actions(), metadata=META)
+        assert policy.action_at(2, 1).model == "m1"
+        with pytest.raises(PolicyError):
+            policy.action_at(4, 0)
+
+    def test_action_for_quantizes_slack(self):
+        policy = Policy(grid=GRID, max_queue=3, actions=full_actions(), metadata=META)
+        # slack 60 -> bin 2 (value 50) -> model m0
+        assert policy.action_for(1, 60.0).model == "m0"
+        # slack 30 -> bin 1 -> m1
+        assert policy.action_for(1, 30.0).model == "m1"
+        # negative slack -> bin 0 -> m0
+        assert policy.action_for(1, -5.0).model == "m0"
+
+    def test_action_for_requires_queries(self):
+        policy = Policy(grid=GRID, max_queue=3, actions=full_actions(), metadata=META)
+        with pytest.raises(PolicyError):
+            policy.action_for(0, 50.0)
+
+    def test_overflow_queue_uses_full_state_action(self):
+        policy = Policy(grid=GRID, max_queue=3, actions=full_actions(), metadata=META)
+        action = policy.action_for(10, 50.0)
+        assert action.batch_size == 10
+        assert action.is_late
+        assert action.model == policy.action_at(3, 0).model
+
+    def test_json_roundtrip(self, tmp_path):
+        policy = Policy(grid=GRID, max_queue=3, actions=full_actions(), metadata=META)
+        path = tmp_path / "policy.json"
+        policy.save(path)
+        loaded = Policy.load(path)
+        assert loaded.max_queue == 3
+        assert loaded.grid.values == GRID.values
+        assert loaded.metadata == META
+        assert loaded.states() == policy.states()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(PolicyError):
+            Policy.from_json_dict({"metadata": {}})
+
+    def test_late_flag_survives_roundtrip(self, tmp_path):
+        actions = full_actions()
+        actions[(1, 0)] = Action(model="m0", batch_size=1, is_late=True)
+        policy = Policy(grid=GRID, max_queue=3, actions=actions, metadata=META)
+        path = tmp_path / "p.json"
+        policy.save(path)
+        assert Policy.load(path).action_at(1, 0).is_late
+
+
+class TestGeneratedPolicyRoundtrip:
+    def test_solver_output_roundtrips(self, tiny_config, tmp_path):
+        from repro.core.generator import generate_policy
+
+        policy = generate_policy(tiny_config, with_guarantees=True).policy
+        path = tmp_path / "gen.json"
+        policy.save(path)
+        loaded = Policy.load(path)
+        assert loaded.states() == policy.states()
+        assert loaded.metadata.expected_accuracy == pytest.approx(
+            policy.metadata.expected_accuracy
+        )

@@ -1,0 +1,112 @@
+"""Tests for load-indexed policy sets (§3.2.2, §6)."""
+
+import pytest
+
+from repro.core.generator import PolicyGenerator
+from repro.core.policy_set import PolicySet
+from repro.errors import PolicyError
+
+
+@pytest.fixture
+def generator(tiny_config):
+    return PolicyGenerator(tiny_config)
+
+
+class TestGeneration:
+    def test_generates_grid(self, generator):
+        ps = PolicySet.generate(generator, [10.0, 30.0, 50.0])
+        assert len(ps) >= 3
+        assert ps.loads_qps[0] == 10.0
+        assert ps.max_load_qps == 50.0
+
+    def test_refinement_inserts_midpoints(self, generator):
+        """With a tight gap threshold, midpoints must be inserted between
+        loads whose expected accuracies differ."""
+        coarse = PolicySet.generate(
+            generator, [5.0, 45.0], accuracy_gap_threshold=1.0
+        )
+        refined = PolicySet.generate(
+            generator, [5.0, 45.0], accuracy_gap_threshold=0.01, max_policies=12
+        )
+        assert len(refined) > len(coarse)
+
+    def test_refinement_respects_cap(self, generator):
+        ps = PolicySet.generate(
+            generator, [5.0, 45.0], accuracy_gap_threshold=1e-6, max_policies=5
+        )
+        assert len(ps) <= 5
+
+    def test_adjacent_gap_rule_holds(self, generator):
+        ps = PolicySet.generate(
+            generator, [5.0, 45.0], accuracy_gap_threshold=0.05, max_policies=16
+        )
+        accs = [p.metadata.expected_accuracy for p in ps]
+        gaps = [abs(b - a) for a, b in zip(accs, accs[1:])]
+        assert all(g <= 0.05 + 1e-9 for g in gaps)
+
+    def test_empty_grid_rejected(self, generator):
+        with pytest.raises(PolicyError):
+            PolicySet.generate(generator, [])
+
+
+class TestSelection:
+    def test_lowest_load_policy_meeting_anticipated(self, generator):
+        ps = PolicySet.generate(generator, [10.0, 20.0, 40.0], 1.0)
+        assert ps.policy_for(5.0).load_qps == 10.0
+        assert ps.policy_for(10.0).load_qps == 10.0
+        assert ps.policy_for(10.1).load_qps == 20.0
+        assert ps.policy_for(39.9).load_qps == 40.0
+
+    def test_overload_generates_new_policy(self, generator):
+        ps = PolicySet.generate(generator, [10.0, 20.0], 1.0)
+        before = len(ps)
+        policy = ps.policy_for(35.0)
+        assert policy.load_qps == 35.0
+        assert len(ps) == before + 1
+        # The new policy is now part of the set.
+        assert ps.policy_for(35.0) is policy
+
+    def test_overload_without_generator_falls_back(self, generator):
+        ps = PolicySet.generate(generator, [10.0, 20.0], 1.0)
+        detached = PolicySet(list(ps))
+        assert detached.policy_for(99.0).load_qps == 20.0
+
+    def test_duplicate_loads_rejected(self, generator):
+        p = generator.generate(10.0).policy
+        with pytest.raises(PolicyError):
+            PolicySet([p, p])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, generator, tmp_path):
+        ps = PolicySet.generate(generator, [10.0, 30.0], 1.0)
+        ps.save(tmp_path / "policies")
+        loaded = PolicySet.load(tmp_path / "policies")
+        assert loaded.loads_qps == ps.loads_qps
+        assert loaded.policy_for(10.0).states() == ps.policy_for(10.0).states()
+
+    def test_load_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(PolicyError):
+            PolicySet.load(tmp_path / "empty")
+
+    def test_summary_rows(self, generator):
+        ps = PolicySet.generate(generator, [10.0, 30.0], 1.0)
+        rows = ps.summary()
+        assert len(rows) == len(ps)
+        assert rows[0]["load_qps"] == 10.0
+        assert 0.0 <= rows[0]["expected_accuracy"] <= 1.0
+
+
+class TestGeneratorCaching:
+    def test_cache_hits(self, generator):
+        a = generator.generate(15.0)
+        b = generator.generate(15.0)
+        assert a is b
+        assert generator.cache_size() == 1
+
+    def test_worker_override(self, generator):
+        a = generator.generate(15.0)
+        b = generator.generate(15.0, num_workers=2)
+        assert a is not b
+        assert b.policy.metadata.num_workers == 2

@@ -1,0 +1,113 @@
+"""Tests for value iteration and policy iteration on known MDPs."""
+
+import numpy as np
+import pytest
+
+from repro.core.mdp import build_worker_mdp
+from repro.core.solvers import policy_iteration, value_iteration
+from repro.errors import SolverError
+
+
+class DenseMDP:
+    """A tiny dense MDP implementing the solver backup protocol.
+
+    Two states, two actions; analytic optimum is easy to derive.
+    """
+
+    def __init__(self, gamma: float = 0.9) -> None:
+        self.gamma = gamma
+        # P[a][s, s'], R[a][s]
+        self.P = np.array(
+            [
+                [[1.0, 0.0], [0.5, 0.5]],  # action 0
+                [[0.0, 1.0], [0.0, 1.0]],  # action 1
+            ]
+        )
+        self.R = np.array(
+            [
+                [1.0, 0.0],  # action 0 rewards per state
+                [0.0, 2.0],  # action 1 rewards per state
+            ]
+        )
+
+    def initial_values(self):
+        return np.zeros(2)
+
+    def backup(self, values, want_greedy=False):
+        from repro.core.mdp import BackupResult
+
+        q = self.R + self.gamma * (self.P @ values)  # (A, S)
+        new_values = q.max(axis=0)
+        greedy = {}
+        if want_greedy:
+            best = q.argmax(axis=0)
+            greedy = {s: (int(best[s]), 1) for s in range(2)}
+        return BackupResult(values=new_values, greedy=greedy)
+
+    def backup_policy(self, values, action_table):
+        out = np.empty(2)
+        for s in range(2):
+            a, _ = action_table[s]
+            out[s] = self.R[a, s] + self.gamma * (self.P[a, s] @ values)
+        return out
+
+
+class TestValueIterationOnDenseMDP:
+    def test_converges_to_analytic_fixed_point(self):
+        """State 1 loops on action 1 forever: V(1) = 2 / (1 - gamma).
+        State 0 picks action... compare both closed forms."""
+        mdp = DenseMDP(gamma=0.9)
+        stats = value_iteration(mdp, tolerance=1e-12)
+        v1 = 2.0 / (1.0 - 0.9)
+        # State 0: action 1 gives 0 + 0.9 * V(1); action 0 gives
+        # 1 + 0.9 * V(0) -> 1/(1-0.9) = 10 < 18.
+        assert stats.values[1] == pytest.approx(v1, abs=1e-6)
+        assert stats.values[0] == pytest.approx(0.9 * v1, abs=1e-6)
+
+    def test_reports_iterations_and_runtime(self):
+        stats = value_iteration(DenseMDP(), tolerance=1e-10)
+        assert stats.converged
+        assert stats.iterations > 10
+        assert stats.runtime_s >= 0.0
+
+    def test_raises_on_iteration_cap(self):
+        with pytest.raises(SolverError):
+            value_iteration(DenseMDP(), tolerance=1e-12, max_iterations=3)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(SolverError):
+            value_iteration(DenseMDP(), tolerance=0.0)
+
+    def test_warm_start(self):
+        mdp = DenseMDP()
+        cold = value_iteration(mdp, tolerance=1e-10)
+        warm = value_iteration(mdp, tolerance=1e-10, initial=cold.values)
+        assert warm.iterations < cold.iterations
+
+
+class TestPolicyIterationOnDenseMDP:
+    def test_matches_value_iteration(self):
+        mdp = DenseMDP(gamma=0.9)
+        vi = value_iteration(mdp, tolerance=1e-12)
+        pi_stats, table = policy_iteration(mdp)
+        assert np.allclose(pi_stats.values, vi.values, atol=1e-5)
+        # Optimal policy: both states take action 1.
+        assert table[0][0] == 1
+        assert table[1][0] == 1
+
+
+class TestSolversOnWorkerMDP:
+    def test_policy_iteration_agrees_with_value_iteration(self, tiny_config):
+        mdp = build_worker_mdp(tiny_config)
+        vi = value_iteration(mdp, tolerance=1e-9)
+        pi_stats, table = policy_iteration(mdp, evaluation_sweeps=1500)
+        assert np.allclose(pi_stats.values, vi.values, atol=1e-3)
+        # The greedy policies coincide exactly.
+        vi_greedy = mdp.backup(vi.values, want_greedy=True).greedy
+        assert table == vi_greedy
+
+    def test_value_iteration_deterministic(self, tiny_config):
+        mdp = build_worker_mdp(tiny_config)
+        a = value_iteration(mdp).values
+        b = value_iteration(mdp).values
+        assert np.array_equal(a, b)

@@ -1,0 +1,270 @@
+"""Tests for transition kernels (§4.4) — the heart of the reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import (
+    DeterministicArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+)
+from repro.core.discretization import fixed_length_grid
+from repro.core.transitions import (
+    DeterministicGaps,
+    EquilibriumRenewalKernelBuilder,
+    ExactRoundRobinKernelBuilder,
+    GammaGaps,
+    SplitViewKernelBuilder,
+    StateSpace,
+    gaps_for_distribution,
+)
+
+SLO = 120.0
+GRID = fixed_length_grid(SLO, 12)
+N_MAX = 10
+
+
+class TestStateSpace:
+    def test_size(self):
+        sp = StateSpace(max_queue=4, grid_size=5)
+        assert sp.size == 2 + 20
+
+    def test_index_decode_roundtrip(self):
+        sp = StateSpace(max_queue=4, grid_size=5)
+        for n in range(1, 5):
+            for j in range(5):
+                assert sp.decode(sp.index(n, j)) == (n, j)
+
+    def test_special_states(self):
+        sp = StateSpace(max_queue=4, grid_size=5)
+        assert sp.decode(sp.EMPTY) == (0, -1)
+        assert sp.decode(sp.FULL) == (4, 0)
+
+    def test_bounds_checked(self):
+        sp = StateSpace(max_queue=4, grid_size=5)
+        with pytest.raises(ValueError):
+            sp.index(0, 0)
+        with pytest.raises(ValueError):
+            sp.index(5, 0)
+        with pytest.raises(ValueError):
+            sp.index(1, 5)
+        with pytest.raises(ValueError):
+            sp.decode(sp.size)
+
+    def test_occupied_view_shares_memory(self):
+        sp = StateSpace(max_queue=3, grid_size=4)
+        v = np.zeros(sp.size)
+        view = sp.occupied_view(v)
+        view[1, 2] = 7.0
+        assert v[sp.index(2, 2)] == 7.0
+
+
+class TestSplitViewKernel:
+    def setup_method(self):
+        self.dist = PoissonArrivals(40.0)
+        self.builder = SplitViewKernelBuilder(GRID, self.dist, max_queue=N_MAX)
+
+    def test_row_is_distribution(self):
+        for latency in (5.0, 33.3, 80.0, 150.0):
+            row = self.builder.service_row(latency)
+            assert row.min() >= 0.0
+            assert row.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_probability_matches_poisson(self):
+        row = self.builder.service_row(50.0)
+        assert row[self.builder.space.EMPTY] == pytest.approx(
+            self.dist.pmf(0, 50.0)
+        )
+
+    def test_count_marginal_matches_poisson(self):
+        """Summing slack bins recovers P[n' = k arrivals during service]."""
+        row = self.builder.service_row(60.0)
+        occ = self.builder.space.occupied_view(row)
+        pois = self.dist.pmf_vector(N_MAX, 60.0)
+        for k in range(1, N_MAX + 1):
+            assert occ[k - 1].sum() == pytest.approx(pois[k], abs=1e-10)
+
+    def test_slack_support_window(self):
+        """For n' >= 1, slack lies in [SLO - l, SLO) exactly."""
+        latency = 60.0
+        row = self.builder.service_row(latency)
+        occ = self.builder.space.occupied_view(row)
+        grid_values = GRID.as_array()
+        for j in range(len(GRID)):
+            mass = occ[:, j].sum()
+            if GRID.upper(j) <= SLO - latency or grid_values[j] >= SLO:
+                assert mass == pytest.approx(0.0, abs=1e-12)
+
+    def test_full_state_takes_tail(self):
+        # Huge service time: queue overflows with near certainty.
+        row = self.builder.service_row(1000.0)
+        assert row[self.builder.space.FULL] > 0.5
+
+    def test_rows_cached(self):
+        a = self.builder.service_row(42.0)
+        b = self.builder.service_row(42.0)
+        assert a is b
+
+    def test_partial_row_geometry(self):
+        row = self.builder.partial_row(30.0, leftover=2, leftover_slack_ms=45.0)
+        sp = self.builder.space
+        assert row.sum() == pytest.approx(1.0, abs=1e-9)
+        j_left = GRID.floor_index(45.0)
+        counts = self.dist.pmf_vector(N_MAX, 30.0)
+        for k in range(N_MAX - 2 + 1):
+            assert row[sp.index(2 + k, j_left)] == pytest.approx(counts[k])
+
+    def test_partial_row_requires_leftover(self):
+        with pytest.raises(ValueError):
+            self.builder.partial_row(30.0, leftover=0, leftover_slack_ms=0.0)
+
+
+class TestEquilibriumRenewalKernel:
+    def test_exponential_gaps_match_poisson_split(self):
+        """Memorylessness: equilibrium renewal with exponential gaps must
+        reproduce the Poisson split kernel exactly."""
+        dist = PoissonArrivals(40.0)
+        split = SplitViewKernelBuilder(GRID, dist, max_queue=N_MAX)
+        renewal = EquilibriumRenewalKernelBuilder(
+            GRID, GammaGaps(shape=1.0, scale_ms=25.0), max_queue=N_MAX
+        )
+        for latency in (10.0, 47.0, 90.0):
+            a = split.service_row(latency)
+            b = renewal.service_row(latency)
+            assert np.allclose(a, b, atol=5e-6)
+
+    def test_row_is_distribution(self):
+        builder = EquilibriumRenewalKernelBuilder(
+            GRID, GammaGaps(shape=6.0, scale_ms=25.0 / 6.0), max_queue=N_MAX
+        )
+        for latency in (5.0, 40.0, 110.0):
+            row = builder.service_row(latency)
+            assert row.min() >= -1e-12
+            assert row.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_erlang_less_bursty_than_poisson(self):
+        """With Erlang gaps (round-robin marginal), the count of arrivals
+        during a service is less dispersed than Poisson at the same rate."""
+        mean_gap = 25.0
+        pois = EquilibriumRenewalKernelBuilder(
+            GRID, GammaGaps(shape=1.0, scale_ms=mean_gap), max_queue=N_MAX
+        )
+        erl = EquilibriumRenewalKernelBuilder(
+            GRID, GammaGaps(shape=8.0, scale_ms=mean_gap / 8.0), max_queue=N_MAX
+        )
+        latency = 50.0  # ~2 arrivals expected
+        counts_p = pois.arrival_counts(latency)
+        counts_e = erl.arrival_counts(latency)
+        ks = np.arange(N_MAX + 1)
+
+        def variance(c):
+            mean = float((ks * c).sum())
+            return float((((ks - mean) ** 2) * c).sum())
+
+        assert variance(counts_e) < variance(counts_p)
+
+    def test_arrival_counts_mean_matches_rate(self):
+        builder = EquilibriumRenewalKernelBuilder(
+            GRID, GammaGaps(shape=4.0, scale_ms=5.0), max_queue=N_MAX
+        )
+        latency = 60.0  # expected arrivals = 60 / 20 = 3
+        counts = builder.arrival_counts(latency)
+        mean = float((np.arange(N_MAX + 1) * counts).sum())
+        # Tail mass beyond N_MAX is negligible here.
+        assert mean == pytest.approx(3.0, rel=0.05)
+
+    def test_deterministic_gaps(self):
+        builder = EquilibriumRenewalKernelBuilder(
+            GRID, DeterministicGaps(gap_ms=30.0), max_queue=N_MAX
+        )
+        counts = builder.arrival_counts(45.0)
+        # 45ms with 30ms gaps and uniform phase: 1 or 2 arrivals.
+        assert counts.sum() == pytest.approx(1.0, abs=1e-6)
+        assert counts[0] == pytest.approx(0.0, abs=0.02)
+        assert counts[1] + counts[2] == pytest.approx(1.0, abs=0.02)
+
+
+class TestGapsForDistribution:
+    def test_poisson_maps_to_exponential(self):
+        gaps = gaps_for_distribution(PoissonArrivals(100.0))
+        assert isinstance(gaps, GammaGaps)
+        assert gaps.shape == 1.0
+        assert gaps.mean_ms == pytest.approx(10.0)
+
+    def test_gamma_maps_to_gamma(self):
+        gaps = gaps_for_distribution(GammaArrivals(100.0, shape=3.0))
+        assert isinstance(gaps, GammaGaps)
+        assert gaps.shape == 3.0
+        assert gaps.mean_ms == pytest.approx(10.0)
+
+    def test_deterministic_maps_to_fixed(self):
+        gaps = gaps_for_distribution(DeterministicArrivals(100.0))
+        assert isinstance(gaps, DeterministicGaps)
+        assert gaps.mean_ms == pytest.approx(10.0)
+
+
+class TestExactRoundRobinKernel:
+    def test_k1_matches_split_view(self):
+        dist = PoissonArrivals(40.0)
+        split = SplitViewKernelBuilder(GRID, dist, max_queue=N_MAX)
+        exact = ExactRoundRobinKernelBuilder(
+            GRID, dist, num_workers=1, max_queue=N_MAX
+        )
+        for latency in (15.0, 55.0, 100.0):
+            rows = exact.service_rows_by_phase(latency)
+            assert rows.shape[0] == 1
+            assert np.allclose(rows[0], split.service_row(latency), atol=1e-9)
+
+    def test_rows_are_distributions(self):
+        exact = ExactRoundRobinKernelBuilder(
+            GRID, PoissonArrivals(120.0), num_workers=3, max_queue=N_MAX
+        )
+        rows = exact.service_rows_by_phase(40.0)
+        assert rows.shape == (3, exact.space.size)
+        assert rows.min() >= -1e-12
+        assert np.allclose(rows.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_phase_weights_sum_to_one(self):
+        exact = ExactRoundRobinKernelBuilder(
+            GRID, PoissonArrivals(120.0), num_workers=4, max_queue=N_MAX
+        )
+        for n in (1, 3, 7):
+            for slack in (0.0, 50.0, 120.0):
+                w = exact.phase_weights(n, slack)
+                assert w.shape == (4,)
+                assert w.sum() == pytest.approx(1.0)
+                assert (w >= 0).all()
+
+    def test_phase_deterministic_right_after_arrival(self):
+        """A fresh arrival (slack == SLO, n == 1) pins the phase to 0."""
+        exact = ExactRoundRobinKernelBuilder(
+            GRID, PoissonArrivals(120.0), num_workers=4, max_queue=N_MAX
+        )
+        w = exact.phase_weights(1, SLO)
+        assert w[0] == pytest.approx(1.0)
+
+    def test_higher_phase_means_sooner_arrival(self):
+        """Phase r = K-1 (next central arrival is ours) makes an empty next
+        queue less likely than phase r = 0."""
+        exact = ExactRoundRobinKernelBuilder(
+            GRID, PoissonArrivals(120.0), num_workers=4, max_queue=N_MAX
+        )
+        rows = exact.service_rows_by_phase(40.0)
+        sp = exact.space
+        assert rows[3, sp.EMPTY] < rows[0, sp.EMPTY]
+
+    def test_marginal_close_to_equilibrium_renewal(self):
+        """Uniformly mixing the exact phases approximates the equilibrium
+        renewal marginal (they coincide as conditioning vanishes)."""
+        k = 3
+        central = PoissonArrivals(120.0)
+        exact = ExactRoundRobinKernelBuilder(GRID, central, k, max_queue=N_MAX)
+        renewal = EquilibriumRenewalKernelBuilder(
+            GRID,
+            gaps_for_distribution(central.split_round_robin(k)),
+            max_queue=N_MAX,
+        )
+        latency = 50.0
+        mixed = exact.service_rows_by_phase(latency).mean(axis=0)
+        row = renewal.service_row(latency)
+        assert np.allclose(mixed, row, atol=5e-3)

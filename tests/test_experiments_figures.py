@@ -1,0 +1,208 @@
+"""Smoke-scale executions of every figure/table driver.
+
+Each test runs the full driver at SMOKE scale and checks the structural
+invariants of its output (coverage, rendering) rather than paper numbers —
+the benchmarks regenerate the numbers at DEFAULT scale.
+"""
+
+import pytest
+
+from repro.experiments.appendix import (
+    render_appendix_h,
+    render_appendix_i,
+    render_fig12,
+    render_variant_sweep,
+    run_appendix_h,
+    run_appendix_i,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+from repro.experiments.fig5 import production_trace, render_fig5, run_fig5
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.runner import clear_caches
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    run_table2,
+)
+from repro.experiments.tasks import image_task
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    clear_caches()
+    return ExperimentScale.smoke()
+
+
+class TestProductionTrace:
+    def test_scaled_down_envelope(self, smoke):
+        trace = production_trace(smoke)
+        assert trace.peak_qps == pytest.approx(3905.0 / smoke.cluster_scale)
+        assert trace.duration_ms == smoke.trace_duration_s * 1000.0
+
+
+class TestFig5:
+    def test_runs_and_renders(self, smoke):
+        result = run_fig5(
+            scale=smoke, tasks=[image_task()], methods=("RAMSIS", "JF"),
+            slos_per_task=1,
+        )
+        expected = len(smoke.worker_counts) * 2
+        assert len(result.points) == expected
+        text = render_fig5(result)
+        assert "Figure 5" in text
+        assert "RAMSIS" in text
+
+    def test_series_extraction(self, smoke):
+        result = run_fig5(
+            scale=smoke, tasks=[image_task()], methods=("RAMSIS",),
+            slos_per_task=1,
+        )
+        series = result.series("image", 150.0, "RAMSIS")
+        workers = [w for w, _ in series]
+        assert workers == sorted(workers)
+
+
+class TestFig6:
+    def test_runs_and_renders(self, smoke):
+        result = run_fig6(
+            scale=smoke, tasks=[image_task()], methods=("RAMSIS", "MS"),
+            slos_per_task=1,
+        )
+        assert len(result.points) == len(smoke.constant_loads_qps) * 2
+        assert "Figure 6" in render_fig6(result)
+
+    def test_accuracy_declines_with_load(self, smoke):
+        result = run_fig6(
+            scale=smoke, tasks=[image_task()], methods=("RAMSIS",),
+            slos_per_task=1,
+        )
+        series = result.series("image", 150.0, "RAMSIS")
+        if len(series) >= 2:
+            assert series[0][1] >= series[-1][1] - 0.02
+
+
+class TestFig7:
+    def test_three_variants_per_cell(self, smoke):
+        result = run_fig7(scale=smoke, loads_qps=(20.0, 50.0))
+        variants = {p.variant for p in result.points}
+        assert variants == {"expectation", "simulation", "implementation"}
+        expected = len(smoke.fidelity_worker_counts) * 2 * 3
+        assert len(result.points) == expected
+        assert "Figure 7" in render_fig7(result)
+
+    def test_implementation_at_least_simulation_accuracy(self, smoke):
+        """§7.3.1: stochastic execution usually helps accuracy."""
+        result = run_fig7(scale=smoke, loads_qps=(20.0,))
+        for workers in smoke.fidelity_worker_counts:
+            sim = dict(
+                (load, acc) for load, acc, _ in result.series("simulation", workers)
+            )
+            impl = dict(
+                (load, acc)
+                for load, acc, _ in result.series("implementation", workers)
+            )
+            for load in sim:
+                assert impl[load] >= sim[load] - 0.03
+
+
+class TestFig8:
+    def test_runs_and_renders(self, smoke):
+        result = run_fig8(scale=smoke, synthetic_count=20)
+        counts = {c for _, c, _ in result.points}
+        assert counts == {9, 20}
+        assert "Figure 8" in render_fig8(result)
+
+
+class TestAppendixDrivers:
+    def test_fig10_variants(self, smoke):
+        points = run_fig10(
+            scale=smoke, resolutions=(2, 10), loads_qps=(20.0,)
+        )
+        assert {p.variant for p in points} == {"FLD D=2", "FLD D=10", "MD"}
+        assert "load" in render_variant_sweep(points, "Fig 10")
+
+    def test_fig10_md_at_least_as_good_as_coarse_fld(self, smoke):
+        points = run_fig10(scale=smoke, resolutions=(2,), loads_qps=(20.0,))
+        by_variant = {p.variant: p for p in points}
+        assert (
+            by_variant["MD"].accuracy >= by_variant["FLD D=2"].accuracy - 0.02
+        )
+
+    def test_fig11_batching_variants(self, smoke):
+        points = run_fig11(scale=smoke, loads_qps=(20.0,))
+        assert {p.variant for p in points} == {"maximal", "variable"}
+        # Appendix D: near-identical accuracy.
+        by_variant = {p.variant: p for p in points}
+        assert by_variant["variable"].accuracy == pytest.approx(
+            by_variant["maximal"].accuracy, abs=0.05
+        )
+
+    def test_fig12_labels(self, smoke):
+        points = run_fig12(scale=smoke, loads_qps=(20.0,))
+        labels = {p.method for p in points}
+        assert labels == {
+            "RAMSIS (26 models)",
+            "JF+ (26 models)",
+            "RAMSIS (3 models)",
+            "JF+ (3 models)",
+        }
+        assert "Figure 12" in render_fig12(points)
+
+    def test_appendix_h_infaas_never_beats_ramsis(self, smoke):
+        points = run_appendix_h(scale=smoke, loads_qps=(20.0,))
+        ramsis = [p for label, p in points if label == "RAMSIS"][0]
+        infaas_accs = [
+            p.accuracy
+            for label, p in points
+            if label.startswith("INFaaS") and p.plottable
+        ]
+        assert all(a <= ramsis.accuracy + 0.02 for a in infaas_accs)
+        assert "Appendix H" in render_appendix_h(points)
+
+    def test_appendix_i_both_balancers_run(self, smoke):
+        points = run_appendix_i(scale=smoke, loads_qps=(20.0,))
+        labels = {label for label, _ in points}
+        assert labels == {"round-robin", "shortest-queue"}
+        assert "Appendix I" in render_appendix_i(points)
+
+
+class TestTable2:
+    def test_strategy_grid(self, smoke):
+        rows = run_table2(scale=smoke, include_variable=False)
+        strategies = {(r.discretization, r.batching) for r in rows}
+        assert ("FLD D=10", "max") in strategies
+        assert ("MD", "max") in strategies
+        assert {r.model_count for r in rows} == {9, 60}
+        assert "Table 2" in render_table2(rows)
+
+    def test_fld10_faster_than_fld100(self, smoke):
+        rows = run_table2(scale=smoke, include_variable=False)
+
+        def runtime(disc, count):
+            return [
+                r.runtime_s
+                for r in rows
+                if r.discretization == disc and r.model_count == count
+            ][0]
+
+        assert runtime("FLD D=10", 60) < runtime("FLD D=100", 60)
+
+
+class TestTables34:
+    def test_render_from_figure_results(self, smoke):
+        fig5 = run_fig5(
+            scale=smoke, tasks=[image_task()], methods=("RAMSIS",),
+            slos_per_task=1,
+        )
+        assert "Table 3" in render_table3(fig5)
+        fig6 = run_fig6(
+            scale=smoke, tasks=[image_task()], methods=("RAMSIS",),
+            slos_per_task=1,
+        )
+        assert "Table 4" in render_table4(fig6)

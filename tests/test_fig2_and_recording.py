@@ -1,0 +1,98 @@
+"""Tests for the Fig. 2 motivation driver and the recording selector."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.runner import clear_caches
+from repro.experiments.scale import ExperimentScale
+from repro.selectors import GreedyDeadlineSelector, RecordingSelector
+from repro.sim import Simulation, SimulationConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+
+
+class TestRecordingSelector:
+    def test_records_every_decision(self, tiny_models):
+        inner = GreedyDeadlineSelector()
+        recorder = RecordingSelector(inner)
+        sim = Simulation(
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=1)
+        )
+        metrics = sim.run(
+            recorder,
+            LoadTrace.constant(1.0, 1_000.0),
+            arrival_times=np.array([0.0, 5.0, 200.0]),
+        )
+        assert len(recorder.decisions) == metrics.decisions
+        served = sum(d.action.batch_size for d in recorder.decisions)
+        assert served == metrics.total_queries
+
+    def test_records_queue_state(self, tiny_models):
+        recorder = RecordingSelector(GreedyDeadlineSelector())
+        sim = Simulation(
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=1)
+        )
+        sim.run(
+            recorder,
+            LoadTrace.constant(1.0, 1_000.0),
+            arrival_times=np.array([0.0]),
+        )
+        record = recorder.decisions[0]
+        assert record.queue_length == 1
+        assert record.earliest_slack_ms == pytest.approx(100.0)
+        assert record.now_ms == pytest.approx(0.0)
+
+    def test_rebinding_clears_log(self, tiny_models):
+        recorder = RecordingSelector(GreedyDeadlineSelector())
+        sim = Simulation(
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=1)
+        )
+        trace = LoadTrace.constant(1.0, 1_000.0)
+        sim.run(recorder, trace, arrival_times=np.array([0.0]))
+        first = len(recorder.decisions)
+        sim.run(recorder, trace, arrival_times=np.array([0.0]))
+        assert len(recorder.decisions) == first  # cleared and re-filled
+
+    def test_models_used_order(self, tiny_models):
+        recorder = RecordingSelector(GreedyDeadlineSelector())
+        sim = Simulation(
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=1)
+        )
+        sim.run(
+            recorder,
+            LoadTrace.constant(1.0, 2_000.0),
+            arrival_times=np.array([0.0, 1.0, 1.5, 400.0]),
+        )
+        used = recorder.models_used()
+        assert used
+        assert len(used) == len(set(used))
+
+
+class TestFig2:
+    def test_fig2_mechanism(self):
+        result = run_fig2(
+            scale=ExperimentScale.smoke(), duration_ms=12_000.0
+        )
+        # The load-granular baseline pins one model.
+        assert len(result.baseline_models_used) == 1
+        # RAMSIS mixes models and upgrades during lulls.
+        assert len(result.ramsis_models_used) >= 2
+        assert result.lulls
+        assert result.ramsis_upgrades()
+        # Same arrival stream for both schemes.
+        assert (
+            result.ramsis_metrics.total_queries
+            == result.baseline_metrics.total_queries
+        )
+
+    def test_fig2_render(self):
+        result = run_fig2(scale=ExperimentScale.smoke(), duration_ms=8_000.0)
+        text = render_fig2(result)
+        assert "Figure 2" in text
+        assert "RAMSIS" in text
+        assert "load-granular" in text

@@ -1,0 +1,90 @@
+"""Focused tests on the §5.1 guarantee weightings and edge regimes."""
+
+import pytest
+from dataclasses import replace
+
+from repro.arrivals.distributions import DeterministicArrivals, PoissonArrivals
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.core.guarantees import evaluate_policy
+from repro.core.mdp import build_worker_mdp
+from repro.core.solvers import value_iteration
+
+
+class TestWeightingVariants:
+    def test_per_epoch_and_per_query_both_reported(self, tiny_config):
+        g = generate_policy(tiny_config).guarantees
+        # They weight differently but live in the same band.
+        assert abs(g.expected_accuracy - g.per_epoch_accuracy) < 0.2
+        assert abs(g.expected_violation_rate - g.per_epoch_violation_rate) < 0.5
+
+    def test_weightings_agree_with_unit_batches(self, tiny_models):
+        """When every decision serves exactly one query (max_queue = 1),
+        per-query and per-epoch weightings coincide."""
+        config = WorkerMDPConfig(
+            model_set=tiny_models,
+            slo_ms=100.0,
+            arrivals=PoissonArrivals(5.0),
+            max_queue=1,
+            max_batch_size=1,
+            fld_resolution=8,
+        )
+        mdp = build_worker_mdp(config)
+        policy = mdp.extract_policy(value_iteration(mdp).values)
+        g = evaluate_policy(mdp, policy)
+        # FULL state (batch = 1 there too) keeps the equality exact.
+        assert g.expected_accuracy == pytest.approx(g.per_epoch_accuracy, abs=1e-9)
+        assert g.expected_violation_rate == pytest.approx(
+            g.per_epoch_violation_rate, abs=1e-9
+        )
+
+
+class TestRegimes:
+    def test_deterministic_arrivals_zero_violations(self, tiny_models):
+        """Perfectly regular arrivals well under capacity: the §5.1 bound
+        itself should be (near) zero."""
+        config = WorkerMDPConfig(
+            model_set=tiny_models,
+            slo_ms=100.0,
+            arrivals=DeterministicArrivals(10.0),  # gap 100 ms >> service
+            max_batch_size=8,
+            fld_resolution=10,
+        )
+        g = generate_policy(config).guarantees
+        assert g.expected_violation_rate < 0.01
+        # Plenty of slack: the most accurate feasible model dominates.
+        assert g.expected_accuracy > 0.85
+
+    def test_burstier_arrivals_lower_accuracy_bound(self, tiny_models):
+        """At the same load, a burstier inter-arrival pattern forces a more
+        conservative policy — the paper's core premise inverted."""
+        from repro.arrivals.distributions import GammaArrivals
+
+        def accuracy(shape):
+            config = WorkerMDPConfig(
+                model_set=tiny_models,
+                slo_ms=100.0,
+                arrivals=GammaArrivals(30.0, shape=shape),
+                max_batch_size=8,
+                fld_resolution=10,
+            )
+            return generate_policy(config).guarantees.expected_accuracy
+
+        assert accuracy(4.0) >= accuracy(0.5) - 0.01
+
+    def test_discount_affects_farsightedness(self, tiny_config):
+        """A near-myopic policy is at most as safe as a far-sighted one."""
+        myopic = generate_policy(replace(tiny_config, discount=0.05)).guarantees
+        farsighted = generate_policy(
+            replace(tiny_config, discount=0.99)
+        ).guarantees
+        assert farsighted.expected_violation_rate <= (
+            myopic.expected_violation_rate + 0.02
+        )
+
+    def test_full_probability_grows_with_load(self, tiny_config):
+        probs = []
+        for load in (20.0, 80.0, 300.0):
+            g = generate_policy(tiny_config.with_load(load)).guarantees
+            probs.append(g.full_state_probability)
+        assert probs[0] <= probs[1] + 1e-9 <= probs[2] + 2e-9

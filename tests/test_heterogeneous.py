@@ -1,0 +1,140 @@
+"""Tests for heterogeneous clusters: per-worker speeds and per-worker
+policies (§7: "Worker homogeneity is not a fundamental requirement for
+RAMSIS since policies are generated per worker")."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.errors import ProfileError, SimulationError
+from repro.selectors import GreedyDeadlineSelector, RamsisSelector
+from repro.sim import OracleLoadMonitor, Simulation, SimulationConfig
+
+
+class TestLatencyScaling:
+    def test_scales_all_parameters(self, tiny_models):
+        slow = tiny_models.with_latency_scale(2.0)
+        for name in tiny_models.names:
+            assert slow.get(name).latency.per_item_ms == pytest.approx(
+                2.0 * tiny_models.get(name).latency.per_item_ms
+            )
+            assert slow.get(name).latency.overhead_ms == pytest.approx(
+                2.0 * tiny_models.get(name).latency.overhead_ms
+            )
+            assert slow.get(name).accuracy == tiny_models.get(name).accuracy
+
+    def test_pareto_front_preserved(self, image_models):
+        scaled = image_models.with_latency_scale(1.7)
+        assert scaled.pareto_front().names == image_models.pareto_front().names
+
+    def test_invalid_factor_rejected(self, tiny_models):
+        with pytest.raises(ProfileError):
+            tiny_models.with_latency_scale(0.0)
+
+
+class TestHeterogeneousSimulation:
+    def test_speed_factors_validated(self, tiny_models):
+        with pytest.raises(SimulationError):
+            SimulationConfig(
+                model_set=tiny_models,
+                slo_ms=100.0,
+                num_workers=2,
+                worker_speed_factors=(1.0,),
+            )
+        with pytest.raises(SimulationError):
+            SimulationConfig(
+                model_set=tiny_models,
+                slo_ms=100.0,
+                num_workers=2,
+                worker_speed_factors=(1.0, 0.0),
+            )
+
+    def test_slower_cluster_more_violations(self, tiny_models):
+        trace = LoadTrace.constant(120.0, 20_000.0)
+
+        def violations(factors):
+            sim = Simulation(
+                SimulationConfig(
+                    model_set=tiny_models,
+                    slo_ms=100.0,
+                    num_workers=2,
+                    worker_speed_factors=factors,
+                    seed=5,
+                )
+            )
+            return sim.run(GreedyDeadlineSelector(), trace).violation_rate
+
+        assert violations((1.0, 1.0)) <= violations((2.5, 2.5)) + 1e-9
+
+    def test_selector_count_validated(self, tiny_models):
+        sim = Simulation(
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=3)
+        )
+        with pytest.raises(SimulationError):
+            sim.run(
+                [GreedyDeadlineSelector()],
+                LoadTrace.constant(10.0, 1_000.0),
+                arrival_times=np.array([0.0]),
+            )
+
+    def test_per_worker_selectors_serve(self, tiny_models):
+        sim = Simulation(
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=2)
+        )
+        selectors = [GreedyDeadlineSelector(), GreedyDeadlineSelector()]
+        metrics = sim.run(
+            selectors,
+            LoadTrace.constant(50.0, 10_000.0),
+            pattern=PoissonArrivals(50.0),
+        )
+        assert metrics.total_queries > 0
+
+
+class TestPerWorkerPolicies:
+    def test_per_type_policies_beat_mismatched_policy(self, tiny_models):
+        """On a cluster with one 1x and one 2.5x-slower worker, generating
+        each worker's policy from its *own* profile must not lose to
+        deploying the fast worker's policy everywhere."""
+        slo, load, workers = 100.0, 50.0, 2
+        factors = (1.0, 2.5)
+        trace = LoadTrace.constant(load, 40_000.0)
+
+        def policy_for(scale_factor):
+            config = WorkerMDPConfig(
+                model_set=tiny_models.with_latency_scale(scale_factor),
+                slo_ms=slo,
+                arrivals=PoissonArrivals(load),
+                num_workers=workers,
+                max_batch_size=8,
+                fld_resolution=10,
+            )
+            return generate_policy(config, with_guarantees=False).policy
+
+        def run(selectors):
+            sim = Simulation(
+                SimulationConfig(
+                    model_set=tiny_models,
+                    slo_ms=slo,
+                    num_workers=workers,
+                    max_batch_size=8,
+                    worker_speed_factors=factors,
+                    monitor=OracleLoadMonitor(trace),
+                    seed=6,
+                )
+            )
+            return sim.run(selectors, trace, pattern=PoissonArrivals(load))
+
+        fast_policy = policy_for(1.0)
+        matched = run(
+            [RamsisSelector(policy_for(f)) for f in factors]
+        )
+        mismatched = run(
+            [RamsisSelector(fast_policy), RamsisSelector(fast_policy)]
+        )
+        # The fast policy running on the slow worker plans with optimistic
+        # latencies, so matching policies to worker types must not violate
+        # more.
+        assert matched.violation_rate <= mismatched.violation_rate + 0.01

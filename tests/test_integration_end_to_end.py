@@ -1,0 +1,133 @@
+"""End-to-end integration tests: the paper's headline claims, small scale.
+
+These run the complete pipeline — zoo, offline policy generation, online
+serving through the simulator — and assert the *qualitative* results of §7:
+
+1. RAMSIS achieves at least the baselines' accuracy wherever both keep
+   violations under 5% (Figs. 5/6);
+2. both converge at the extremes of the load range (§7.2 insight);
+3. the offline expectations bound the online metrics (§5.1, Fig. 7);
+4. RAMSIS upgrades models during lulls (the Fig. 2 mechanism), visible as
+   a mixed model-usage histogram at moderate load.
+"""
+
+import pytest
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import image_task
+from repro.experiments.runner import clear_caches, run_method
+from repro.selectors import JellyfishPlusSelector, RamsisSelector
+from repro.sim import OracleLoadMonitor, Simulation, SimulationConfig
+
+SMOKE = ExperimentScale.smoke()
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+
+
+class TestHeadlineClaim:
+    @pytest.mark.parametrize("load_per_worker", [10.0, 20.0, 30.0])
+    def test_ramsis_at_least_as_accurate_when_both_feasible(
+        self, load_per_worker
+    ):
+        task = image_task()
+        workers = 2
+        load = load_per_worker * workers
+        trace = LoadTrace.constant(load, 25_000.0)
+        cells = {
+            m: run_method(m, task, 150.0, workers, trace, SMOKE, oracle_load=True)
+            for m in ("RAMSIS", "JF", "MS")
+        }
+        ramsis = cells["RAMSIS"]
+        assert ramsis.plottable, f"RAMSIS violated at {load_per_worker}/worker"
+        for name in ("JF", "MS"):
+            if cells[name].plottable:
+                assert ramsis.accuracy >= cells[name].accuracy - 0.005
+
+    def test_methods_converge_at_low_load(self):
+        """§7.2: at very low load, arrivals are too sparse for inter-arrival
+        awareness to matter much."""
+        task = image_task()
+        trace = LoadTrace.constant(4.0, 25_000.0)
+        ramsis = run_method("RAMSIS", task, 150.0, 2, trace, SMOKE, oracle_load=True)
+        ms = run_method("MS", task, 150.0, 2, trace, SMOKE, oracle_load=True)
+        if ramsis.plottable and ms.plottable:
+            assert abs(ramsis.accuracy - ms.accuracy) < 0.06
+
+
+class TestGuaranteeBounds:
+    def test_expectations_bound_online_metrics(self):
+        """§5.1 / Fig. 7 at a satisfiable load."""
+        task = image_task()
+        load, workers, slo = 40.0, 2, 150.0
+        config = WorkerMDPConfig.default_poisson(
+            task.model_set,
+            slo_ms=slo,
+            load_qps=load,
+            num_workers=workers,
+            fld_resolution=SMOKE.fld_resolution,
+            max_batch_size=SMOKE.max_batch_size,
+        )
+        result = generate_policy(config)
+        trace = LoadTrace.constant(load, 60_000.0)
+        sim = Simulation(
+            SimulationConfig(
+                model_set=task.model_set,
+                slo_ms=slo,
+                num_workers=workers,
+                max_batch_size=SMOKE.max_batch_size,
+                monitor=OracleLoadMonitor(trace),
+                seed=23,
+            )
+        )
+        metrics = sim.run(
+            RamsisSelector(result.policy), trace, pattern=PoissonArrivals(load)
+        )
+        g = result.guarantees
+        assert metrics.accuracy_per_satisfied_query >= g.expected_accuracy - 0.02
+        assert metrics.violation_rate <= g.expected_violation_rate + 0.02
+
+
+class TestLullExploitation:
+    def test_ramsis_mixes_models_at_moderate_load(self):
+        """The Fig. 2 mechanism: under Poisson arrivals at moderate load,
+        RAMSIS serves some queries on higher-accuracy models while the
+        load-granular baseline pins a single model."""
+        task = image_task()
+        load, workers, slo = 30.0, 2, 150.0
+        config = WorkerMDPConfig.default_poisson(
+            task.model_set,
+            slo_ms=slo,
+            load_qps=load,
+            num_workers=workers,
+            fld_resolution=SMOKE.fld_resolution,
+            max_batch_size=SMOKE.max_batch_size,
+        )
+        policy = generate_policy(config, with_guarantees=False).policy
+        trace = LoadTrace.constant(load, 30_000.0)
+
+        def model_share(selector):
+            sim = Simulation(
+                SimulationConfig(
+                    model_set=task.model_set,
+                    slo_ms=slo,
+                    num_workers=workers,
+                    max_batch_size=SMOKE.max_batch_size,
+                    monitor=OracleLoadMonitor(trace),
+                    seed=29,
+                )
+            )
+            return sim.run(
+                selector, trace, pattern=PoissonArrivals(load)
+            ).model_share()
+
+        ramsis_share = model_share(RamsisSelector(policy))
+        jf_share = model_share(JellyfishPlusSelector())
+        assert len(ramsis_share) >= 2, "RAMSIS should mix models"
+        assert len(jf_share) == 1, "load-granular baseline pins one model"

@@ -1,0 +1,97 @@
+"""Integration: measured profiles -> fitted models -> policies.
+
+The downstream-user path: profile real(istic) hardware, fit parametric
+latency models, and generate policies from the *measured* profiles.  The
+policies must closely match the ones generated from the ground truth —
+this is exactly how the paper's offline phase consumes its TorchServe
+measurements.
+"""
+
+import pytest
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.profiles.io import fit_linear_model
+from repro.profiles.models import ModelProfile, ModelSet
+from repro.profiles.profiler import SimulatedHardware, profile_model_set
+from repro.profiles.zoo import build_image_model_set
+
+
+@pytest.fixture(scope="module")
+def measured_set():
+    """A Pareto subset re-derived purely from measurements."""
+    truth = build_image_model_set().subset(
+        ["shufflenet_v2_x0_5", "shufflenet_v2_x2_0", "efficientnet_b2"]
+    )
+    measured_profiles = profile_model_set(
+        truth, max_batch_size=8, hardware=SimulatedHardware(seed=21), runs=300
+    )
+    measured = ModelSet(
+        [
+            ModelProfile(
+                name=m.name,
+                accuracy=m.accuracy,  # accuracy comes from the test set
+                family=m.family,
+                latency=fit_linear_model(measured_profiles[m.name], std_ms=10.0),
+            )
+            for m in truth
+        ],
+        task=truth.task,
+    )
+    return truth, measured
+
+
+class TestMeasuredPipeline:
+    def test_fitted_latencies_close(self, measured_set):
+        truth, measured = measured_set
+        for name in truth.names:
+            for b in (1, 4, 8):
+                assert measured.get(name).latency_ms(b) == pytest.approx(
+                    truth.get(name).latency_ms(b), rel=0.08
+                )
+
+    def test_policies_agree_on_most_states(self, measured_set):
+        truth, measured = measured_set
+
+        def policy_for(models):
+            config = WorkerMDPConfig(
+                model_set=models,
+                slo_ms=150.0,
+                arrivals=PoissonArrivals(25.0),
+                max_batch_size=8,
+                fld_resolution=12,
+            )
+            return generate_policy(config, with_guarantees=False).policy
+
+        reference = policy_for(truth)
+        fitted = policy_for(measured)
+        states = reference.states()
+        agree = sum(
+            1
+            for key, action in states.items()
+            if fitted.action_at(*key).model == action.model
+        )
+        assert agree / len(states) > 0.9
+
+    def test_guarantees_close(self, measured_set):
+        truth, measured = measured_set
+
+        def guarantees_for(models):
+            config = WorkerMDPConfig(
+                model_set=models,
+                slo_ms=150.0,
+                arrivals=PoissonArrivals(25.0),
+                max_batch_size=8,
+                fld_resolution=12,
+            )
+            return generate_policy(config).guarantees
+
+        g_truth = guarantees_for(truth)
+        g_measured = guarantees_for(measured)
+        assert g_measured.expected_accuracy == pytest.approx(
+            g_truth.expected_accuracy, abs=0.02
+        )
+        assert g_measured.expected_violation_rate == pytest.approx(
+            g_truth.expected_violation_rate, abs=0.02
+        )

@@ -1,0 +1,144 @@
+"""Tests for the resource-manager capacity planner (§5.1's scaling loop)."""
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.arrivals.distributions import PoissonArrivals
+from repro.errors import CapacityError
+from repro.manager import CapacityPlanner
+
+
+@pytest.fixture
+def planner(tiny_models):
+    base = WorkerMDPConfig(
+        model_set=tiny_models,
+        slo_ms=100.0,
+        arrivals=PoissonArrivals(50.0),
+        max_batch_size=8,
+        fld_resolution=10,
+    )
+    return CapacityPlanner(
+        base,
+        accuracy_floor=0.70,
+        violation_ceiling=0.02,
+        min_workers=1,
+        max_workers=16,
+    )
+
+
+class TestPlan:
+    def test_plan_meets_targets(self, planner):
+        plan = planner.plan(60.0)
+        assert plan.guarantees.expected_accuracy >= 0.70
+        assert plan.guarantees.expected_violation_rate <= 0.02
+        assert 1 <= plan.num_workers <= 16
+
+    def test_plan_is_minimal(self, planner, tiny_models):
+        """One worker fewer must fail at least one target."""
+        plan = planner.plan(60.0)
+        if plan.num_workers > 1:
+            from repro.core.generator import generate_policy
+
+            smaller = WorkerMDPConfig(
+                model_set=tiny_models,
+                slo_ms=100.0,
+                arrivals=PoissonArrivals(60.0),
+                num_workers=plan.num_workers - 1,
+                max_batch_size=8,
+                fld_resolution=10,
+            )
+            g = generate_policy(smaller).guarantees
+            assert not g.meets(0.70, 0.02)
+
+    def test_more_load_needs_at_least_as_many_workers(self, planner):
+        low = planner.plan(30.0).num_workers
+        high = planner.plan(120.0).num_workers
+        assert high >= low
+
+    def test_plan_cached(self, planner):
+        assert planner.plan(60.0) is planner.plan(60.0)
+
+    def test_infeasible_raises(self, tiny_models):
+        base = WorkerMDPConfig(
+            model_set=tiny_models,
+            slo_ms=100.0,
+            arrivals=PoissonArrivals(50.0),
+            max_batch_size=8,
+            fld_resolution=10,
+        )
+        impossible = CapacityPlanner(
+            base, accuracy_floor=0.95, violation_ceiling=0.01, max_workers=4
+        )
+        with pytest.raises(CapacityError):
+            impossible.plan(50.0)
+
+    def test_invalid_targets_rejected(self, tiny_models):
+        base = WorkerMDPConfig(
+            model_set=tiny_models,
+            slo_ms=100.0,
+            arrivals=PoissonArrivals(50.0),
+        )
+        with pytest.raises(CapacityError):
+            CapacityPlanner(base, accuracy_floor=1.5, violation_ceiling=0.1)
+        with pytest.raises(CapacityError):
+            CapacityPlanner(base, accuracy_floor=0.5, violation_ceiling=-0.1)
+        with pytest.raises(CapacityError):
+            CapacityPlanner(
+                base, accuracy_floor=0.5, violation_ceiling=0.1, min_workers=0
+            )
+
+
+class TestSchedule:
+    def test_schedule_covers_trace(self, planner):
+        trace = LoadTrace(interval_ms=5_000.0, qps=(30.0, 90.0, 120.0, 40.0))
+        schedule = planner.schedule_for_trace(trace, load_quantum_qps=30.0)
+        assert len(schedule.entries) == 4
+        assert schedule.entries[0].start_ms == 0.0
+        assert schedule.entries[-1].end_ms == trace.duration_ms
+
+    def test_scale_up_immediate(self, planner):
+        trace = LoadTrace(interval_ms=5_000.0, qps=(30.0, 120.0))
+        schedule = planner.schedule_for_trace(trace, load_quantum_qps=30.0)
+        assert schedule.entries[1].num_workers >= schedule.entries[0].num_workers
+
+    def test_scale_down_waits_for_cooldown(self, planner):
+        trace = LoadTrace(
+            interval_ms=5_000.0, qps=(120.0, 30.0, 30.0, 30.0)
+        )
+        schedule = planner.schedule_for_trace(
+            trace, load_quantum_qps=30.0, cooldown_intervals=2
+        )
+        peak = schedule.entries[0].num_workers
+        # Held through the cooldown, released afterwards.
+        assert schedule.entries[1].num_workers == peak
+        assert schedule.entries[2].num_workers == peak
+        assert schedule.entries[3].num_workers <= peak
+
+    def test_worker_seconds_accounting(self, planner):
+        trace = LoadTrace(interval_ms=2_000.0, qps=(30.0, 30.0))
+        schedule = planner.schedule_for_trace(trace, load_quantum_qps=30.0)
+        per_interval = schedule.entries[0].num_workers * 2.0
+        assert schedule.worker_seconds == pytest.approx(2 * per_interval)
+
+    def test_workers_at(self, planner):
+        trace = LoadTrace(interval_ms=1_000.0, qps=(30.0, 120.0))
+        schedule = planner.schedule_for_trace(trace, load_quantum_qps=30.0)
+        assert schedule.workers_at(500.0) == schedule.entries[0].num_workers
+        with pytest.raises(CapacityError):
+            schedule.workers_at(5_000.0)
+
+    def test_headroom_increases_allocation(self, planner):
+        trace = LoadTrace(interval_ms=5_000.0, qps=(60.0,))
+        lean = planner.schedule_for_trace(trace, load_quantum_qps=15.0)
+        padded = planner.schedule_for_trace(
+            trace, load_quantum_qps=15.0, headroom=1.8
+        )
+        assert padded.peak_workers >= lean.peak_workers
+
+    def test_invalid_parameters(self, planner):
+        trace = LoadTrace.constant(30.0, 1_000.0)
+        with pytest.raises(CapacityError):
+            planner.schedule_for_trace(trace, load_quantum_qps=0.0)
+        with pytest.raises(CapacityError):
+            planner.schedule_for_trace(trace, cooldown_intervals=-1)

@@ -1,0 +1,67 @@
+"""Additional multi-SLO tests: pattern overrides and RAMSIS per class."""
+
+import pytest
+
+from repro.arrivals.distributions import DeterministicArrivals, PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.selectors import GreedyDeadlineSelector, RamsisSelector
+from repro.sim import SLOClass, run_multi_slo
+
+
+class TestPatternOverride:
+    def test_deterministic_pattern_respected(self, tiny_models):
+        cls = SLOClass(
+            slo_ms=100.0,
+            trace=LoadTrace.constant(100.0, 5_000.0),
+            selector=GreedyDeadlineSelector(),
+            num_workers=1,
+            pattern=DeterministicArrivals(100.0),
+        )
+        report = run_multi_slo(tiny_models, [cls], seed=3)
+        metrics = report.per_class[100.0]
+        # Deterministic arrivals: exactly one query per 10 ms interval.
+        assert metrics.total_queries == pytest.approx(500, abs=2)
+
+    def test_default_pattern_is_poisson(self, tiny_models):
+        cls = SLOClass(
+            slo_ms=100.0,
+            trace=LoadTrace.constant(100.0, 5_000.0),
+            selector=GreedyDeadlineSelector(),
+            num_workers=1,
+        )
+        report = run_multi_slo(tiny_models, [cls], seed=3)
+        # Poisson count varies around the mean.
+        assert report.per_class[100.0].total_queries == pytest.approx(500, rel=0.2)
+
+
+class TestRamsisPerClass:
+    def test_policies_match_their_slo(self, tiny_models):
+        """Each class runs a policy generated for its own SLO; the loose
+        class ends up more accurate."""
+        classes = []
+        for slo, load, workers in ((60.0, 30.0, 1), (250.0, 30.0, 1)):
+            config = WorkerMDPConfig(
+                model_set=tiny_models,
+                slo_ms=slo,
+                arrivals=PoissonArrivals(load),
+                num_workers=workers,
+                max_batch_size=8,
+                fld_resolution=10,
+            )
+            policy = generate_policy(config, with_guarantees=False).policy
+            classes.append(
+                SLOClass(
+                    slo_ms=slo,
+                    trace=LoadTrace.constant(load, 20_000.0),
+                    selector=RamsisSelector(policy),
+                    num_workers=workers,
+                )
+            )
+        report = run_multi_slo(tiny_models, classes, seed=9)
+        tight, loose = report.per_class[60.0], report.per_class[250.0]
+        assert loose.accuracy_per_satisfied_query > (
+            tight.accuracy_per_satisfied_query
+        )
+        assert loose.violation_rate < 0.05

@@ -1,0 +1,56 @@
+"""Edge-case tests for arrival sampling across interval boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import DeterministicArrivals, PoissonArrivals
+from repro.arrivals.processes import sample_arrival_times
+from repro.arrivals.traces import LoadTrace
+
+
+class TestBoundaryCarryover:
+    def test_deterministic_gap_straddles_boundary(self, rng):
+        """With deterministic gaps, the residual gap carries into the next
+        interval scaled by the rate ratio — no phantom arrival appears at
+        the boundary."""
+        # 10 QPS (gap 100 ms) for 1 s, then 100 QPS (gap 10 ms) for 1 s.
+        trace = LoadTrace(interval_ms=1_000.0, qps=(10.0, 100.0))
+        times = sample_arrival_times(trace, DeterministicArrivals(10.0), rng)
+        gaps = np.diff(times)
+        # No duplicate arrival exactly at the boundary.
+        assert (gaps > 1e-9).all()
+        # Second-interval arrivals are 10 ms apart.
+        second = times[times >= 1_000.0]
+        assert np.allclose(np.diff(second), 10.0)
+
+    def test_long_lull_spans_empty_interval(self, rng):
+        """A near-zero-rate middle interval passes the pending gap through
+        without stranding the sampler."""
+        trace = LoadTrace(interval_ms=1_000.0, qps=(200.0, 1e-6, 200.0))
+        times = sample_arrival_times(trace, PoissonArrivals(200.0), rng)
+        middle = np.sum((times >= 1_000.0) & (times < 2_000.0))
+        assert middle <= 1
+        first = np.sum(times < 1_000.0)
+        last = np.sum(times >= 2_000.0)
+        assert first == pytest.approx(200, rel=0.25)
+        assert last == pytest.approx(200, rel=0.25)
+
+    def test_many_tiny_intervals(self, rng):
+        """Hundreds of 50 ms intervals: totals still match expectation."""
+        qps = tuple(100.0 + 50.0 * np.sin(i / 10.0) for i in range(200))
+        trace = LoadTrace(interval_ms=50.0, qps=qps)
+        times = sample_arrival_times(trace, PoissonArrivals(100.0), rng)
+        assert times.shape[0] == pytest.approx(
+            trace.expected_queries(), rel=0.1
+        )
+
+    def test_all_zero_trace_yields_no_arrivals(self, rng):
+        trace = LoadTrace(interval_ms=1_000.0, qps=(0.0, 0.0))
+        times = sample_arrival_times(trace, PoissonArrivals(10.0), rng)
+        assert times.shape[0] == 0
+
+    def test_single_very_short_interval(self, rng):
+        trace = LoadTrace.constant(1000.0, 10.0)  # 10 ms at 1000 QPS
+        times = sample_arrival_times(trace, PoissonArrivals(1000.0), rng)
+        assert (times < 10.0).all()
+        assert times.shape[0] <= 40  # ~10 expected; generous tail bound

@@ -1,0 +1,79 @@
+"""Tests for model-set serialization and measured-profile fitting."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.io import fit_linear_model, load_model_set, save_model_set
+from repro.profiles.latency import LatencyProfile
+from repro.profiles.profiler import SimulatedHardware, profile_model_set
+from repro.profiles.zoo import build_image_model_set
+
+
+class TestModelSetRoundtrip:
+    def test_roundtrip_preserves_everything(self, tiny_models, tmp_path):
+        path = tmp_path / "models.json"
+        save_model_set(tiny_models, path)
+        loaded = load_model_set(path)
+        assert loaded.task == tiny_models.task
+        assert loaded.names == tiny_models.names
+        for name in tiny_models.names:
+            a, b = tiny_models.get(name), loaded.get(name)
+            assert a.accuracy == b.accuracy
+            assert a.latency.overhead_ms == b.latency.overhead_ms
+            assert a.latency.per_item_ms == b.latency.per_item_ms
+            assert a.family == b.family
+
+    def test_zoo_roundtrip(self, tmp_path):
+        zoo = build_image_model_set()
+        path = tmp_path / "zoo.json"
+        save_model_set(zoo, path)
+        loaded = load_model_set(path)
+        assert len(loaded) == 26
+        assert len(loaded.pareto_front()) == 9
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"version\": 1, \"models\": [{}]}")
+        with pytest.raises(ProfileError):
+            load_model_set(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text("{\"version\": 99, \"models\": []}")
+        with pytest.raises(ProfileError):
+            load_model_set(path)
+
+
+class TestFitLinearModel:
+    def test_recovers_parametric_ground_truth(self, image_models):
+        """Profile a model on simulated hardware, fit, compare."""
+        model = image_models.get("efficientnet_b2")
+        subset = image_models.subset([model.name])
+        profiles = profile_model_set(
+            subset, max_batch_size=8, hardware=SimulatedHardware(seed=11), runs=300
+        )
+        fitted = fit_linear_model(profiles[model.name], std_ms=10.0)
+        assert fitted.per_item_ms == pytest.approx(
+            model.latency.per_item_ms, rel=0.05
+        )
+        for b in (1, 4, 8):
+            assert fitted.p95_ms(b) == pytest.approx(model.latency_ms(b), rel=0.08)
+
+    def test_exact_on_noiseless_table(self):
+        table = LatencyProfile(
+            p95_ms_by_batch={b: 5.0 + 12.0 * b for b in range(1, 9)}
+        )
+        fitted = fit_linear_model(table, std_ms=0.0)
+        assert fitted.per_item_ms == pytest.approx(12.0)
+        assert fitted.overhead_ms == pytest.approx(5.0)
+
+    def test_single_point_profile(self):
+        table = LatencyProfile(p95_ms_by_batch={1: 20.0})
+        fitted = fit_linear_model(table, std_ms=0.0)
+        assert fitted.p95_ms(1) == pytest.approx(20.0)
+
+    def test_overhead_clamped_non_negative(self):
+        # Steep slope through low batch-1 point would fit negative overhead.
+        table = LatencyProfile(p95_ms_by_batch={1: 1.0, 2: 40.0, 3: 80.0})
+        fitted = fit_linear_model(table, std_ms=0.0)
+        assert fitted.overhead_ms >= 0.0

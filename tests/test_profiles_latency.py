@@ -1,0 +1,115 @@
+"""Tests for repro.profiles.latency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.latency import LatencyProfile, LinearLatencyModel
+
+
+class TestLinearLatencyModel:
+    def test_mean_is_affine(self):
+        m = LinearLatencyModel(overhead_ms=5.0, per_item_ms=10.0, std_ms=0.0)
+        assert m.mean_ms(1) == 15.0
+        assert m.mean_ms(4) == 45.0
+
+    def test_p95_above_mean(self):
+        m = LinearLatencyModel(overhead_ms=5.0, per_item_ms=10.0, std_ms=10.0)
+        assert m.p95_ms(3) > m.mean_ms(3)
+
+    def test_p95_equals_mean_when_deterministic(self):
+        m = LinearLatencyModel(overhead_ms=5.0, per_item_ms=10.0, std_ms=0.0)
+        assert m.p95_ms(2) == m.mean_ms(2)
+
+    def test_std_capped_for_small_models(self):
+        m = LinearLatencyModel(overhead_ms=1.0, per_item_ms=4.0, std_ms=10.0)
+        # mean(1) = 5ms; effective std capped at 1ms (20% of mean).
+        assert m.effective_std_ms(1) == pytest.approx(1.0)
+
+    def test_sample_positive_and_near_mean(self, rng):
+        m = LinearLatencyModel(overhead_ms=10.0, per_item_ms=30.0, std_ms=10.0)
+        samples = np.array([m.sample_ms(2, rng) for _ in range(5000)])
+        assert (samples > 0).all()
+        assert samples.mean() == pytest.approx(m.mean_ms(2), rel=0.05)
+
+    def test_sample_deterministic_when_no_std(self, rng):
+        m = LinearLatencyModel(overhead_ms=10.0, per_item_ms=30.0, std_ms=0.0)
+        assert m.sample_ms(3, rng) == m.mean_ms(3)
+
+    def test_sample_floored(self, rng):
+        m = LinearLatencyModel(overhead_ms=1.0, per_item_ms=1.0, std_ms=10.0)
+        samples = [m.sample_ms(1, rng) for _ in range(2000)]
+        assert min(samples) >= 0.25 * m.mean_ms(1) - 1e-12
+
+    def test_invalid_batch_rejected(self):
+        m = LinearLatencyModel(overhead_ms=1.0, per_item_ms=1.0)
+        with pytest.raises(ProfileError):
+            m.mean_ms(0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearLatencyModel(overhead_ms=-1.0, per_item_ms=1.0)
+        with pytest.raises(ValueError):
+            LinearLatencyModel(overhead_ms=0.0, per_item_ms=0.0)
+
+    def test_tabulate_matches_p95(self):
+        m = LinearLatencyModel(overhead_ms=5.0, per_item_ms=10.0, std_ms=3.0)
+        profile = m.tabulate(4)
+        for b in range(1, 5):
+            assert profile.latency_ms(b) == pytest.approx(m.p95_ms(b))
+
+
+class TestLatencyProfile:
+    def test_lookup(self):
+        p = LatencyProfile(p95_ms_by_batch={1: 10.0, 2: 18.0, 3: 26.0})
+        assert p.max_batch_size == 3
+        assert p.latency_ms(2) == 18.0
+
+    def test_rejects_gaps(self):
+        with pytest.raises(ProfileError):
+            LatencyProfile(p95_ms_by_batch={1: 10.0, 3: 30.0})
+
+    def test_rejects_missing_batch_one(self):
+        with pytest.raises(ProfileError):
+            LatencyProfile(p95_ms_by_batch={2: 10.0, 3: 30.0})
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ProfileError):
+            LatencyProfile(p95_ms_by_batch={1: 10.0, 2: 9.0})
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ProfileError):
+            LatencyProfile(p95_ms_by_batch={1: 0.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProfileError):
+            LatencyProfile(p95_ms_by_batch={})
+
+    def test_out_of_range_batch(self):
+        p = LatencyProfile(p95_ms_by_batch={1: 10.0})
+        with pytest.raises(ProfileError):
+            p.latency_ms(2)
+        with pytest.raises(ProfileError):
+            p.latency_ms(0)
+
+    def test_max_batch_within(self):
+        p = LatencyProfile(p95_ms_by_batch={1: 10.0, 2: 20.0, 3: 30.0})
+        assert p.max_batch_within(25.0) == 2
+        assert p.max_batch_within(5.0) is None
+        assert p.max_batch_within(100.0) == 3
+
+    def test_throughput(self):
+        p = LatencyProfile(p95_ms_by_batch={1: 10.0, 2: 15.0})
+        assert p.throughput_qps(1) == pytest.approx(100.0)
+        assert p.throughput_qps(2) == pytest.approx(2 / 15.0 * 1000.0)
+
+    def test_peak_throughput_respects_budget(self):
+        p = LatencyProfile(p95_ms_by_batch={1: 10.0, 2: 15.0, 3: 40.0})
+        assert p.peak_throughput_qps(budget_ms=16.0) == pytest.approx(
+            2 / 15.0 * 1000.0
+        )
+        assert p.peak_throughput_qps(budget_ms=5.0) == 0.0
+
+    def test_as_dict_roundtrip(self):
+        table = {1: 10.0, 2: 20.0}
+        assert LatencyProfile(p95_ms_by_batch=table).as_dict() == table

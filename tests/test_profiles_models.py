@@ -1,0 +1,114 @@
+"""Tests for repro.profiles.models (ModelProfile / ModelSet)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.latency import LinearLatencyModel
+from repro.profiles.models import ModelProfile, ModelSet
+
+
+def make_model(name, accuracy, per_item, overhead=2.0):
+    return ModelProfile(
+        name=name,
+        accuracy=accuracy,
+        latency=LinearLatencyModel(
+            overhead_ms=overhead, per_item_ms=per_item, std_ms=0.0
+        ),
+    )
+
+
+class TestModelProfile:
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            make_model("", 0.5, 1.0)
+        with pytest.raises(ValueError):
+            make_model("m", 1.5, 1.0)
+
+    def test_latency_lookup(self):
+        m = make_model("m", 0.8, 10.0)
+        assert m.latency_ms(1) == pytest.approx(12.0)
+        assert m.mean_latency_ms(2) == pytest.approx(22.0)
+
+    def test_max_batch_within(self):
+        m = make_model("m", 0.8, 10.0)
+        assert m.max_batch_within(32.0, cap=8) == 3
+        assert m.max_batch_within(5.0, cap=8) is None
+        assert m.max_batch_within(1000.0, cap=4) == 4
+
+    def test_peak_throughput(self):
+        m = make_model("m", 0.8, 10.0)  # l(b) = 2 + 10b
+        # throughput grows with batch: best at the largest feasible batch.
+        assert m.peak_throughput_qps(52.0, cap=8) == pytest.approx(
+            5 / 52.0 * 1000.0
+        )
+        assert m.peak_throughput_qps(5.0, cap=8) == 0.0
+
+
+class TestModelSet:
+    def test_container_protocol(self, tiny_models):
+        assert len(tiny_models) == 3
+        assert "fast" in tiny_models
+        assert "missing" not in tiny_models
+        assert tiny_models.names == ("fast", "medium", "slow")
+        assert tiny_models[0].name == "fast"
+
+    def test_get_and_index(self, tiny_models):
+        assert tiny_models.get("medium").accuracy == 0.75
+        assert tiny_models.index_of("slow") == 2
+        with pytest.raises(ProfileError):
+            tiny_models.get("nope")
+        with pytest.raises(ProfileError):
+            tiny_models.index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ProfileError):
+            ModelSet([make_model("a", 0.5, 1.0), make_model("a", 0.6, 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            ModelSet([])
+
+    def test_extremes(self, tiny_models):
+        assert tiny_models.fastest().name == "fast"
+        assert tiny_models.slowest().name == "slow"
+        assert tiny_models.most_accurate().name == "slow"
+
+    def test_max_batch_size(self, tiny_models):
+        # fast: l(b) = 2 + 8b -> largest b with l <= 100 is 12, capped.
+        assert tiny_models.max_batch_size(100.0, cap=64) == 12
+        assert tiny_models.max_batch_size(100.0, cap=8) == 8
+
+    def test_max_batch_size_infeasible(self):
+        models = ModelSet([make_model("m", 0.5, 500.0)])
+        with pytest.raises(ProfileError):
+            models.max_batch_size(100.0)
+
+    def test_subset_order(self, tiny_models):
+        sub = tiny_models.subset(["slow", "fast"])
+        assert sub.names == ("slow", "fast")
+
+    def test_pareto_front_prunes_dominated(self):
+        models = ModelSet(
+            [
+                make_model("a", 0.6, 5.0),
+                make_model("b", 0.5, 10.0),  # dominated by a
+                make_model("c", 0.8, 20.0),
+                make_model("d", 0.7, 30.0),  # dominated by c
+            ]
+        )
+        assert models.pareto_front().names == ("a", "c")
+
+    def test_pareto_front_sorted_by_latency(self, tiny_models):
+        front = tiny_models.pareto_front()
+        latencies = [m.latency_ms(1) for m in front]
+        assert latencies == sorted(latencies)
+
+    def test_pareto_equal_accuracy_keeps_faster(self):
+        models = ModelSet(
+            [make_model("fast_eq", 0.7, 5.0), make_model("slow_eq", 0.7, 10.0)]
+        )
+        assert models.pareto_front().names == ("fast_eq",)
+
+    def test_accuracy_table(self, tiny_models):
+        table = tiny_models.accuracy_table()
+        assert table == {"fast": 0.60, "medium": 0.75, "slow": 0.90}

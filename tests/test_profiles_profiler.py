@@ -1,0 +1,47 @@
+"""Tests for the simulated offline profiler."""
+
+import pytest
+
+from repro.profiles.profiler import SimulatedHardware, profile_model_set
+
+
+class TestSimulatedHardware:
+    def test_deterministic_for_seed(self, tiny_models):
+        a = SimulatedHardware(seed=3)
+        b = SimulatedHardware(seed=3)
+        model = tiny_models.get("medium")
+        assert a.execute(model, 2) == b.execute(model, 2)
+
+    def test_time_repeated_length(self, tiny_models):
+        hw = SimulatedHardware(seed=0)
+        runs = hw.time_repeated(tiny_models.get("fast"), 1, 100)
+        assert len(runs) == 100
+        assert all(r > 0 for r in runs)
+
+
+class TestProfileModelSet:
+    def test_covers_all_models_and_batches(self, tiny_models):
+        profiles = profile_model_set(tiny_models, max_batch_size=4, runs=30)
+        assert set(profiles) == set(tiny_models.names)
+        for profile in profiles.values():
+            assert profile.max_batch_size == 4
+
+    def test_empirical_p95_close_to_parametric(self, image_models):
+        """Measured profiles should match the parametric ground truth, the
+        same way the paper's measured profiles feed its policies."""
+        subset = image_models.subset(["shufflenet_v2_x0_5", "efficientnet_b2"])
+        profiles = profile_model_set(
+            subset, max_batch_size=4, hardware=SimulatedHardware(seed=9), runs=400
+        )
+        for model in subset:
+            for b in (1, 4):
+                measured = profiles[model.name].latency_ms(b)
+                assert measured == pytest.approx(model.latency_ms(b), rel=0.08)
+
+    def test_monotone_despite_noise(self, image_models):
+        subset = image_models.subset(["shufflenet_v2_x0_5"])
+        profiles = profile_model_set(
+            subset, max_batch_size=8, hardware=SimulatedHardware(seed=1), runs=10
+        )
+        values = [profiles["shufflenet_v2_x0_5"].latency_ms(b) for b in range(1, 9)]
+        assert values == sorted(values)

@@ -1,0 +1,138 @@
+"""Tests for the calibrated model zoo — every structural fact the paper
+reports about Figs. 3/9 and §7 must hold."""
+
+import math
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.zoo import (
+    IMAGE_SLOS_MS,
+    TEXT_SLOS_MS,
+    build_image_model_set,
+    build_synthetic_model_set,
+    build_text_model_set,
+    build_three_model_image_set,
+)
+
+
+class TestImageZoo:
+    def test_has_26_models(self, image_models):
+        assert len(image_models) == 26
+
+    def test_family_census_matches_paper(self, image_models):
+        """11 EfficientNets, 5 ResNets, 2 ResNeXts, GoogleNet, 2 MobileNets,
+        Inception, 4 ShuffleNets (§7)."""
+        census = {}
+        for m in image_models:
+            census[m.family] = census.get(m.family, 0) + 1
+        assert census == {
+            "efficientnet": 11,
+            "resnet": 5,
+            "resnext": 2,
+            "googlenet": 1,
+            "mobilenet": 2,
+            "inception": 1,
+            "shufflenet": 4,
+        }
+
+    def test_pareto_front_has_9_models(self, image_models):
+        assert len(image_models.pareto_front()) == 9
+
+    def test_appendix_e_models_on_front(self, image_models):
+        front = image_models.pareto_front().names
+        for name in ("shufflenet_v2_x0_5", "efficientnet_b2", "efficientnet_v2_s"):
+            assert name in front
+
+    def test_slo_grid_rule(self, image_models):
+        """Middle SLO = slowest model's p95 rounded up to 100 ms; low = half;
+        high = 1.5x slowest rounded up (§7)."""
+        slowest = image_models.slowest().latency_ms(1)
+        middle = math.ceil(slowest / 100.0) * 100.0
+        assert middle == 300.0
+        assert math.ceil(1.5 * slowest / 100.0) * 100.0 == 500.0
+        assert IMAGE_SLOS_MS == (150.0, 300.0, 500.0)
+
+    def test_max_batch_is_29_at_largest_slo(self, image_models):
+        """The paper observed B_w = 29 for the largest evaluated SLO."""
+        assert image_models.max_batch_size(500.0, cap=64) == 29
+
+    def test_fastest_model(self, image_models):
+        assert image_models.fastest().name == "shufflenet_v2_x0_5"
+
+    def test_accuracies_in_range(self, image_models):
+        for m in image_models:
+            assert 0.60 <= m.accuracy <= 0.86
+
+
+class TestTextZoo:
+    def test_has_5_models_all_on_front(self, text_models):
+        assert len(text_models) == 5
+        assert len(text_models.pareto_front()) == 5
+
+    def test_slo_grid_rule(self, text_models):
+        slowest = text_models.slowest().latency_ms(1)
+        assert math.ceil(slowest / 100.0) * 100.0 == 200.0
+        assert TEXT_SLOS_MS == (100.0, 200.0, 300.0)
+
+    def test_bert_ordering(self, text_models):
+        """Accuracy and latency both increase tiny -> base."""
+        ordered = ["bert_tiny", "bert_mini", "bert_small", "bert_medium", "bert_base"]
+        assert list(text_models.names) == ordered
+        accs = [text_models.get(n).accuracy for n in ordered]
+        lats = [text_models.get(n).latency_ms(1) for n in ordered]
+        assert accs == sorted(accs)
+        assert lats == sorted(lats)
+
+
+class TestThreeModelSet:
+    def test_contents(self):
+        three = build_three_model_image_set()
+        assert set(three.names) == {
+            "shufflenet_v2_x0_5",
+            "efficientnet_b2",
+            "efficientnet_v2_s",
+        }
+
+
+class TestSyntheticModelSet:
+    def test_exactly_60_models(self):
+        synthetic = build_synthetic_model_set(target_count=60)
+        assert len(synthetic) == 60
+
+    def test_strict_superset_of_pareto_front(self, image_models):
+        synthetic = build_synthetic_model_set(image_models, target_count=60)
+        front = set(image_models.pareto_front().names)
+        assert front <= set(synthetic.names)
+
+    def test_all_on_interpolated_front(self):
+        """Synthetic models interpolate the front, so nothing is dominated."""
+        synthetic = build_synthetic_model_set(target_count=60)
+        assert len(synthetic.pareto_front()) == 60
+
+    def test_accuracy_increments_dense(self):
+        synthetic = build_synthetic_model_set(target_count=60)
+        accs = sorted(m.accuracy for m in synthetic)
+        gaps = [b - a for a, b in zip(accs, accs[1:])]
+        assert max(gaps) <= 0.011  # ~0.5-1% increments
+
+    def test_latencies_within_front_range(self, image_models):
+        front = image_models.pareto_front()
+        lo = front.fastest().latency_ms(1)
+        hi = front.slowest().latency_ms(1)
+        synthetic = build_synthetic_model_set(image_models, target_count=60)
+        for m in synthetic:
+            assert lo - 1e-9 <= m.latency_ms(1) <= hi + 1e-9
+
+    def test_smaller_counts(self):
+        assert len(build_synthetic_model_set(target_count=20)) == 20
+
+    def test_count_below_front_rejected(self, image_models):
+        with pytest.raises(ProfileError):
+            build_synthetic_model_set(image_models, target_count=5)
+
+    def test_zoo_builders_are_pure(self):
+        a, b = build_image_model_set(), build_image_model_set()
+        assert a.names == b.names
+        a2, b2 = build_text_model_set(), build_text_model_set()
+        assert a2.names == b2.names

@@ -1,0 +1,62 @@
+"""Extra coverage for reporting: render_comparison and series grouping."""
+
+from repro.experiments.reporting import render_comparison, series_by_method
+from repro.experiments.runner import MethodPoint
+
+
+def point(method, workers=2, load=None, acc=0.7, viol=0.01, slo=150.0):
+    return MethodPoint(
+        task="image",
+        method=method,
+        slo_ms=slo,
+        num_workers=workers,
+        load_qps=load,
+        accuracy=acc,
+        violation_rate=viol,
+        queries=100,
+    )
+
+
+class TestSeriesByMethod:
+    def test_groups_and_sorts(self):
+        points = [
+            point("RAMSIS", workers=4),
+            point("RAMSIS", workers=2),
+            point("JF", workers=2),
+        ]
+        grouped = series_by_method(points)
+        assert set(grouped) == {"RAMSIS", "JF"}
+        assert [p.num_workers for p in grouped["RAMSIS"]] == [2, 4]
+
+    def test_sorts_by_load_within_workers(self):
+        points = [
+            point("MS", workers=2, load=80.0),
+            point("MS", workers=2, load=40.0),
+        ]
+        grouped = series_by_method(points)
+        assert [p.load_qps for p in grouped["MS"]] == [40.0, 80.0]
+
+
+class TestRenderComparison:
+    def test_full_block(self):
+        points = [
+            point("RAMSIS", workers=2, acc=0.78),
+            point("RAMSIS", workers=4, acc=0.82),
+            point("MS", workers=2, acc=0.74),
+            point("MS", workers=4, acc=0.78),
+            point("JF", workers=2, acc=0.73),
+        ]
+        text = render_comparison(points, ["MS", "JF"])
+        assert "ModelSwitching" in text
+        assert "Jellyfish" in text
+        assert "average accuracy % increase" in text
+        # RAMSIS matches MS@4 (0.78) with 2 workers -> 50% savings line.
+        assert "up to 50.00%" in text
+
+    def test_empty_points(self):
+        assert render_comparison([], ["MS"]) == ""
+
+    def test_unknown_baseline_label_passthrough(self):
+        points = [point("RAMSIS"), point("Greedy", acc=0.6)]
+        text = render_comparison(points, ["Greedy"])
+        assert "Greedy" in text

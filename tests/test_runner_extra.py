@@ -1,0 +1,70 @@
+"""Extra coverage for the experiment runner's selector factory."""
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.errors import ConfigurationError
+from repro.experiments.runner import clear_caches, make_selector
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import image_task
+from repro.selectors import (
+    GreedyDeadlineSelector,
+    InfaasAdaptedSelector,
+    JellyfishPlusSelector,
+    ModelSwitchingSelector,
+    RamsisSelector,
+)
+
+SMOKE = ExperimentScale.smoke()
+TRACE = LoadTrace.constant(40.0, 2_000.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+
+
+class TestMakeSelector:
+    def test_ramsis_pinned(self):
+        sel = make_selector(
+            "RAMSIS", image_task(), 150.0, 2, TRACE, SMOKE, pinned_load_qps=40.0
+        )
+        assert isinstance(sel, RamsisSelector)
+        assert sel.current_policy(40.0).load_qps == 40.0
+
+    def test_ramsis_policy_set(self):
+        trace = LoadTrace(interval_ms=1_000.0, qps=(20.0, 60.0))
+        sel = make_selector("RAMSIS", image_task(), 150.0, 2, trace, SMOKE)
+        assert isinstance(sel, RamsisSelector)
+        # Policy set covers the trace's load range.
+        low = sel.current_policy(20.0)
+        high = sel.current_policy(60.0)
+        assert low.load_qps <= high.load_qps
+
+    def test_jf(self):
+        sel = make_selector("JF", image_task(), 150.0, 2, TRACE, SMOKE)
+        assert isinstance(sel, JellyfishPlusSelector)
+
+    def test_ms(self):
+        sel = make_selector("MS", image_task(), 150.0, 2, TRACE, SMOKE)
+        assert isinstance(sel, ModelSwitchingSelector)
+
+    def test_greedy(self):
+        sel = make_selector("Greedy", image_task(), 150.0, 2, TRACE, SMOKE)
+        assert isinstance(sel, GreedyDeadlineSelector)
+
+    def test_infaas_with_target(self):
+        sel = make_selector(
+            "INFaaS@0.77", image_task(), 150.0, 2, TRACE, SMOKE
+        )
+        assert isinstance(sel, InfaasAdaptedSelector)
+        assert sel.accuracy_target == pytest.approx(0.77)
+
+    def test_infaas_default_target(self):
+        sel = make_selector("INFaaS", image_task(), 150.0, 2, TRACE, SMOKE)
+        assert isinstance(sel, InfaasAdaptedSelector)
+        assert sel.accuracy_target == 0.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_selector("Nexus", image_task(), 150.0, 2, TRACE, SMOKE)

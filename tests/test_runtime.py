@@ -1,0 +1,109 @@
+"""Tests for the wall-clock serving runtime."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.core.generator import generate_policy
+from repro.runtime import CentralController, WorkloadGenerator
+from repro.runtime.clock import VirtualClock
+from repro.selectors import GreedyDeadlineSelector, JellyfishPlusSelector, RamsisSelector
+from repro.sim.latency_model import DeterministicLatency
+
+#: Aggressive compression keeps runtime tests fast (100x real time).
+FAST = 0.01
+
+
+class TestVirtualClock:
+    def test_scaled_sleep(self):
+        import time
+
+        clock = VirtualClock(time_scale=0.01)
+        start = time.monotonic()
+        clock.sleep_ms(500.0)  # 5 ms wall
+        elapsed = time.monotonic() - start
+        assert 0.003 <= elapsed <= 0.2
+        assert clock.now_ms() >= 500.0
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            VirtualClock(time_scale=0.0)
+
+    def test_sleep_until_past_is_noop(self):
+        clock = VirtualClock(time_scale=0.01)
+        clock.sleep_until_ms(-100.0)  # already past
+
+
+class TestWorkloadGenerator:
+    def test_sample_matches_simulator_sampling(self):
+        trace = LoadTrace.constant(200.0, 2_000.0)
+        gen = WorkloadGenerator(trace, slo_ms=100.0, seed=4)
+        a = gen.sample()
+        b = gen.sample()
+        assert np.array_equal(a, b)
+        assert a.shape[0] == pytest.approx(400, rel=0.2)
+
+    def test_run_submits_all(self):
+        trace = LoadTrace.constant(100.0, 1_000.0)
+        gen = WorkloadGenerator(trace, slo_ms=100.0, seed=4)
+        clock = VirtualClock(time_scale=FAST)
+        seen = []
+        count = gen.run(clock, seen.append)
+        assert count == len(seen)
+        # Deadlines carry the SLO.
+        assert all(
+            q.deadline_ms == pytest.approx(q.arrival_ms + 100.0) for q in seen
+        )
+
+
+class TestCentralController:
+    def test_serves_every_query(self, tiny_models):
+        trace = LoadTrace.constant(150.0, 2_000.0)
+        controller = CentralController(
+            tiny_models, slo_ms=100.0, num_workers=2, time_scale=FAST, seed=1,
+            latency_model=DeterministicLatency(),
+        )
+        report = controller.serve(
+            GreedyDeadlineSelector(), trace, pattern=PoissonArrivals(150.0)
+        )
+        assert report.metrics.total_queries == report.submitted
+        assert report.submitted > 0
+
+    def test_ramsis_policy_runs(self, tiny_config):
+        policy = generate_policy(tiny_config).policy
+        trace = LoadTrace.constant(25.0, 2_000.0)
+        # Gentler compression here: at 100x the 100 ms SLO is 1 ms of wall
+        # time, which thread-wakeup jitter alone would blow through.
+        controller = CentralController(
+            tiny_config.model_set,
+            slo_ms=100.0,
+            num_workers=1,
+            time_scale=0.1,
+            seed=2,
+            latency_model=DeterministicLatency(),
+        )
+        report = controller.serve(
+            RamsisSelector(policy), trace, pattern=PoissonArrivals(25.0)
+        )
+        assert report.metrics.total_queries == report.submitted
+        # At this easy load the policy should rarely violate even with the
+        # runtime's scheduling jitter.
+        assert report.metrics.violation_rate < 0.25
+
+    def test_central_scope_selector_runs(self, tiny_models):
+        trace = LoadTrace.constant(100.0, 1_500.0)
+        controller = CentralController(
+            tiny_models, slo_ms=100.0, num_workers=2, time_scale=FAST, seed=3,
+            latency_model=DeterministicLatency(),
+        )
+        report = controller.serve(
+            JellyfishPlusSelector(), trace, pattern=PoissonArrivals(100.0)
+        )
+        assert report.metrics.total_queries == report.submitted
+
+    def test_rejects_zero_workers(self, tiny_models):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            CentralController(tiny_models, slo_ms=100.0, num_workers=0)

@@ -1,0 +1,99 @@
+"""Tests for the semi-MDP (duration-aware discounting) extension."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.core.mdp import _FALLBACK, build_worker_mdp
+from repro.core.solvers import value_iteration
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def semi_config(tiny_config):
+    return replace(tiny_config, duration_aware_discount=True)
+
+
+class TestConfiguration:
+    def test_reference_defaults_to_mean_gap(self, semi_config):
+        expected = semi_config.per_worker_arrivals().mean_interarrival_ms
+        assert semi_config.effective_reference_ms() == pytest.approx(expected)
+
+    def test_explicit_reference(self, tiny_config):
+        config = replace(
+            tiny_config, duration_aware_discount=True, discount_reference_ms=50.0
+        )
+        assert config.effective_reference_ms() == 50.0
+
+    def test_invalid_reference_rejected(self, tiny_config):
+        config = replace(
+            tiny_config, duration_aware_discount=True, discount_reference_ms=-1.0
+        )
+        with pytest.raises(ConfigurationError):
+            config.effective_reference_ms()
+
+
+class TestDiscounting:
+    def test_discounts_scale_with_latency(self, semi_config):
+        mdp = build_worker_mdp(semi_config)
+        # Slower actions are discounted more heavily.
+        fast = mdp.discount_of(mdp.space.index(1, 5), (0, 1))
+        slow = mdp.discount_of(mdp.space.index(1, 5), (2, 1))
+        assert 0.0 < slow < fast < 1.0
+
+    def test_plain_mode_uniform_discount(self, tiny_config):
+        mdp = build_worker_mdp(tiny_config)
+        for m in range(mdp.num_models):
+            assert mdp.discount_of(mdp.space.index(1, 5), (m, 1)) == (
+                tiny_config.discount
+            )
+
+    def test_reference_equal_latency_matches_plain(self, tiny_models):
+        """With one model and reference == its latency, the semi-MDP
+        discount per service epoch equals the plain discount."""
+        single = tiny_models.subset(["fast"])
+        latency = single.get("fast").latency_ms(1)
+        base = WorkerMDPConfig(
+            model_set=single,
+            slo_ms=100.0,
+            arrivals=PoissonArrivals(25.0),
+            max_batch_size=1,
+            max_queue=1,
+            fld_resolution=6,
+        )
+        plain = value_iteration(build_worker_mdp(base)).values
+        semi = value_iteration(
+            build_worker_mdp(
+                replace(
+                    base,
+                    duration_aware_discount=True,
+                    discount_reference_ms=latency,
+                )
+            )
+        ).values
+        # Serving epochs coincide; only the idle epoch's discount differs
+        # (gamma ** (gap / latency) vs gamma), so values stay close but the
+        # *relative* structure matches.
+        assert np.argmax(plain) == np.argmax(semi)
+
+    def test_converges_and_differs_from_plain(self, tiny_config, semi_config):
+        plain = value_iteration(build_worker_mdp(tiny_config))
+        semi = value_iteration(build_worker_mdp(semi_config))
+        assert plain.converged and semi.converged
+        assert not np.allclose(plain.values, semi.values)
+
+    def test_guarantees_valid(self, semi_config):
+        g = generate_policy(semi_config).guarantees
+        assert 0.0 <= g.expected_accuracy <= 1.0
+        assert 0.0 <= g.expected_violation_rate <= 1.0
+
+    def test_drop_mode_composes(self, semi_config):
+        config = replace(semi_config, drop_late=True)
+        mdp = build_worker_mdp(config)
+        # Dropping is instantaneous in real time: discount 1.
+        assert mdp.discount_of(mdp.space.index(2, 0), (_FALLBACK, 2)) == 1.0
+        stats = value_iteration(mdp)
+        assert stats.converged

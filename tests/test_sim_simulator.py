@@ -1,0 +1,210 @@
+"""Tests for the discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import DeterministicArrivals, PoissonArrivals
+from repro.arrivals.traces import LoadTrace
+from repro.balancers import RoundRobinBalancer, ShortestQueueBalancer
+from repro.core.policy import Action
+from repro.errors import SimulationError
+from repro.selectors.base import ModelSelector, QueueScope
+from repro.sim.monitor import OracleLoadMonitor
+from repro.sim.simulator import Simulation, SimulationConfig
+
+
+class AlwaysModelSelector(ModelSelector):
+    """Test selector: fixed model, whole queue, configurable scope."""
+
+    def __init__(self, model_name: str, scope=QueueScope.PER_WORKER, cap=64):
+        self._model = model_name
+        self.queue_scope = scope
+        self._cap = cap
+        self.name = f"always-{model_name}"
+        self.calls = 0
+
+    def select(self, queue_length, earliest_slack_ms, now_ms, anticipated_load_qps):
+        self.calls += 1
+        return Action(model=self._model, batch_size=min(queue_length, self._cap))
+
+
+def make_sim(models, slo=100.0, workers=2, **kwargs):
+    return Simulation(
+        SimulationConfig(
+            model_set=models, slo_ms=slo, num_workers=workers, **kwargs
+        )
+    )
+
+
+class TestConservation:
+    def test_every_query_completes_exactly_once(self, tiny_models):
+        trace = LoadTrace.constant(100.0, 10_000.0)
+        sim = make_sim(tiny_models)
+        metrics = sim.run(AlwaysModelSelector("fast"), trace)
+        expected = len(
+            __import__("repro.arrivals.processes", fromlist=["x"]).sample_arrival_times(
+                trace, PoissonArrivals(100.0), np.random.default_rng(0)
+            )
+        )
+        assert metrics.total_queries == expected
+
+    def test_explicit_arrival_times(self, tiny_models):
+        sim = make_sim(tiny_models)
+        arrivals = np.array([0.0, 5.0, 10.0, 200.0])
+        metrics = sim.run(
+            AlwaysModelSelector("fast"),
+            LoadTrace.constant(1.0, 300.0),
+            arrival_times=arrivals,
+        )
+        assert metrics.total_queries == 4
+
+
+class TestDeterministicScenario:
+    def test_single_query_response_time(self, tiny_models):
+        """One query, one worker: response == p95(fast, 1) == 10 ms."""
+        sim = make_sim(tiny_models, workers=1)
+        metrics = sim.run(
+            AlwaysModelSelector("fast"),
+            LoadTrace.constant(1.0, 100.0),
+            arrival_times=np.array([0.0]),
+        )
+        assert metrics.mean_response_ms == pytest.approx(10.0)
+        assert metrics.violation_rate == 0.0
+
+    def test_slow_model_misses_deadline(self, tiny_models):
+        """slow: l(1) = 64 ms > SLO 50 -> guaranteed violation."""
+        sim = make_sim(tiny_models, slo=50.0, workers=1)
+        metrics = sim.run(
+            AlwaysModelSelector("slow"),
+            LoadTrace.constant(1.0, 100.0),
+            arrival_times=np.array([0.0]),
+        )
+        assert metrics.violation_rate == 1.0
+
+    def test_batching_under_backlog(self, tiny_models):
+        """Three simultaneous arrivals on one busy worker get batched."""
+        sim = make_sim(tiny_models, workers=1)
+        selector = AlwaysModelSelector("fast")
+        metrics = sim.run(
+            selector,
+            LoadTrace.constant(1.0, 100.0),
+            arrival_times=np.array([0.0, 1.0, 1.5, 2.0]),
+        )
+        # First decision serves query 0 alone; the rest batch together.
+        assert metrics.decisions == 2
+        assert metrics.mean_batch_size == pytest.approx(2.0)
+
+    def test_round_robin_spreads_queries(self, tiny_models):
+        """With 2 workers and simultaneous arrivals, both serve."""
+        sim = make_sim(tiny_models, workers=2)
+        metrics = sim.run(
+            AlwaysModelSelector("fast"),
+            LoadTrace.constant(1.0, 100.0),
+            arrival_times=np.array([0.0, 0.0]),
+        )
+        assert metrics.decisions == 2
+        assert metrics.mean_batch_size == 1.0
+
+
+class TestCentralDiscipline:
+    def test_idle_workers_grab_eagerly(self, tiny_models):
+        sim = make_sim(tiny_models, workers=2)
+        selector = AlwaysModelSelector("fast", scope=QueueScope.CENTRAL)
+        metrics = sim.run(
+            selector,
+            LoadTrace.constant(1.0, 100.0),
+            arrival_times=np.array([0.0, 0.0, 0.0]),
+        )
+        # Two workers grab immediately; the third query waits for a free
+        # worker instead of batching (cap prevents it only if queue empty).
+        assert metrics.total_queries == 3
+        assert metrics.violation_rate == 0.0
+
+    def test_batch_cap_respected(self, tiny_models):
+        sim = make_sim(tiny_models, workers=1)
+        selector = AlwaysModelSelector("fast", scope=QueueScope.CENTRAL, cap=2)
+        metrics = sim.run(
+            selector,
+            LoadTrace.constant(1.0, 200.0),
+            arrival_times=np.array([0.0, 1.0, 1.0, 1.0, 1.0]),
+        )
+        assert metrics.mean_batch_size <= 2.0
+
+
+class TestStability:
+    def test_sustainable_load_low_violations(self, tiny_models):
+        """fast at batch>=2 sustains 100 QPS easily (2/18ms = 111 QPS)."""
+        trace = LoadTrace.constant(80.0, 30_000.0)
+        sim = make_sim(tiny_models, workers=1, monitor=OracleLoadMonitor(trace))
+        metrics = sim.run(AlwaysModelSelector("fast"), trace)
+        assert metrics.violation_rate < 0.05
+
+    def test_overload_all_violations(self, tiny_models):
+        """slow at 100 QPS on one worker is hopeless."""
+        trace = LoadTrace.constant(100.0, 5_000.0)
+        sim = make_sim(tiny_models, workers=1)
+        metrics = sim.run(AlwaysModelSelector("slow"), trace)
+        assert metrics.violation_rate > 0.9
+
+    def test_more_workers_fewer_violations(self, tiny_models):
+        trace = LoadTrace.constant(150.0, 20_000.0)
+        rates = []
+        for workers in (1, 4):
+            sim = make_sim(tiny_models, workers=workers)
+            rates.append(
+                sim.run(AlwaysModelSelector("medium"), trace).violation_rate
+            )
+        assert rates[1] < rates[0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self, tiny_models):
+        trace = LoadTrace.constant(100.0, 10_000.0)
+        a = make_sim(tiny_models, seed=3).run(AlwaysModelSelector("fast"), trace)
+        b = make_sim(tiny_models, seed=3).run(AlwaysModelSelector("fast"), trace)
+        assert a.violation_rate == b.violation_rate
+        assert a.total_queries == b.total_queries
+
+    def test_different_seed_differs(self, tiny_models):
+        trace = LoadTrace.constant(100.0, 10_000.0)
+        a = make_sim(tiny_models, seed=3).run(AlwaysModelSelector("fast"), trace)
+        b = make_sim(tiny_models, seed=4).run(AlwaysModelSelector("fast"), trace)
+        assert a.total_queries != b.total_queries
+
+
+class TestBalancers:
+    def test_shortest_queue_balancer_used(self, tiny_models):
+        trace = LoadTrace.constant(150.0, 10_000.0)
+        sim = make_sim(
+            tiny_models, workers=3, balancer=ShortestQueueBalancer()
+        )
+        metrics = sim.run(AlwaysModelSelector("medium"), trace)
+        assert metrics.total_queries > 0
+
+    def test_round_robin_reset_between_runs(self, tiny_models):
+        balancer = RoundRobinBalancer()
+        sim = make_sim(tiny_models, workers=2, balancer=balancer)
+        trace = LoadTrace.constant(1.0, 50.0)
+        a = sim.run(
+            AlwaysModelSelector("fast"), trace, arrival_times=np.array([0.0])
+        )
+        b = sim.run(
+            AlwaysModelSelector("fast"), trace, arrival_times=np.array([0.0])
+        )
+        assert a.total_queries == b.total_queries == 1
+
+
+class TestValidation:
+    def test_bad_config_rejected(self, tiny_models):
+        with pytest.raises(SimulationError):
+            SimulationConfig(model_set=tiny_models, slo_ms=100.0, num_workers=0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(model_set=tiny_models, slo_ms=0.0, num_workers=1)
+
+    def test_deterministic_pattern_supported(self, tiny_models):
+        trace = LoadTrace.constant(50.0, 5_000.0)
+        sim = make_sim(tiny_models, workers=1)
+        metrics = sim.run(
+            AlwaysModelSelector("fast"), trace, pattern=DeterministicArrivals(50.0)
+        )
+        assert metrics.total_queries == pytest.approx(250, abs=2)

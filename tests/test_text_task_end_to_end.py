@@ -1,0 +1,75 @@
+"""End-to-end coverage for the text (BERT) task — the paper's second
+workload, exercised through the same pipeline as the image task."""
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.experiments.runner import clear_caches, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import text_task
+
+SMOKE = ExperimentScale.smoke()
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+
+
+class TestTextPolicies:
+    def test_policy_generation_all_slos(self, text_models):
+        """Policies generate and give sane guarantees at every text SLO."""
+        for slo in (100.0, 200.0, 300.0):
+            config = WorkerMDPConfig.default_poisson(
+                text_models,
+                slo_ms=slo,
+                load_qps=60.0,
+                num_workers=2,
+                fld_resolution=15,
+                max_batch_size=16,
+            )
+            g = generate_policy(config).guarantees
+            assert 0.70 <= g.expected_accuracy <= 0.84
+            assert g.expected_violation_rate < 0.20
+
+    def test_looser_slo_higher_accuracy(self, text_models):
+        """A looser SLO unlocks bigger BERTs — accuracy must rise."""
+        accs = []
+        for slo in (100.0, 300.0):
+            config = WorkerMDPConfig.default_poisson(
+                text_models,
+                slo_ms=slo,
+                load_qps=40.0,
+                num_workers=2,
+                fld_resolution=15,
+                max_batch_size=16,
+            )
+            accs.append(generate_policy(config).guarantees.expected_accuracy)
+        assert accs[1] > accs[0]
+
+
+class TestTextServing:
+    def test_ramsis_vs_baselines(self):
+        task = text_task()
+        trace = LoadTrace.constant(60.0, 20_000.0)
+        cells = {
+            m: run_method(m, task, 100.0, 2, trace, SMOKE, oracle_load=True)
+            for m in ("RAMSIS", "MS", "JF")
+        }
+        assert cells["RAMSIS"].plottable
+        for name in ("MS", "JF"):
+            if cells[name].plottable:
+                assert cells["RAMSIS"].accuracy >= cells[name].accuracy - 0.005
+
+    def test_bert_base_reachable_at_loose_slo(self):
+        """At the 300 ms SLO and light load, policies should reach
+        bert_base (the most accurate model) at least sometimes."""
+        task = text_task()
+        trace = LoadTrace.constant(10.0, 20_000.0)
+        cell = run_method(
+            "RAMSIS", task, 300.0, 1, trace, SMOKE, oracle_load=True
+        )
+        # bert_base accuracy is 84%; near-exclusive use shows up directly.
+        assert cell.accuracy > 0.80

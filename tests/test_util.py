@@ -1,0 +1,117 @@
+"""Tests for repro._util and the error hierarchy."""
+
+import pytest
+
+from repro import _util
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    PolicyError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TraceError,
+)
+
+
+class TestConversions:
+    def test_qps_to_per_ms(self):
+        assert _util.qps_to_per_ms(1000.0) == 1.0
+        assert _util.per_ms_to_qps(0.5) == 500.0
+
+    def test_roundtrip(self):
+        assert _util.per_ms_to_qps(_util.qps_to_per_ms(123.4)) == pytest.approx(
+            123.4
+        )
+
+
+class TestValidators:
+    def test_positive(self):
+        assert _util.validate_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            _util.validate_positive("x", 0.0)
+
+    def test_non_negative(self):
+        assert _util.validate_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            _util.validate_non_negative("x", -1e-9)
+
+    def test_probability(self):
+        assert _util.validate_probability("p", 0.5) == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                _util.validate_probability("p", bad)
+
+
+class TestSortedCheck:
+    def test_strictly_increasing(self):
+        assert _util.is_sorted_strict([1.0, 2.0, 3.0])
+        assert not _util.is_sorted_strict([1.0, 1.0])
+        assert not _util.is_sorted_strict([2.0, 1.0])
+        assert _util.is_sorted_strict([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert _util.percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_interpolation(self):
+        assert _util.percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_endpoints(self):
+        data = [5.0, 1.0, 3.0]
+        assert _util.percentile(data, 0.0) == 1.0
+        assert _util.percentile(data, 100.0) == 5.0
+
+    def test_single_element(self):
+        assert _util.percentile([7.0], 99.0) == 7.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            _util.percentile([], 50.0)
+        with pytest.raises(ValueError):
+            _util.percentile([1.0], 101.0)
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        data = [3.1, 0.4, 9.9, 2.2, 7.7, 5.5]
+        for q in (10, 37.5, 50, 95, 99):
+            assert _util.percentile(data, q) == pytest.approx(
+                float(np.percentile(data, q))
+            )
+
+
+class TestMean:
+    def test_mean(self):
+        assert _util.mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_of_generator(self):
+        assert _util.mean(x for x in (4.0, 6.0)) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _util.mean([])
+
+
+class TestFormatPct:
+    def test_format(self):
+        assert _util.format_pct(0.01234) == "1.23%"
+        assert _util.format_pct(1.0, digits=0) == "100%"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            ProfileError,
+            PolicyError,
+            SolverError,
+            TraceError,
+            SimulationError,
+            CapacityError,
+        ):
+            assert issubclass(exc, ReproError)
+            with pytest.raises(ReproError):
+                raise exc("boom")
