@@ -1,0 +1,112 @@
+"""Observability overhead micro-benchmark.
+
+Runs the same simulation three ways — tracing off (the default
+``NULL_TRACER`` path), with a live :class:`RecordingTracer`, and with a
+tracer plus a :class:`MetricsRegistry` — and reports wall time and the
+relative cost.  The tracing-off configuration is the one every experiment
+and benchmark uses, so its overhead versus the pre-observability simulator
+must be negligible; the recorded table under ``benchmarks/out/`` documents
+what opting in costs.
+"""
+
+import time
+
+from benchmarks._common import bench_scale, emit
+from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.processes import sample_arrival_times
+from repro.arrivals.traces import LoadTrace
+from repro.experiments.tasks import image_task
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RecordingTracer
+from repro.selectors import JellyfishPlusSelector
+from repro.sim.monitor import OracleLoadMonitor
+from repro.experiments.reporting import format_table
+from repro.sim.simulator import Simulation, SimulationConfig
+
+import numpy as np
+
+LOAD_QPS = 160.0
+WORKERS = 8
+DURATION_MS = 20_000.0
+
+
+def _run(arrivals, trace, tracer=None, registry=None):
+    task = image_task()
+    sim = Simulation(
+        SimulationConfig(
+            model_set=task.model_set,
+            slo_ms=task.slos_ms[0],
+            num_workers=WORKERS,
+            max_batch_size=bench_scale().max_batch_size,
+            monitor=OracleLoadMonitor(trace),
+            seed=7,
+            track_responses=False,
+            tracer=tracer,
+            registry=registry,
+        )
+    )
+    start = time.perf_counter()
+    metrics = sim.run(
+        JellyfishPlusSelector(), trace, arrival_times=arrivals
+    )
+    return time.perf_counter() - start, metrics
+
+
+def test_tracing_overhead(benchmark):
+    """Times the off/tracer/tracer+registry variants on one arrival
+    realization; the benchmark fixture times the default (off) path."""
+    trace = LoadTrace.constant(LOAD_QPS, DURATION_MS)
+    rng = np.random.default_rng(7)
+    arrivals = np.sort(
+        sample_arrival_times(trace, PoissonArrivals(LOAD_QPS), rng)
+    )
+
+    # Warm once (JIT-free Python, but primes caches fairly).
+    _run(arrivals, trace)
+
+    rows = []
+    baseline_s = None
+    variants = (
+        ("off (NULL_TRACER)", lambda: (None, None)),
+        ("tracer", lambda: (RecordingTracer(), None)),
+        ("tracer + registry", lambda: (RecordingTracer(), MetricsRegistry())),
+    )
+    reference = None
+    for label, make in variants:
+        best = None
+        for _ in range(3):
+            tracer, registry = make()
+            elapsed, metrics = _run(arrivals, trace, tracer, registry)
+            best = elapsed if best is None else min(best, elapsed)
+        if reference is None:
+            reference = metrics
+            baseline_s = best
+        # Instrumentation must never change simulation results.
+        assert metrics.violation_rate == reference.violation_rate
+        assert metrics.total_queries == reference.total_queries
+        rows.append(
+            [
+                label,
+                f"{best * 1000.0:.1f}",
+                f"{best / baseline_s:.2f}x",
+                f"{metrics.total_queries}",
+            ]
+        )
+
+    emit(
+        "obs_overhead",
+        format_table(
+            ["variant", "best-of-3 ms", "vs off", "queries"],
+            rows,
+            title=(
+                f"Observability overhead ({LOAD_QPS:.0f} QPS, {WORKERS} "
+                f"workers, {DURATION_MS / 1000.0:.0f} s simulated)"
+            ),
+        ),
+    )
+
+    # The pytest-benchmark timing tracks the default (tracing-off) path.
+    result = benchmark.pedantic(
+        lambda: _run(arrivals, trace)[1], rounds=1, iterations=1
+    )
+    assert result.total_queries > 1000

@@ -10,12 +10,16 @@ RAMSIS_gen.py      ``ramsis gen --task image --slo 150 --workers 4 ...``
 MS_gen.py          ``ramsis ms-gen --task image --slo 150 --workers 4``
 run_sim.py         ``ramsis simulate --m RAMSIS --trace real ...``
 plot.py            ``ramsis report --trace real ...``
-(trace file)       ``ramsis trace --out twitter.txt``
+(trace file)       ``ramsis synth-trace --out twitter.txt``
 (model profiles)   ``ramsis zoo --task image``
+(observability)    ``ramsis trace --m RAMSIS --load 40 --out-dir obs``
 =================  ====================================================
 
 Results are written as JSON under ``--results-dir`` with the artifact's
 naming convention ``TASK_METHOD_TRACE_SLO[_LOAD].json``.
+
+Stdout carries only the human-facing result tables; progress messages go
+through :mod:`repro.obs.log` (stderr) and are controlled by ``-v``/``-q``.
 """
 
 from __future__ import annotations
@@ -31,8 +35,12 @@ from repro.experiments.reporting import format_table, render_comparison
 from repro.experiments.runner import MethodPoint, run_method
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.tasks import TaskSpec, image_task, text_task
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
 
 __all__ = ["main", "build_parser"]
+
+log = get_logger("cli")
 
 
 def _task_by_name(name: str) -> TaskSpec:
@@ -91,15 +99,15 @@ def cmd_gen(args: argparse.Namespace) -> int:
     out_file = out_dir / f"{args.load:g}.json"
     result.policy.save(out_file)
     g = result.guarantees
+    log.info("policy written to %s", out_file)
     print(
-        f"policy written to {out_file}\n"
         f"states covered: {len(result.policy.states())}, "
         f"value iterations: {result.iterations}, "
         f"runtime: {result.runtime_s:.2f}s\n"
         f"expected accuracy: {g.expected_accuracy * 100:.2f}%, "
         f"expected SLO violation rate: {g.expected_violation_rate * 100:.3f}%"
     )
-    print("script complete!")
+    log.info("script complete!")
     return 0
 
 
@@ -132,8 +140,8 @@ def cmd_ms_gen(args: argparse.Namespace) -> int:
             indent=1,
         )
     )
-    print(f"response-latency table written to {out_file}")
-    print("script complete!")
+    log.info("response-latency table written to %s", out_file)
+    log.info("script complete!")
     return 0
 
 
@@ -217,7 +225,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             existing = [e for e in existing if e["num_workers"] != point.num_workers]
         existing.append(payload)
         path.write_text(json.dumps(existing, indent=1))
-    print("script complete!")
+        log.debug("result written to %s", path)
+    log.info("script complete!")
     return 0
 
 
@@ -266,18 +275,120 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
+def cmd_synth_trace(args: argparse.Namespace) -> int:
     """Synthesize and save the Twitter-shaped trace."""
     trace = synthesize_twitter_trace(
         duration_s=args.duration, seed=args.seed
     )
     trace.save(args.out)
-    print(
-        f"trace written to {args.out}: {len(trace.qps)} intervals, "
-        f"{trace.min_qps:.0f}-{trace.peak_qps:.0f} QPS, "
-        f"~{trace.expected_queries():.0f} queries"
+    log.info(
+        "trace written to %s: %d intervals, %.0f-%.0f QPS, ~%.0f queries",
+        args.out,
+        len(trace.qps),
+        trace.min_qps,
+        trace.peak_qps,
+        trace.expected_queries(),
     )
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one scenario with full observability and emit artifacts.
+
+    Produces three files under ``--out-dir``: ``events.jsonl`` (per-query
+    lifecycle event log), ``trace.json`` (Chrome ``trace_event`` format,
+    loadable in Perfetto or chrome://tracing), and ``metrics.prom``
+    (Prometheus text dump), plus a stdout summary that cross-checks the
+    trace against the simulator's own metrics.
+    """
+    from repro.experiments.runner import make_selector
+    from repro.obs import MetricsRegistry, RecordingTracer, reconstruct_metrics
+    from repro.obs.exporters import (
+        write_chrome_trace,
+        write_events_jsonl,
+        write_prometheus_text,
+    )
+    from repro.sim.monitor import OracleLoadMonitor
+    from repro.sim.simulator import Simulation, SimulationConfig
+
+    task = _task_by_name(args.task)
+    scale = _scale_by_name(args.scale)
+    slo = args.slo if args.slo is not None else task.slos_ms[0]
+    trace = LoadTrace.constant(
+        args.load, args.duration * 1000.0, name=f"const-{args.load:g}"
+    )
+    selector = make_selector(
+        args.m,
+        task,
+        slo,
+        args.workers,
+        trace,
+        scale,
+        pinned_load_qps=args.load if args.m == "RAMSIS" else None,
+    )
+    tracer = RecordingTracer()
+    registry = MetricsRegistry()
+    sim = Simulation(
+        SimulationConfig(
+            model_set=task.model_set,
+            slo_ms=slo,
+            num_workers=args.workers,
+            max_batch_size=scale.max_batch_size,
+            monitor=OracleLoadMonitor(trace),
+            seed=args.seed,
+            tracer=tracer,
+            registry=registry,
+        )
+    )
+    log.info(
+        "tracing %s: load=%g QPS, %d workers, SLO %g ms, %.0f s",
+        args.m, args.load, args.workers, slo, args.duration,
+    )
+    metrics = sim.run(selector, trace)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jsonl_path = write_events_jsonl(tracer, out_dir / "events.jsonl")
+    chrome_path = write_chrome_trace(
+        tracer, out_dir / "trace.json", process_name=f"ramsis-{args.m}"
+    )
+    prom_path = write_prometheus_text(registry, out_dir / "metrics.prom")
+
+    summary = reconstruct_metrics(tracer)
+    consistent = (
+        summary.violation_rate == metrics.violation_rate
+        and summary.mean_batch_size == metrics.mean_batch_size
+    )
+    print(
+        format_table(
+            ["metric", "simulator", "from trace"],
+            [
+                ("queries", metrics.total_queries, summary.total_queries),
+                (
+                    "violation rate",
+                    f"{metrics.violation_rate * 100:.3f}%",
+                    f"{summary.violation_rate * 100:.3f}%",
+                ),
+                (
+                    "mean batch size",
+                    f"{metrics.mean_batch_size:.3f}",
+                    f"{summary.mean_batch_size:.3f}",
+                ),
+                ("decisions", metrics.decisions, summary.decisions),
+                (
+                    "accuracy",
+                    f"{metrics.accuracy_per_satisfied_query * 100:.2f}%",
+                    "-",
+                ),
+                ("p99 response (ms)", f"{metrics.p99_response_ms:.1f}", "-"),
+            ],
+            title=f"{args.m} on {task.name}, trace vs. simulator"
+            + (" (consistent)" if consistent else " (MISMATCH!)"),
+        )
+    )
+    for path in (jsonl_path, chrome_path, prom_path):
+        log.info("wrote %s", path)
+    return 0 if consistent else 1
 
 
 def cmd_zoo(args: argparse.Namespace) -> int:
@@ -315,6 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ramsis",
         description="RAMSIS reproduction: policy generation, simulation, reports",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more progress output (DEBUG level)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="suppress progress output (warnings only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -354,10 +479,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="results")
     report.set_defaults(func=cmd_report)
 
-    trace = sub.add_parser("trace", help="synthesize the Twitter-shaped trace")
-    trace.add_argument("--out", default="twitter_trace.txt")
-    trace.add_argument("--duration", type=float, default=300.0)
-    trace.add_argument("--seed", type=int, default=2018)
+    synth = sub.add_parser(
+        "synth-trace", help="synthesize the Twitter-shaped trace"
+    )
+    synth.add_argument("--out", default="twitter_trace.txt")
+    synth.add_argument("--duration", type=float, default=300.0)
+    synth.add_argument("--seed", type=int, default=2018)
+    synth.set_defaults(func=cmd_synth_trace)
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario with tracing and emit obs artifacts"
+    )
+    trace.add_argument("--m", default="RAMSIS", help="RAMSIS | JF | MS | Greedy")
+    trace.add_argument("--task", default="image", choices=["image", "text"])
+    trace.add_argument("--slo", type=float, default=None)
+    trace.add_argument("--workers", type=int, default=2)
+    trace.add_argument("--load", type=float, default=40.0, help="constant QPS")
+    trace.add_argument(
+        "--duration", type=float, default=10.0, help="scenario length (s)"
+    )
+    trace.add_argument("--scale", default="smoke")
+    trace.add_argument("--seed", type=int, default=11)
+    trace.add_argument("--out-dir", default="obs_out")
     trace.set_defaults(func=cmd_trace)
 
     zoo = sub.add_parser("zoo", help="print model profiles (Fig. 3 / Fig. 9)")
@@ -371,6 +514,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     return args.func(args)
 
 

@@ -18,52 +18,77 @@ from repro.core.guarantees import PolicyGuarantees, evaluate_policy
 from repro.core.mdp import WorkerMDP, build_worker_mdp
 from repro.core.policy import Policy, PolicyMetadata
 from repro.core.solvers import value_iteration
+from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["GenerationResult", "PolicyGenerator", "generate_policy"]
 
 
 @dataclass(frozen=True)
 class GenerationResult:
-    """A generated policy plus its provenance and offline guarantees."""
+    """A generated policy plus its provenance and offline guarantees.
+
+    ``residuals`` carries value iteration's per-sweep residual history
+    when the caller asked for it (see :func:`generate_policy`).
+    """
 
     policy: Policy
     guarantees: PolicyGuarantees
     iterations: int
     runtime_s: float
+    residuals: Optional[Tuple[float, ...]] = None
 
 
 def generate_policy(
     config: WorkerMDPConfig,
     tolerance: float = 1e-7,
     with_guarantees: bool = True,
+    tracer: Optional[Tracer] = None,
+    record_residuals: bool = False,
 ) -> GenerationResult:
     """Build the worker MDP, solve it, and package the optimal MS policy.
 
     When ``with_guarantees`` is set (default), the §5.1 expectations are
     computed and embedded in the policy metadata — the policy-set
     refinement rule and the resource-planning example consume them.
+
+    An enabled ``tracer`` records the three offline phases (kernel/MDP
+    construction, value iteration, guarantee evaluation) as nested spans
+    on the ``generator`` track plus one event per solver sweep;
+    ``record_residuals`` keeps the residual history on the result even
+    without a tracer.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     start = time.perf_counter()
-    mdp = build_worker_mdp(config)
-    stats = value_iteration(mdp, tolerance=tolerance)
-    policy = mdp.extract_policy(stats.values)
-    if with_guarantees:
-        guarantees = evaluate_policy(mdp, policy)
-        policy = _annotate(policy, guarantees)
-    else:
-        guarantees = PolicyGuarantees(
-            expected_accuracy=float("nan"),
-            expected_violation_rate=float("nan"),
-            per_epoch_accuracy=float("nan"),
-            per_epoch_violation_rate=float("nan"),
-            full_state_probability=float("nan"),
-            idle_probability=float("nan"),
-        )
+    with tracer.span("generate_policy", track="generator"):
+        with tracer.span("build_worker_mdp", track="generator"):
+            mdp = build_worker_mdp(config)
+        with tracer.span("value_iteration", track="generator"):
+            stats = value_iteration(
+                mdp,
+                tolerance=tolerance,
+                tracer=tracer,
+                record_residuals=record_residuals,
+            )
+        policy = mdp.extract_policy(stats.values)
+        if with_guarantees:
+            with tracer.span("evaluate_policy", track="generator"):
+                guarantees = evaluate_policy(mdp, policy)
+            policy = _annotate(policy, guarantees)
+        else:
+            guarantees = PolicyGuarantees(
+                expected_accuracy=float("nan"),
+                expected_violation_rate=float("nan"),
+                per_epoch_accuracy=float("nan"),
+                per_epoch_violation_rate=float("nan"),
+                full_state_probability=float("nan"),
+                idle_probability=float("nan"),
+            )
     return GenerationResult(
         policy=policy,
         guarantees=guarantees,
         iterations=stats.iterations,
         runtime_s=time.perf_counter() - start,
+        residuals=stats.residuals,
     )
 
 

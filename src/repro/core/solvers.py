@@ -20,19 +20,29 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs.trace import Tracer
 
 __all__ = ["SolveStats", "value_iteration", "policy_iteration"]
 
 
 @dataclass(frozen=True)
 class SolveStats:
-    """Outcome of one solver run."""
+    """Outcome of one solver run.
+
+    ``residuals`` is the per-sweep sup-norm residual history, recorded
+    when the caller asked for it (``record_residuals=True`` or an enabled
+    tracer); ``None`` otherwise so the hot path stays allocation-free.
+    For value iteration on a ``gamma``-discounted MDP the sequence obeys
+    ``residuals[k+1] <= gamma * residuals[k]`` (Bellman contraction), the
+    property the convergence plots and regression tests check.
+    """
 
     values: np.ndarray
     iterations: int
     residual: float
     runtime_s: float
     converged: bool
+    residuals: Optional[Tuple[float, ...]] = None
 
 
 def value_iteration(
@@ -40,6 +50,8 @@ def value_iteration(
     tolerance: float = 1e-7,
     max_iterations: int = 20_000,
     initial: Optional[np.ndarray] = None,
+    tracer: Optional[Tracer] = None,
+    record_residuals: bool = False,
 ) -> SolveStats:
     """Iterate Bellman optimality backups to a sup-norm fixed point.
 
@@ -47,9 +59,16 @@ def value_iteration(
     in sup norm (standard contraction bound).  Raises :class:`SolverError`
     if the residual has not dropped below ``tolerance`` after
     ``max_iterations`` sweeps.
+
+    With ``record_residuals`` (or an enabled ``tracer``) the per-sweep
+    residual history is kept on :attr:`SolveStats.residuals`; the tracer
+    additionally receives one ``vi_sweep`` event per sweep on the
+    ``solver`` track (timestamped in wall-clock ms since solve start).
     """
     if tolerance <= 0:
         raise SolverError(f"tolerance must be > 0, got {tolerance}")
+    tracing = tracer is not None and tracer.enabled
+    history: Optional[list] = [] if (record_residuals or tracing) else None
     values = mdp.initial_values() if initial is None else initial.copy()
     start = time.perf_counter()
     residual = np.inf
@@ -57,6 +76,16 @@ def value_iteration(
         new_values = mdp.backup(values).values
         residual = float(np.max(np.abs(new_values - values)))
         values = new_values
+        if history is not None:
+            history.append(residual)
+            if tracing:
+                tracer.instant(
+                    "vi_sweep",
+                    "solver",
+                    (time.perf_counter() - start) * 1000.0,
+                    category="solver",
+                    args={"iteration": iteration, "residual": residual},
+                )
         if residual < tolerance:
             return SolveStats(
                 values=values,
@@ -64,6 +93,7 @@ def value_iteration(
                 residual=residual,
                 runtime_s=time.perf_counter() - start,
                 converged=True,
+                residuals=None if history is None else tuple(history),
             )
     raise SolverError(
         f"value iteration did not converge after {max_iterations} sweeps "
@@ -76,14 +106,17 @@ def policy_iteration(
     evaluation_sweeps: int = 200,
     evaluation_tolerance: float = 1e-9,
     max_iterations: int = 200,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[SolveStats, Dict[int, Tuple[int, int]]]:
     """Modified policy iteration: greedy improvement + iterative evaluation.
 
     Policy evaluation runs fixed-policy expectation backups until the value
     change drops below ``evaluation_tolerance`` (or ``evaluation_sweeps``
     backups, whichever first); improvement is one greedy backup.  Terminates
-    when the greedy action table stops changing.
+    when the greedy action table stops changing.  An enabled ``tracer``
+    receives one ``pi_round`` event per improvement round.
     """
+    tracing = tracer is not None and tracer.enabled
     values = mdp.initial_values()
     start = time.perf_counter()
     action_table: Dict[int, Tuple[int, int]] = {}
@@ -91,6 +124,17 @@ def policy_iteration(
         result = mdp.backup(values, want_greedy=True)
         new_table = result.greedy
         values = result.values
+        if tracing:
+            changed = sum(
+                1 for s, a in new_table.items() if action_table.get(s) != a
+            )
+            tracer.instant(
+                "pi_round",
+                "solver",
+                (time.perf_counter() - start) * 1000.0,
+                category="solver",
+                args={"iteration": iteration, "actions_changed": changed},
+            )
         if new_table == action_table and iteration > 1:
             return (
                 SolveStats(

@@ -23,6 +23,8 @@ from repro.core.policy import Policy
 from repro.core.policy_set import PolicySet
 from repro.errors import ConfigurationError
 from repro.experiments.scale import ExperimentScale
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.experiments.tasks import TaskSpec
 from repro.profiles.models import ModelSet
 from repro.selectors import (
@@ -287,13 +289,17 @@ def run_method(
     latency_model: Optional[LatencyModel] = None,
     model_set: Optional[ModelSet] = None,
     selector: Optional[ModelSelector] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> MethodPoint:
     """Execute one evaluation cell and collect its metrics.
 
     ``oracle_load`` switches the monitor to the trace's true load (the §7.2
     constant-load setting); otherwise the shared 500 ms moving-average
     monitor is used.  Constant (single-interval) traces pin RAMSIS to the
-    policy for that exact load, like the artifact does.
+    policy for that exact load, like the artifact does.  ``tracer`` and
+    ``registry`` (see :mod:`repro.obs`) opt the underlying simulation into
+    per-query tracing and time-series metrics.
     """
     models = model_set if model_set is not None else task.model_set
     pinned = trace.qps[0] if len(trace.qps) == 1 else None
@@ -321,6 +327,8 @@ def run_method(
             monitor=monitor,
             seed=seed,
             track_responses=False,
+            tracer=tracer,
+            registry=registry,
         )
     )
     metrics = sim.run(selector, trace, arrival_times=shared_arrivals(trace, seed))

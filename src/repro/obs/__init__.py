@@ -1,0 +1,68 @@
+"""Observability: tracing, metrics, logging, and exporters.
+
+The paper's claims are distributional (SLO violation rates, expected
+accuracy, policy-generation runtime), so this package makes every run
+inspectable *as it happens* rather than only through the frozen
+end-of-run :class:`~repro.sim.metrics.SimulationMetrics`:
+
+- :mod:`repro.obs.trace` — per-query lifecycle spans/events with a
+  no-op default tracer (zero overhead when off);
+- :mod:`repro.obs.metrics` — counters, gauges (with time series), and
+  streaming histograms in a Prometheus-flavoured registry;
+- :mod:`repro.obs.exporters` — JSONL event log, Chrome ``trace_event``
+  JSON (Perfetto / ``chrome://tracing``), Prometheus text dump;
+- :mod:`repro.obs.reconstruct` — recompute violation rate / batch sizes
+  from a trace alone (the instrumentation's correctness oracle);
+- :mod:`repro.obs.log` — package-wide logging setup for the CLI.
+
+Typical use::
+
+    from repro.obs import MetricsRegistry, RecordingTracer, exporters
+
+    tracer, registry = RecordingTracer(), MetricsRegistry()
+    config = SimulationConfig(..., tracer=tracer, registry=registry)
+    Simulation(config).run(selector, trace)
+    exporters.write_chrome_trace(tracer, "trace.json")
+    exporters.write_prometheus_text(registry, "metrics.prom")
+"""
+
+from repro.obs import exporters
+from repro.obs.log import configure, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.reconstruct import (
+    TraceSummary,
+    reconstruct_from_jsonl,
+    reconstruct_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    Event,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
+    "TraceSummary",
+    "configure",
+    "exporters",
+    "get_logger",
+    "reconstruct_from_jsonl",
+    "reconstruct_metrics",
+]

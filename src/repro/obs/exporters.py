@@ -1,0 +1,248 @@
+"""Trace and metrics exporters.
+
+Three output formats, all dependency-free:
+
+- **JSONL event log** — one JSON object per span/event, in timestamp
+  order; greppable, and the input format of
+  :mod:`repro.obs.reconstruct`;
+- **Chrome ``trace_event`` JSON** — loadable in Perfetto or
+  ``chrome://tracing``; one named thread per tracer track (worker tracks
+  first), spans as complete (``"X"``) events, instants as ``"i"``,
+  counter samples as ``"C"``;
+- **Prometheus text exposition** — the registry's counters, gauges, and
+  histograms as a ``# HELP``/``# TYPE``-annotated dump (final values;
+  gauge time series live in the JSONL/Chrome outputs).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import RecordingTracer
+
+__all__ = [
+    "events_jsonl",
+    "write_events_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus_text",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def events_jsonl(tracer: RecordingTracer) -> List[str]:
+    """Serialized records (one JSON string per line), timestamp-ordered."""
+    records: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": span.name,
+            "track": span.track,
+            "ts_ms": span.start_ms,
+            "dur_ms": span.duration_ms,
+            "cat": span.category,
+        }
+        if span.args:
+            record["args"] = span.args
+        if span.parent_id is not None:
+            record["parent"] = span.parent_id
+        record["id"] = span.span_id
+        records.append(record)
+    for event in tracer.events:
+        record = {
+            "type": "counter" if event.is_counter else "instant",
+            "name": event.name,
+            "track": event.track,
+            "ts_ms": event.ts_ms,
+            "cat": event.category,
+        }
+        if event.is_counter:
+            record["value"] = event.value
+        if event.args:
+            record["args"] = event.args
+        records.append(record)
+    records.sort(key=lambda r: r["ts_ms"])
+    return [json.dumps(r, sort_keys=True) for r in records]
+
+
+def write_events_jsonl(tracer: RecordingTracer, path: Union[str, Path]) -> Path:
+    """Write the JSONL event log to ``path`` and return it."""
+    path = Path(path)
+    path.write_text("\n".join(events_jsonl(tracer)) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: RecordingTracer, process_name: str = "repro") -> Dict:
+    """The tracer's records as a Chrome ``trace_event`` JSON object.
+
+    Timestamps/durations are microseconds as the format requires; track
+    names become thread names, ordered so ``worker-*`` tracks sort first.
+    """
+    tracks = tracer.tracks()
+
+    def sort_key(track: str):
+        return (0 if track.startswith("worker") else 1, track)
+
+    tids = {track: i + 1 for i, track in enumerate(sorted(tracks, key=sort_key))}
+    pid = 1
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[span.track],
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_ms * 1000.0,
+                "dur": span.duration_ms * 1000.0,
+                "args": dict(span.args),
+            }
+        )
+    for event in tracer.events:
+        if event.is_counter:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": tids[event.track],
+                    "name": event.name,
+                    "ts": event.ts_ms * 1000.0,
+                    "args": {"value": event.value},
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": pid,
+                    "tid": tids[event.track],
+                    "name": event.name,
+                    "cat": event.category,
+                    "ts": event.ts_ms * 1000.0,
+                    "s": "t",
+                    "args": dict(event.args),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: RecordingTracer, path: Union[str, Path], process_name: str = "repro"
+) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name)))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _sanitize(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _labels_text(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels, extra: str) -> str:
+    parts = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    parts.append(extra)
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text-format dump of every metric in ``registry``."""
+    lines: List[str] = []
+    for name in registry.names():
+        kind = registry.kind_of(name)
+        safe = _sanitize(name)
+        help_text = registry.help_of(name)
+        if help_text:
+            lines.append(f"# HELP {safe} {help_text}")
+        lines.append(f"# TYPE {safe} {kind}")
+        for metric in registry.collect(name):
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{safe}{_labels_text(metric.labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+            elif isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                    le_label = 'le="%s"' % le
+                    lines.append(
+                        f"{safe}_bucket"
+                        f"{_merge_labels(metric.labels, le_label)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{safe}_sum{_labels_text(metric.labels)} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{safe}_count{_labels_text(metric.labels)} {metric.count}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus_text(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the Prometheus text dump to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path

@@ -1,0 +1,63 @@
+"""Package-wide logging setup.
+
+All modules obtain loggers via :func:`get_logger` (children of the
+``repro`` root logger); the CLI calls :func:`configure` once with the
+verbosity derived from ``-v``/``-q`` flags.  Log lines go to **stderr**
+so stdout stays reserved for the human-facing result tables the artifact
+scripts print.
+
+Library use never configures handlers implicitly — importing ``repro``
+leaves the root logger untouched (standard library-logging etiquette).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["get_logger", "configure", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute identifying handlers installed by :func:`configure`,
+#: so reconfiguration replaces them instead of stacking duplicates.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure(verbosity: int = 0, stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Install a stream handler on the ``repro`` root logger.
+
+    ``verbosity``: negative → WARNING (quiet), 0 → INFO (default),
+    positive → DEBUG.  Idempotent — calling again replaces the handler
+    (and its level), so tests and long-lived processes can reconfigure.
+    """
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if verbosity > 0:
+        formatter = logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    else:
+        formatter = logging.Formatter("%(message)s")
+    handler.setFormatter(formatter)
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

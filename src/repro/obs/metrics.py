@@ -1,0 +1,287 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+Prometheus-flavoured naming (``snake_case`` metric names, optional label
+sets) with two additions the experiments need:
+
+- gauges keep their full ``(t_ms, value)`` **time series**, so the
+  anticipated vs. realized load of :class:`~repro.sim.monitor.LoadMonitor`
+  and per-worker queue depths can be plotted after a run, not just read
+  at the end;
+- histograms combine **fixed buckets** (exported Prometheus-style) with a
+  bounded **reservoir sample** (Vitter's algorithm R, deterministic seed)
+  for quantile queries; below the reservoir capacity the quantiles are
+  exact.
+
+The registry is passive: instrumented components call ``inc``/``set``/
+``observe`` only when a registry was injected, so the default
+(unobserved) configuration does no work.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: Default histogram buckets for millisecond latencies (upper bounds).
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} increment must be >= 0")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value that also retains its sample time series."""
+
+    __slots__ = ("name", "labels", "_value", "_series", "_max_samples")
+
+    def __init__(
+        self, name: str, labels: LabelItems = (), max_samples: int = 100_000
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = math.nan
+        self._series: List[Tuple[float, float]] = []
+        self._max_samples = max_samples
+
+    def set(self, value: float, t_ms: Optional[float] = None) -> None:
+        """Record a new value; with ``t_ms`` it is kept in the series."""
+        self._value = float(value)
+        if t_ms is not None and len(self._series) < self._max_samples:
+            self._series.append((float(t_ms), float(value)))
+
+    @property
+    def value(self) -> float:
+        """Most recent value (NaN before the first ``set``)."""
+        return self._value
+
+    @property
+    def series(self) -> Tuple[Tuple[float, float], ...]:
+        """All timestamped samples recorded so far."""
+        return tuple(self._series)
+
+
+class Histogram:
+    """Streaming histogram: fixed buckets plus a quantile reservoir."""
+
+    __slots__ = (
+        "name", "labels", "_bounds", "_bucket_counts", "_count", "_sum",
+        "_reservoir", "_capacity", "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        reservoir_size: int = 4096,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.name = name
+        self.labels = labels
+        self._bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +inf overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._reservoir: List[float] = []
+        self._capacity = reservoir_size
+        # Deterministic reservoir: runs are reproducible for a fixed
+        # observation order regardless of global random state.
+        self._rng = random.Random(0x5EED ^ zlib.crc32(name.encode("utf-8")))
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into buckets, sum, and the reservoir."""
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:  # first bound >= value (bisect_left on bounds)
+            mid = (lo + hi) // 2
+            if self._bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._bucket_counts[lo] += 1
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self._capacity:
+                self._reservoir[slot] = value
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return 0.0 if self._count == 0 else self._sum / self._count
+
+    def bucket_bounds(self) -> Tuple[float, ...]:
+        """The finite bucket upper bounds (``+inf`` is implicit)."""
+        return self._bounds
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs incl. +inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, self._bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self._count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile for ``q`` in [0, 1]; exact while the number
+        of observations is within the reservoir capacity."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self._reservoir:
+            return math.nan
+        ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics of one run.
+
+    Metrics are identified by ``(name, labels)``; asking twice returns the
+    same object, so instrumentation sites never coordinate.  Registering
+    one name as two different kinds raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        """The counter registered under ``(name, labels)``."""
+        return self._get(name, "counter", help, labels, lambda k: Counter(name, k))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        """The gauge registered under ``(name, labels)``."""
+        return self._get(name, "gauge", help, labels, lambda k: Gauge(name, k))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        """The histogram registered under ``(name, labels)``."""
+        return self._get(
+            name, "histogram", help, labels, lambda k: Histogram(name, k, buckets)
+        )
+
+    def _get(self, name, kind, help, labels, make):
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {known}, not {kind}"
+            )
+        self._kinds[name] = kind
+        if help:
+            self._help[name] = help
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = make(key[1])
+            self._metrics[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection (exporters)
+    # ------------------------------------------------------------------
+    def kind_of(self, name: str) -> Optional[str]:
+        """'counter' | 'gauge' | 'histogram', or None if unknown."""
+        return self._kinds.get(name)
+
+    def help_of(self, name: str) -> str:
+        """The help string registered for ``name`` (may be empty)."""
+        return self._help.get(name, "")
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._kinds)
+
+    def collect(self, name: str) -> Iterable[object]:
+        """Every metric instance (one per label set) under ``name``."""
+        return [
+            metric
+            for (metric_name, _), metric in sorted(self._metrics.items())
+            if metric_name == name
+        ]
+
+    def __len__(self) -> int:
+        return len(self._metrics)

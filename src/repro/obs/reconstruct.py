@@ -1,0 +1,103 @@
+"""Recompute run statistics from a trace alone.
+
+A correct trace is a *sufficient statistic* for the headline numbers:
+every query completion (or drop) appears as a ``completion`` instant with
+its ``satisfied`` flag, and every MS&S decision appears as a service span
+with its batch size.  :func:`reconstruct_metrics` folds those records
+back into the same aggregates :class:`~repro.sim.metrics.SimulationMetrics`
+reports, which the integration tests compare *exactly* — any divergence
+means the instrumentation dropped or duplicated lifecycle events.
+
+Works from a live :class:`~repro.obs.trace.RecordingTracer` or from a
+JSONL event log written by
+:func:`repro.obs.exporters.write_events_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Union
+
+from repro.obs.trace import RecordingTracer
+
+__all__ = ["TraceSummary", "reconstruct_metrics", "reconstruct_from_jsonl"]
+
+#: Span name used by all service-span emitters.
+SERVICE_SPAN = "serve"
+#: Instant name used by all completion emitters (drops included).
+COMPLETION_EVENT = "completion"
+ARRIVAL_EVENT = "arrival"
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregates recomputed from lifecycle records only."""
+
+    total_queries: int
+    satisfied_queries: int
+    decisions: int
+    batch_total: int
+    arrivals: int
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of completed queries that missed their deadline."""
+        if self.total_queries == 0:
+            return 0.0
+        return 1.0 - self.satisfied_queries / self.total_queries
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean served-batch size over all MS&S decisions."""
+        if self.decisions == 0:
+            return 0.0
+        return self.batch_total / self.decisions
+
+
+def _fold(records: Iterable[Mapping]) -> TraceSummary:
+    total = satisfied = decisions = batch_total = arrivals = 0
+    for record in records:
+        name = record.get("name")
+        kind = record.get("type")
+        if kind == "instant":
+            if name == COMPLETION_EVENT:
+                total += 1
+                if record.get("args", {}).get("satisfied"):
+                    satisfied += 1
+            elif name == ARRIVAL_EVENT:
+                arrivals += 1
+        elif kind == "span" and name == SERVICE_SPAN:
+            decisions += 1
+            batch_total += int(record.get("args", {}).get("batch", 0))
+    return TraceSummary(
+        total_queries=total,
+        satisfied_queries=satisfied,
+        decisions=decisions,
+        batch_total=batch_total,
+        arrivals=arrivals,
+    )
+
+
+def reconstruct_metrics(tracer: RecordingTracer) -> TraceSummary:
+    """Recompute the summary from an in-memory tracer."""
+    records = []
+    for span in tracer.spans:
+        records.append({"type": "span", "name": span.name, "args": span.args})
+    for event in tracer.events:
+        if not event.is_counter:
+            records.append(
+                {"type": "instant", "name": event.name, "args": event.args}
+            )
+    return _fold(records)
+
+
+def reconstruct_from_jsonl(path: Union[str, Path]) -> TraceSummary:
+    """Recompute the summary from a JSONL event log on disk."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return _fold(records)

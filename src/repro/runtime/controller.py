@@ -20,6 +20,8 @@ from repro.arrivals.distributions import ArrivalDistribution
 from repro.arrivals.traces import LoadTrace
 from repro.balancers import LoadBalancer, RoundRobinBalancer
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.profiles.models import ModelSet
 from repro.runtime.clock import VirtualClock
 from repro.runtime.worker import InferenceWorker
@@ -59,6 +61,8 @@ class CentralController:
         balancer: Optional[LoadBalancer] = None,
         time_scale: float = 0.05,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_workers < 1:
             raise SimulationError(f"num_workers must be >= 1, got {num_workers}")
@@ -70,6 +74,8 @@ class CentralController:
         self._balancer = balancer or RoundRobinBalancer()
         self._time_scale = time_scale
         self._seed = seed
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._registry = registry
 
     def serve(
         self,
@@ -91,23 +97,40 @@ class CentralController:
         )
         clock = VirtualClock(self._time_scale)
         monitor = LoadMonitor()
-        metrics = MetricsCollector()
+        monitor.attach_registry(self._registry)
+        metrics = MetricsCollector(registry=self._registry)
         metrics_lock = threading.Lock()
         per_worker = selector.queue_scope is QueueScope.PER_WORKER
+        tracer = self._tracer
+        tracing = tracer.enabled
 
         def on_complete(
             worker_id: int, model_name: str, served: List[Query], now_ms: float
         ) -> None:
             model = self._model_set.get(model_name)
             with metrics_lock:
-                metrics.record_decision(len(served))
+                metrics.record_decision(len(served), model_name=model_name)
                 for query in served:
+                    satisfied = now_ms <= query.deadline_ms
                     metrics.record_completion(
                         model_name=model_name,
                         model_accuracy=model.accuracy,
                         response_ms=now_ms - query.arrival_ms,
-                        satisfied=now_ms <= query.deadline_ms,
+                        satisfied=satisfied,
                     )
+                    if tracing:
+                        tracer.instant(
+                            "completion",
+                            f"worker-{worker_id}",
+                            now_ms,
+                            args={
+                                "query": query.query_id,
+                                "worker": worker_id,
+                                "model": model_name,
+                                "satisfied": satisfied,
+                                "response_ms": now_ms - query.arrival_ms,
+                            },
+                        )
 
         workers = [
             InferenceWorker(
@@ -118,6 +141,7 @@ class CentralController:
                 clock=clock,
                 on_complete=on_complete,
                 load_probe=monitor.anticipated_load_qps,
+                tracer=tracer,
             )
             for i in range(self._num_workers if per_worker else self._num_workers)
         ]
@@ -132,14 +156,21 @@ class CentralController:
         def submit(query: Query) -> None:
             with monitor_lock:
                 monitor.record_arrival(query.arrival_ms)
+            lengths = [w.queue_length() for w in workers]
             if per_worker:
-                lengths = [w.queue_length() for w in workers]
-                workers[balancer.assign(lengths)].enqueue(query)
+                target = balancer.assign(lengths)
             else:
                 # Central queue approximation: route to the emptiest worker,
                 # which converges to eager idle-worker grabbing.
-                lengths = [w.queue_length() for w in workers]
-                workers[int(np.argmin(lengths))].enqueue(query)
+                target = int(np.argmin(lengths))
+            if tracing:
+                tracer.instant(
+                    "arrival",
+                    "balancer",
+                    query.arrival_ms,
+                    args={"query": query.query_id, "worker": target},
+                )
+            workers[target].enqueue(query)
 
         for worker in workers:
             worker.start()

@@ -15,6 +15,7 @@ import threading
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.profiles.models import ModelSet
 from repro.runtime.clock import VirtualClock
 from repro.selectors.base import ModelSelector
@@ -28,7 +29,13 @@ CompletionCallback = Callable[[int, str, List[Query], float], None]
 
 
 class InferenceWorker:
-    """One worker VM: a queue, a selector, and a service thread."""
+    """One worker VM: a queue, a selector, and a service thread.
+
+    With an enabled ``tracer`` each served batch is recorded as a
+    ``serve`` span on this worker's track (virtual-clock timestamps), so
+    the wall-clock runtime produces the same trace shape as the
+    discrete-event simulator.
+    """
 
     def __init__(
         self,
@@ -39,6 +46,7 @@ class InferenceWorker:
         clock: VirtualClock,
         on_complete: CompletionCallback,
         load_probe: Callable[[float], float],
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._id = worker_id
         self._models = model_set
@@ -47,6 +55,7 @@ class InferenceWorker:
         self._clock = clock
         self._on_complete = on_complete
         self._load_probe = load_probe
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: Deque[Query] = deque()
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -102,16 +111,33 @@ class InferenceWorker:
                     return
                 now = self._clock.now_ms()
                 head = self._queue[0]
+                queue_len = len(self._queue)
+                anticipated = self._load_probe(now)
                 action = self._selector.select(
-                    queue_length=len(self._queue),
+                    queue_length=queue_len,
                     earliest_slack_ms=head.slack_at(now),
                     now_ms=now,
-                    anticipated_load_qps=self._load_probe(now),
+                    anticipated_load_qps=anticipated,
                 )
-                batch = min(action.batch_size, len(self._queue))
+                batch = min(action.batch_size, queue_len)
                 served = [self._queue.popleft() for _ in range(max(batch, 1))]
                 model = self._models.get(action.model)
             # Execute outside the lock: new arrivals may queue meanwhile.
             exec_ms = self._latency_model.execution_ms(model, len(served))
             self._clock.sleep_ms(exec_ms)
-            self._on_complete(self._id, model.name, served, self._clock.now_ms())
+            done = self._clock.now_ms()
+            if self._tracer.enabled:
+                self._tracer.complete(
+                    "serve",
+                    f"worker-{self._id}",
+                    now,
+                    done - now,
+                    args={
+                        "worker": self._id,
+                        "model": model.name,
+                        "batch": len(served),
+                        "queue_len": queue_len,
+                        "anticipated_qps": anticipated,
+                    },
+                )
+            self._on_complete(self._id, model.name, served, done)

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro._util import percentile
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MetricsCollector", "SimulationMetrics"]
 
@@ -63,9 +64,19 @@ class SimulationMetrics:
 
 
 class MetricsCollector:
-    """Accumulates per-query completions into :class:`SimulationMetrics`."""
+    """Accumulates per-query completions into :class:`SimulationMetrics`.
 
-    def __init__(self, track_responses: bool = True) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    recorded decision/completion is also published as time-series metrics
+    (per-model dispatch counters, response-latency and batch-size
+    histograms, violation counts) without changing the frozen result.
+    """
+
+    def __init__(
+        self,
+        track_responses: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._track_responses = track_responses
         self._total = 0
         self._satisfied = 0
@@ -75,11 +86,44 @@ class MetricsCollector:
         self._model_counts: Counter = Counter()
         self._decisions = 0
         self._batch_sum = 0
+        self._registry = registry
+        if registry is not None:
+            self._h_response = registry.histogram(
+                "sim_response_ms", help="per-query response latency"
+            )
+            self._h_batch = registry.histogram(
+                "sim_batch_size",
+                help="served batch size per MS&S decision",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            )
+            self._c_completions = registry.counter(
+                "sim_completions_total", help="queries completed"
+            )
+            self._c_violations = registry.counter(
+                "sim_violations_total", help="queries that missed the SLO"
+            )
+            self._dispatch_counters: Dict[str, object] = {}
+            self._query_counters: Dict[str, object] = {}
 
-    def record_decision(self, batch_size: int) -> None:
+    def record_decision(
+        self, batch_size: int, model_name: Optional[str] = None
+    ) -> None:
         """Note one MS&S decision serving ``batch_size`` queries."""
         self._decisions += 1
         self._batch_sum += batch_size
+        registry = self._registry
+        if registry is not None:
+            self._h_batch.observe(batch_size)
+            if model_name is not None:
+                counter = self._dispatch_counters.get(model_name)
+                if counter is None:
+                    counter = registry.counter(
+                        "sim_dispatch_total",
+                        help="MS&S decisions per model",
+                        labels={"model": model_name},
+                    )
+                    self._dispatch_counters[model_name] = counter
+                counter.inc()
 
     def record_completion(
         self,
@@ -97,6 +141,21 @@ class MetricsCollector:
         if satisfied:
             self._satisfied += 1
             self._accuracy_sum += model_accuracy
+        registry = self._registry
+        if registry is not None:
+            self._h_response.observe(response_ms)
+            self._c_completions.inc()
+            if not satisfied:
+                self._c_violations.inc()
+            counter = self._query_counters.get(model_name)
+            if counter is None:
+                counter = registry.counter(
+                    "sim_queries_total",
+                    help="completed queries per serving model",
+                    labels={"model": model_name},
+                )
+                self._query_counters[model_name] = counter
+            counter.inc()
 
     @property
     def total(self) -> int:

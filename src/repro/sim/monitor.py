@@ -10,9 +10,10 @@ predicts the load to isolate MS&S quality from prediction error;
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Optional
 
 from repro.arrivals.traces import LoadTrace
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["LoadMonitor", "OracleLoadMonitor"]
 
@@ -22,7 +23,10 @@ class LoadMonitor:
 
     ``record_arrival`` is called for every central-queue arrival;
     ``anticipated_load_qps(now)`` returns the average rate over the trailing
-    ``window_ms`` (500 ms in the paper).
+    ``window_ms`` (500 ms in the paper).  ``realized_load_qps`` always
+    reports the trailing moving average, so subclasses that *anticipate*
+    differently (the oracle) can be compared against what actually arrived
+    — :meth:`attach_registry` publishes both as gauge time series.
     """
 
     def __init__(self, window_ms: float = 500.0) -> None:
@@ -30,16 +34,41 @@ class LoadMonitor:
             raise ValueError(f"window_ms must be > 0, got {window_ms}")
         self._window_ms = window_ms
         self._arrivals: Deque[float] = deque()
+        self._c_arrivals = None
+        self._g_anticipated = None
+        self._g_realized = None
 
     @property
     def window_ms(self) -> float:
         """Averaging window length."""
         return self._window_ms
 
+    def attach_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Publish arrivals and anticipated/realized load into ``registry``
+        (pass ``None`` to detach)."""
+        if registry is None:
+            self._c_arrivals = self._g_anticipated = self._g_realized = None
+            return
+        self._c_arrivals = registry.counter(
+            "monitor_arrivals_total", help="arrivals seen by the load monitor"
+        )
+        self._g_anticipated = registry.gauge(
+            "monitor_anticipated_load_qps",
+            help="load the monitor reports to selectors",
+        )
+        self._g_realized = registry.gauge(
+            "monitor_realized_load_qps",
+            help="trailing moving-average arrival rate",
+        )
+
     def record_arrival(self, t_ms: float) -> None:
         """Note one arrival at time ``t_ms`` (non-decreasing)."""
         self._arrivals.append(t_ms)
         self._evict(t_ms)
+        if self._c_arrivals is not None:
+            self._c_arrivals.inc()
+            self._g_realized.set(self.realized_load_qps(t_ms), t_ms=t_ms)
+            self._g_anticipated.set(self.anticipated_load_qps(t_ms), t_ms=t_ms)
 
     def anticipated_load_qps(self, now_ms: float) -> float:
         """Estimated query load at ``now_ms`` in queries per second.
@@ -47,6 +76,10 @@ class LoadMonitor:
         Before a full window has elapsed, the denominator is the elapsed
         time so early estimates are not biased low.
         """
+        return self.realized_load_qps(now_ms)
+
+    def realized_load_qps(self, now_ms: float) -> float:
+        """Trailing moving-average arrival rate at ``now_ms`` (QPS)."""
         self._evict(now_ms)
         if not self._arrivals:
             return 0.0

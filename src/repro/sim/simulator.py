@@ -33,6 +33,8 @@ from repro.arrivals.processes import sample_arrival_times
 from repro.arrivals.traces import LoadTrace
 from repro.balancers import LoadBalancer, RoundRobinBalancer
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.profiles.models import ModelSet
 from repro.sim.latency_model import DeterministicLatency, LatencyModel
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
@@ -72,6 +74,12 @@ class SimulationConfig:
     #: ``i``'s execution latencies are multiplied by ``factors[i]``.
     #: ``None`` means a homogeneous cluster (all 1.0).
     worker_speed_factors: Optional[Tuple[float, ...]] = None
+    #: Opt-in observability (repro.obs).  ``tracer`` records per-query
+    #: lifecycle events and per-batch service spans; ``registry`` receives
+    #: counters/gauges/histograms (queue depth, anticipated vs. realized
+    #: load, batch sizes, per-model dispatch counts).  Both default off.
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -170,17 +178,50 @@ class Simulation:
         cfg = self._config
         monitor = cfg.monitor if cfg.monitor is not None else LoadMonitor()
         monitor.reset()
+        monitor.attach_registry(cfg.registry)
         balancer = cfg.balancer
         balancer.reset()
         latency_model = cfg.latency_model.clone(cfg.seed + 1)
-        metrics = MetricsCollector(track_responses=cfg.track_responses)
+        registry = cfg.registry
+        metrics = MetricsCollector(
+            track_responses=cfg.track_responses, registry=registry
+        )
         model_set = cfg.model_set
+
+        # Observability is opt-in; `tracing` guards every hook so the
+        # default run pays only a boolean check per event.
+        tracer = cfg.tracer if cfg.tracer is not None else NULL_TRACER
+        tracing = tracer.enabled
+        if registry is not None:
+            gauge_anticipated = registry.gauge(
+                "sim_anticipated_load_qps",
+                help="load the monitor reports to selectors",
+            )
+            gauge_realized = registry.gauge(
+                "sim_realized_load_qps",
+                help="trailing moving-average arrival rate",
+            )
+        else:
+            gauge_anticipated = gauge_realized = None
 
         num_workers = cfg.num_workers
         per_worker = discipline is QueueDiscipline.PER_WORKER
         queues: List[Deque[Query]] = [
             deque() for _ in range(num_workers if per_worker else 1)
         ]
+        if registry is not None:
+            # One depth gauge per queue: worker-indexed under the
+            # per-worker discipline, a single shared one under central.
+            queue_gauges: List[Optional[object]] = [
+                registry.gauge(
+                    "sim_queue_depth",
+                    help="pending queries per queue",
+                    labels={"worker": str(i) if per_worker else "central"},
+                )
+                for i in range(len(queues))
+            ]
+        else:
+            queue_gauges = [None] * len(queues)
         busy = [False] * num_workers
         idle_workers: List[int] = list(range(num_workers - 1, -1, -1))
 
@@ -199,13 +240,15 @@ class Simulation:
             the decision dropped the queue and the worker stays idle."""
             nonlocal sequence
             head = queue[0]
+            queue_len = len(queue)
+            anticipated = monitor.anticipated_load_qps(now)
             action = selectors[worker].select(
-                queue_length=len(queue),
+                queue_length=queue_len,
                 earliest_slack_ms=head.slack_at(now),
                 now_ms=now,
-                anticipated_load_qps=monitor.anticipated_load_qps(now),
+                anticipated_load_qps=anticipated,
             )
-            batch = min(action.batch_size, len(queue))
+            batch = min(action.batch_size, queue_len)
             if batch < 1:
                 raise SimulationError(
                     f"selector {selectors[worker].name} returned batch {batch}"
@@ -222,16 +265,76 @@ class Simulation:
                         response_ms=now - dropped.arrival_ms,
                         satisfied=False,
                     )
+                    if tracing:
+                        tracer.instant(
+                            "completion",
+                            f"worker-{worker}",
+                            now,
+                            args={
+                                "query": dropped.query_id,
+                                "worker": worker,
+                                "model": "<dropped>",
+                                "satisfied": False,
+                                "dropped": True,
+                                "response_ms": now - dropped.arrival_ms,
+                            },
+                        )
+                if tracing:
+                    tracer.counter(
+                        "queue_depth",
+                        f"worker-{worker}" if per_worker else "central",
+                        now,
+                        0,
+                    )
                 return False
             served = [queue.popleft() for _ in range(batch)]
             model = model_set.get(action.model)
             exec_ms = latency_model.execution_ms(model, batch) * speed[worker]
-            metrics.record_decision(batch)
+            metrics.record_decision(batch, model_name=model.name)
             busy[worker] = True
             sequence += 1
             heapq.heappush(
                 completions, (now + exec_ms, sequence, worker, model.name, served)
             )
+            if tracing:
+                track = f"worker-{worker}"
+                tracer.complete(
+                    "serve",
+                    track,
+                    now,
+                    exec_ms,
+                    args={
+                        "worker": worker,
+                        "model": model.name,
+                        "batch": batch,
+                        "queue_len": queue_len,
+                        "anticipated_qps": anticipated,
+                    },
+                )
+                for query in served:
+                    tracer.instant(
+                        "service_start",
+                        track,
+                        now,
+                        args={
+                            "query": query.query_id,
+                            "model": model.name,
+                            "batch": batch,
+                            "wait_ms": now - query.arrival_ms,
+                        },
+                    )
+                tracer.counter(
+                    "queue_depth",
+                    track if per_worker else "central",
+                    now,
+                    len(queue),
+                )
+            if registry is not None:
+                gauge_anticipated.set(anticipated, t_ms=now)
+                gauge_realized.set(monitor.realized_load_qps(now), t_ms=now)
+                queue_gauges[worker if per_worker else 0].set(
+                    len(queue), t_ms=now
+                )
             return True
 
         arrival_index = 0
@@ -255,10 +358,37 @@ class Simulation:
                 if per_worker:
                     worker = balancer.assign([len(q) for q in queues])
                     queues[worker].append(query)
+                    if tracing:
+                        tracer.instant(
+                            "arrival",
+                            "balancer",
+                            now,
+                            args={"query": query.query_id, "worker": worker},
+                        )
+                        tracer.counter(
+                            "queue_depth",
+                            f"worker-{worker}",
+                            now,
+                            len(queues[worker]),
+                        )
+                    if registry is not None:
+                        queue_gauges[worker].set(len(queues[worker]), t_ms=now)
                     if not busy[worker]:
                         dispatch(worker, queues[worker], now)
                 else:
                     queues[0].append(query)
+                    if tracing:
+                        tracer.instant(
+                            "arrival",
+                            "balancer",
+                            now,
+                            args={"query": query.query_id},
+                        )
+                        tracer.counter(
+                            "queue_depth", "central", now, len(queues[0])
+                        )
+                    if registry is not None:
+                        queue_gauges[0].set(len(queues[0]), t_ms=now)
                     if idle_workers:
                         worker = idle_workers.pop()
                         if not dispatch(worker, queues[0], now):
@@ -267,12 +397,26 @@ class Simulation:
                 now, _, worker, model_name, served = heapq.heappop(completions)
                 model = model_set.get(model_name)
                 for query in served:
+                    satisfied = now <= query.deadline_ms
                     metrics.record_completion(
                         model_name=model_name,
                         model_accuracy=model.accuracy,
                         response_ms=now - query.arrival_ms,
-                        satisfied=now <= query.deadline_ms,
+                        satisfied=satisfied,
                     )
+                    if tracing:
+                        tracer.instant(
+                            "completion",
+                            f"worker-{worker}",
+                            now,
+                            args={
+                                "query": query.query_id,
+                                "worker": worker,
+                                "model": model_name,
+                                "satisfied": satisfied,
+                                "response_ms": now - query.arrival_ms,
+                            },
+                        )
                 busy[worker] = False
                 if per_worker:
                     if queues[worker]:

@@ -10,7 +10,9 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("gen", "ms-gen", "simulate", "report", "trace", "zoo"):
+        for command in (
+            "gen", "ms-gen", "simulate", "report", "trace", "synth-trace", "zoo"
+        ):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -32,13 +34,15 @@ class TestZoo:
         assert "bert_base" in capsys.readouterr().out
 
 
-class TestTrace:
+class TestSynthTrace:
     def test_writes_file(self, tmp_path, capsys):
         out = tmp_path / "trace.txt"
-        assert main(["trace", "--out", str(out), "--duration", "60"]) == 0
+        assert main(["synth-trace", "--out", str(out), "--duration", "60"]) == 0
         lines = out.read_text().strip().splitlines()
         assert len(lines) == 6
-        assert "trace written" in capsys.readouterr().out
+        # Progress messages go through repro.obs.log to stderr; stdout is
+        # reserved for result tables.
+        assert "trace written" in capsys.readouterr().err
 
 
 class TestGen:
@@ -61,8 +65,9 @@ class TestGen:
             ]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "script complete!" in out
+        captured = capsys.readouterr()
+        assert "script complete!" in captured.err
+        assert "expected accuracy" in captured.out
         policy_file = tmp_path / "pol" / "RAMSIS_2_150" / "40.json"
         assert policy_file.exists()
         payload = json.loads(policy_file.read_text())

@@ -35,7 +35,7 @@ class TestMsGen:
         for series in payload["p99_ms"].values():
             assert len(series) == len(payload["loads_qps"])
             assert all(v > 0 for v in series)
-        assert "script complete!" in capsys.readouterr().out
+        assert "script complete!" in capsys.readouterr().err
 
 
 class TestSimulateSweeps:

@@ -85,6 +85,65 @@ class TestValueIterationOnDenseMDP:
         assert warm.iterations < cold.iterations
 
 
+class TestResidualHistory:
+    def test_off_by_default(self):
+        assert value_iteration(DenseMDP(), tolerance=1e-10).residuals is None
+
+    def test_recorded_on_request(self):
+        stats = value_iteration(
+            DenseMDP(), tolerance=1e-10, record_residuals=True
+        )
+        assert stats.residuals is not None
+        assert len(stats.residuals) == stats.iterations
+        assert stats.residuals[-1] == stats.residual
+        assert stats.residuals[-1] <= 1e-10
+
+    def test_contraction_bound(self):
+        """Regression: the Bellman operator is a gamma-contraction in the
+        sup norm, so successive residuals must satisfy
+        ``r_{k+1} <= gamma * r_k`` (up to float noise)."""
+        gamma = 0.9
+        stats = value_iteration(
+            DenseMDP(gamma=gamma), tolerance=1e-10, record_residuals=True
+        )
+        residuals = stats.residuals
+        assert len(residuals) > 10
+        for prev, cur in zip(residuals, residuals[1:]):
+            assert cur <= gamma * prev + 1e-12
+
+    def test_contraction_bound_on_worker_mdp(self, tiny_config):
+        """The same bound holds on the real worker MDP with its
+        configured discount factor."""
+        mdp = build_worker_mdp(tiny_config)
+        stats = value_iteration(mdp, record_residuals=True)
+        gamma = tiny_config.discount
+        for prev, cur in zip(stats.residuals, stats.residuals[1:]):
+            assert cur <= gamma * prev + 1e-9
+
+    def test_tracer_receives_sweep_events(self):
+        from repro.obs.trace import RecordingTracer
+
+        tracer = RecordingTracer()
+        stats = value_iteration(DenseMDP(), tolerance=1e-8, tracer=tracer)
+        sweeps = [ev for ev in tracer.events if ev.name == "vi_sweep"]
+        assert len(sweeps) == stats.iterations
+        assert [ev.args["iteration"] for ev in sweeps] == list(
+            range(1, stats.iterations + 1)
+        )
+        traced_residuals = [ev.args["residual"] for ev in sweeps]
+        # Tracing implies the history is kept too, and they agree.
+        assert tuple(traced_residuals) == stats.residuals
+
+    def test_policy_iteration_rounds_traced(self):
+        from repro.obs.trace import RecordingTracer
+
+        tracer = RecordingTracer()
+        stats, _ = policy_iteration(DenseMDP(), tracer=tracer)
+        rounds = [ev for ev in tracer.events if ev.name == "pi_round"]
+        assert rounds
+        assert all("actions_changed" in ev.args for ev in rounds)
+
+
 class TestPolicyIterationOnDenseMDP:
     def test_matches_value_iteration(self):
         mdp = DenseMDP(gamma=0.9)

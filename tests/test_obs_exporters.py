@@ -1,0 +1,167 @@
+"""Tests for the trace/metrics exporters (repro.obs.exporters)."""
+
+import json
+import math
+
+from repro.obs.exporters import (
+    chrome_trace,
+    events_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RecordingTracer
+
+
+def _sample_tracer() -> RecordingTracer:
+    tracer = RecordingTracer()
+    tracer.instant("arrival", "balancer", 0.5, args={"query": 0})
+    tracer.complete(
+        "serve", "worker-0", 1.0, 4.0, args={"batch": 2}, category="sim"
+    )
+    tracer.counter("queue_depth", "worker-0", 5.0, 3)
+    tracer.instant("completion", "worker-1", 6.0, args={"satisfied": True})
+    return tracer
+
+
+class TestEventsJsonl:
+    def test_lines_are_json_and_time_ordered(self):
+        lines = events_jsonl(_sample_tracer())
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 4
+        timestamps = [r["ts_ms"] for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_record_shapes(self):
+        records = [json.loads(line) for line in events_jsonl(_sample_tracer())]
+        by_type = {}
+        for r in records:
+            by_type.setdefault(r["type"], []).append(r)
+        (span,) = by_type["span"]
+        assert span["name"] == "serve"
+        assert span["dur_ms"] == 4.0
+        assert span["args"] == {"batch": 2}
+        assert "id" in span
+        (counter,) = by_type["counter"]
+        assert counter["value"] == 3.0
+        assert len(by_type["instant"]) == 2
+
+    def test_write_roundtrip(self, tmp_path):
+        path = write_events_jsonl(_sample_tracer(), tmp_path / "events.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+
+
+class TestChromeTrace:
+    def test_schema_validity(self):
+        doc = chrome_trace(_sample_tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert isinstance(events, list)
+        for ev in events:
+            # Every trace_event record needs these keys.
+            assert {"ph", "pid", "tid", "name"} <= set(ev)
+            assert ev["ph"] in {"M", "X", "i", "C"}
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], float)
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0.0
+            if ev["ph"] == "i":
+                assert ev["s"] in {"g", "p", "t"}
+
+    def test_metadata_names_every_track(self):
+        doc = chrome_trace(_sample_tracer(), process_name="ramsis")
+        events = doc["traceEvents"]
+        thread_names = {
+            ev["args"]["name"]: ev["tid"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert set(thread_names) == {"balancer", "worker-0", "worker-1"}
+        # Worker tracks get the lowest tids so they sort to the top.
+        assert thread_names["worker-0"] < thread_names["balancer"]
+        assert thread_names["worker-1"] < thread_names["balancer"]
+        process = [ev for ev in events if ev["name"] == "process_name"]
+        assert process[0]["args"]["name"] == "ramsis"
+
+    def test_timestamps_in_microseconds(self):
+        doc = chrome_trace(_sample_tracer())
+        span = next(ev for ev in doc["traceEvents"] if ev["ph"] == "X")
+        assert span["ts"] == 1000.0  # 1.0 ms
+        assert span["dur"] == 4000.0  # 4.0 ms
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(_sample_tracer(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestPrometheusText:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("sim_completions_total", help="completed queries").inc(7)
+        reg.gauge("sim_load_qps").set(42.5)
+        reg.counter("sim_queries_total", labels={"model": "resnet50"}).inc(3)
+        hist = reg.histogram("sim_response_ms", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            hist.observe(v)
+        return reg
+
+    def test_help_and_type_lines(self):
+        text = prometheus_text(self._registry())
+        assert "# HELP sim_completions_total completed queries" in text
+        assert "# TYPE sim_completions_total counter" in text
+        assert "# TYPE sim_load_qps gauge" in text
+        assert "# TYPE sim_response_ms histogram" in text
+
+    def test_values_and_labels(self):
+        text = prometheus_text(self._registry())
+        assert "sim_completions_total 7.0" in text
+        assert "sim_load_qps 42.5" in text
+        assert 'sim_queries_total{model="resnet50"} 3.0' in text
+
+    def test_histogram_exposition(self):
+        lines = prometheus_text(self._registry()).splitlines()
+        buckets = [ln for ln in lines if ln.startswith("sim_response_ms_bucket")]
+        assert 'sim_response_ms_bucket{le="10"} 1' in buckets
+        assert 'sim_response_ms_bucket{le="100"} 2' in buckets
+        assert 'sim_response_ms_bucket{le="+Inf"} 3' in buckets
+        assert "sim_response_ms_sum 555.0" in lines
+        assert "sim_response_ms_count 3" in lines
+
+    def test_histogram_bucket_counts_cumulative(self):
+        lines = prometheus_text(self._registry()).splitlines()
+        counts = [
+            int(ln.rsplit(" ", 1)[1])
+            for ln in lines
+            if ln.startswith("sim_response_ms_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_unset_gauge_is_nan(self):
+        reg = MetricsRegistry()
+        reg.gauge("idle")
+        assert "idle NaN" in prometheus_text(reg)
+
+    def test_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.total").inc()
+        text = prometheus_text(reg)
+        assert "weird_name_total 1.0" in text
+
+    def test_write(self, tmp_path):
+        path = write_prometheus_text(self._registry(), tmp_path / "m.prom")
+        assert "# TYPE" in path.read_text()
+
+    def test_trailing_newline(self):
+        assert prometheus_text(self._registry()).endswith("\n")
+
+    def test_inf_formatting_helper(self):
+        from repro.obs.exporters import _format_value
+
+        assert _format_value(math.inf) == "+Inf"
+        assert _format_value(-math.inf) == "-Inf"

@@ -1,0 +1,165 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("queries")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("queries").inc(-1.0)
+
+
+class TestGauge:
+    def test_nan_before_first_set(self):
+        assert math.isnan(Gauge("load").value)
+
+    def test_last_write_wins(self):
+        g = Gauge("load")
+        g.set(10.0)
+        g.set(20.0)
+        assert g.value == 20.0
+
+    def test_series_only_with_timestamps(self):
+        g = Gauge("load")
+        g.set(10.0)  # no t_ms: not in series
+        g.set(20.0, t_ms=5.0)
+        g.set(30.0, t_ms=6.0)
+        assert g.series == ((5.0, 20.0), (6.0, 30.0))
+
+    def test_series_bounded(self):
+        g = Gauge("load", max_samples=3)
+        for i in range(10):
+            g.set(float(i), t_ms=float(i))
+        assert len(g.series) == 3
+        assert g.value == 9.0  # last value still tracked past the cap
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 555.0
+        assert h.mean == 185.0
+
+    def test_empty_behaviour(self):
+        h = Histogram("lat", buckets=(10.0,))
+        assert h.mean == 0.0
+        assert math.isnan(h.quantile(0.5))
+
+    def test_cumulative_buckets(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        for v in (1.0, 10.0, 11.0, 1000.0):
+            h.observe(v)
+        cumulative = dict(h.cumulative_buckets())
+        # le=10 includes the boundary value (Prometheus: value <= bound).
+        assert cumulative[10.0] == 2
+        assert cumulative[100.0] == 3
+        assert cumulative[math.inf] == 4
+
+    def test_quantiles_exact_below_capacity(self):
+        """Below the reservoir capacity, quantiles match numpy's linear
+        interpolation exactly."""
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(scale=40.0, size=1000)
+        h = Histogram("lat")
+        for v in samples:
+            h.observe(float(v))
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            expected = float(np.quantile(samples, q))
+            assert h.quantile(q) == pytest.approx(expected, rel=1e-12)
+
+    def test_quantiles_approximate_above_capacity(self):
+        """Past the capacity the reservoir is a uniform sample: quantiles
+        stay close for a well-behaved distribution."""
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 100.0, size=20_000)
+        h = Histogram("lat", reservoir_size=4096)
+        for v in samples:
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=5.0)
+        assert h.quantile(0.9) == pytest.approx(90.0, abs=5.0)
+
+    def test_reservoir_deterministic(self):
+        def fill():
+            h = Histogram("lat", reservoir_size=64)
+            for i in range(1000):
+                h.observe(float(i % 97))
+            return h.quantile(0.5)
+
+        assert fill() == fill()
+
+    def test_quantile_range_checked(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_buckets_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_label_sets_are_distinct(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("queries", labels={"model": "resnet50"})
+        c2 = reg.counter("queries", labels={"model": "alexnet"})
+        assert c1 is not c2
+        assert len(reg) == 2
+        assert len(list(reg.collect("queries"))) == 2
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("q", labels={"x": "1", "y": "2"})
+        b = reg.counter("q", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_kind_and_help_introspection(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", help="latency in ms")
+        assert reg.kind_of("lat") == "histogram"
+        assert reg.help_of("lat") == "latency in ms"
+        assert reg.kind_of("nope") is None
+        assert reg.help_of("nope") == ""
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.gauge("alpha")
+        assert reg.names() == ["alpha", "zeta"]
+
+    def test_default_latency_buckets_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(
+            DEFAULT_LATENCY_BUCKETS_MS
+        )

@@ -1,0 +1,115 @@
+"""Tests for the tracing core (repro.obs.trace)."""
+
+import time
+
+from repro.obs.trace import NULL_TRACER, NullTracer, RecordingTracer, Tracer
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.complete("x", "t", 0.0, 1.0)
+        tracer.instant("x", "t", 0.0)
+        tracer.counter("x", "t", 0.0, 1.0)
+        with tracer.span("phase"):
+            pass
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+
+    def test_base_class_is_noop(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+        tracer.instant("x", "t", 0.0)
+
+    def test_overhead_smoke(self):
+        """The disabled-path guard is a single attribute check: a million
+        guarded no-ops must take well under a second."""
+        tracer = NULL_TRACER
+        start = time.perf_counter()
+        hits = 0
+        for _ in range(1_000_000):
+            if tracer.enabled:
+                hits += 1
+        elapsed = time.perf_counter() - start
+        assert hits == 0
+        assert elapsed < 1.0
+
+
+class TestRecordingTracer:
+    def test_complete_span_recorded(self):
+        tracer = RecordingTracer()
+        assert tracer.enabled is True
+        tracer.complete("serve", "worker-0", 10.0, 5.0, args={"batch": 3})
+        (span,) = tracer.spans
+        assert span.name == "serve"
+        assert span.track == "worker-0"
+        assert span.start_ms == 10.0
+        assert span.end_ms == 15.0
+        assert span.args["batch"] == 3
+
+    def test_instant_and_counter_events(self):
+        tracer = RecordingTracer()
+        tracer.instant("arrival", "balancer", 1.0, args={"query": 7})
+        tracer.counter("queue_depth", "worker-0", 2.0, 4)
+        instant, counter = tracer.events
+        assert not instant.is_counter
+        assert instant.args == {"query": 7}
+        assert counter.is_counter
+        assert counter.value == 4.0
+
+    def test_span_nesting_parent_links(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer", track="gen"):
+            with tracer.span("inner", track="gen"):
+                pass
+            with tracer.span("inner2", track="gen"):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner2"].parent_id == spans["outer"].span_id
+
+    def test_span_nesting_containment(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer.start_ms <= inner.start_ms
+        assert inner.end_ms <= outer.end_ms + 1e-6
+
+    def test_nesting_is_per_track(self):
+        tracer = RecordingTracer()
+        with tracer.span("a", track="t1"):
+            with tracer.span("b", track="t2"):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["b"].parent_id is None  # different track, no parent
+
+    def test_tracks_sorted(self):
+        tracer = RecordingTracer()
+        tracer.instant("x", "worker-1", 0.0)
+        tracer.instant("x", "balancer", 0.0)
+        tracer.complete("x", "worker-0", 0.0, 1.0)
+        assert tracer.tracks() == ["balancer", "worker-0", "worker-1"]
+
+    def test_clear(self):
+        tracer = RecordingTracer()
+        tracer.instant("x", "t", 0.0)
+        tracer.complete("x", "t", 0.0, 1.0)
+        tracer.clear()
+        assert tracer.spans == ()
+        assert tracer.events == ()
+
+    def test_span_exception_still_recorded(self):
+        tracer = RecordingTracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.spans] == ["failing"]
