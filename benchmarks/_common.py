@@ -13,6 +13,7 @@ the paper's full parameters (hours).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, Optional
@@ -49,12 +50,21 @@ def bench_scale() -> ExperimentScale:
     )
 
 
-def emit(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/out/."""
+def emit(name: str, text: str, data: Optional[Dict] = None) -> None:
+    """Print a rendered table and persist it under benchmarks/out/.
+
+    When ``data`` is given, a machine-readable ``<name>.json`` is written
+    alongside the text table so the performance trajectory can be diffed
+    across commits instead of scraped from ASCII.
+    """
     print()
     print(text)
     _OUT_DIR.mkdir(exist_ok=True)
     (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (_OUT_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=1, sort_keys=True) + "\n"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -72,6 +72,7 @@ def test_tracing_overhead(benchmark):
         ("tracer + registry", lambda: (RecordingTracer(), MetricsRegistry())),
     )
     reference = None
+    series = {}
     for label, make in variants:
         best = None
         for _ in range(3):
@@ -84,6 +85,10 @@ def test_tracing_overhead(benchmark):
         # Instrumentation must never change simulation results.
         assert metrics.violation_rate == reference.violation_rate
         assert metrics.total_queries == reference.total_queries
+        series[label] = {
+            "best_of_3_ms": best * 1000.0,
+            "vs_off": best / baseline_s,
+        }
         rows.append(
             [
                 label,
@@ -103,6 +108,13 @@ def test_tracing_overhead(benchmark):
                 f"workers, {DURATION_MS / 1000.0:.0f} s simulated)"
             ),
         ),
+        data={
+            "load_qps": LOAD_QPS,
+            "workers": WORKERS,
+            "duration_ms": DURATION_MS,
+            "queries": reference.total_queries,
+            "variants": series,
+        },
     )
 
     # The pytest-benchmark timing tracks the default (tracing-off) path.

@@ -13,6 +13,7 @@ plot.py            ``ramsis report --trace real ...``
 (trace file)       ``ramsis synth-trace --out twitter.txt``
 (model profiles)   ``ramsis zoo --task image``
 (observability)    ``ramsis trace --m RAMSIS --load 40 --out-dir obs``
+(live audit)       ``ramsis audit --load 40 --workers 2 --out-dir audit``
 =================  ====================================================
 
 Results are written as JSON under ``--results-dir`` with the artifact's
@@ -358,6 +359,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     consistent = (
         summary.violation_rate == metrics.violation_rate
         and summary.mean_batch_size == metrics.mean_batch_size
+        and summary.accuracy_per_satisfied_query
+        == metrics.accuracy_per_satisfied_query
     )
     print(
         format_table(
@@ -378,7 +381,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 (
                     "accuracy",
                     f"{metrics.accuracy_per_satisfied_query * 100:.2f}%",
-                    "-",
+                    f"{summary.accuracy_per_satisfied_query * 100:.2f}%",
                 ),
                 ("p99 response (ms)", f"{metrics.p99_response_ms:.1f}", "-"),
             ],
@@ -389,6 +392,64 @@ def cmd_trace(args: argparse.Namespace) -> int:
     for path in (jsonl_path, chrome_path, prom_path):
         log.info("wrote %s", path)
     return 0 if consistent else 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Run a scenario under the live guarantee auditor (§5.1 online).
+
+    Pins the RAMSIS policy for ``--policy-load`` (default: the actual
+    ``--load``) and audits the run against that policy's predicted bounds,
+    stationary occupancy, and profiled load.  Writes ``audit.json`` (the
+    report schema) and ``audit.txt`` (human-readable) under ``--out-dir``
+    and prints the text report.  Exit code 0 when the audit is clean, 1 on
+    any bound breach, occupancy divergence, or load drift.
+    """
+    from repro.experiments.runner import run_audited
+    from repro.obs import MetricsRegistry, RecordingTracer
+    from repro.obs.audit import AuditConfig
+    from repro.obs.exporters import write_events_jsonl, write_prometheus_text
+
+    task = _task_by_name(args.task)
+    scale = _scale_by_name(args.scale)
+    slo = args.slo if args.slo is not None else task.slos_ms[0]
+    trace = LoadTrace.constant(
+        args.load, args.duration * 1000.0, name=f"const-{args.load:g}"
+    )
+    tracer = RecordingTracer()
+    registry = MetricsRegistry()
+    log.info(
+        "auditing RAMSIS: load=%g QPS (policy for %g), %d workers, "
+        "SLO %g ms, %.0f s",
+        args.load, args.policy_load or args.load, args.workers, slo,
+        args.duration,
+    )
+    run = run_audited(
+        task,
+        slo,
+        args.workers,
+        trace,
+        scale,
+        seed=args.seed,
+        policy_load_qps=args.policy_load,
+        audit_config=AuditConfig(
+            window_queries=args.window, confidence=args.confidence
+        ),
+        tracer=tracer,
+        registry=registry,
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report_text = run.report.render_text()
+    (out_dir / "audit.json").write_text(
+        json.dumps(run.report.to_json_dict(), indent=1)
+    )
+    (out_dir / "audit.txt").write_text(report_text + "\n")
+    write_events_jsonl(tracer, out_dir / "events.jsonl")
+    write_prometheus_text(registry, out_dir / "metrics.prom")
+    print(report_text)
+    log.info("audit artifacts written to %s", out_dir)
+    return 0 if run.report.ok else 1
 
 
 def cmd_zoo(args: argparse.Namespace) -> int:
@@ -502,6 +563,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=11)
     trace.add_argument("--out-dir", default="obs_out")
     trace.set_defaults(func=cmd_trace)
+
+    audit = sub.add_parser(
+        "audit", help="audit a run against the §5.1 guarantees, live"
+    )
+    audit.add_argument("--task", default="image", choices=["image", "text"])
+    audit.add_argument("--slo", type=float, default=None)
+    audit.add_argument("--workers", type=int, default=2)
+    audit.add_argument("--load", type=float, default=40.0, help="constant QPS")
+    audit.add_argument(
+        "--policy-load",
+        type=float,
+        default=None,
+        help="generate the audited policy for this load instead of --load "
+        "(a mismatch simulates a stale policy)",
+    )
+    audit.add_argument(
+        "--duration", type=float, default=20.0, help="scenario length (s)"
+    )
+    audit.add_argument(
+        "--window", type=int, default=200, help="completions per audit window"
+    )
+    audit.add_argument(
+        "--confidence", type=float, default=0.95, help="CI confidence level"
+    )
+    audit.add_argument("--scale", default="smoke")
+    audit.add_argument("--seed", type=int, default=11)
+    audit.add_argument("--out-dir", default="audit_out")
+    audit.set_defaults(func=cmd_audit)
 
     zoo = sub.add_parser("zoo", help="print model profiles (Fig. 3 / Fig. 9)")
     zoo.add_argument("--task", default="image", choices=["image", "text"])

@@ -25,7 +25,7 @@ Two weightings are reported:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -33,7 +33,14 @@ from repro.core.mdp import WorkerMDP, _FALLBACK
 from repro.core.policy import Policy
 from repro.errors import SolverError
 
-__all__ = ["PolicyGuarantees", "stationary_distribution", "evaluate_policy"]
+__all__ = [
+    "PolicyGuarantees",
+    "OccupancyDistribution",
+    "stationary_distribution",
+    "stationary_occupancy",
+    "total_variation",
+    "evaluate_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +118,68 @@ def stationary_distribution(
     raise SolverError(
         f"power iteration did not converge within {max_iterations} steps"
     )
+
+
+@dataclass(frozen=True)
+class OccupancyDistribution:
+    """Stationary per-worker state occupancy of a policy-induced chain.
+
+    ``probs`` maps occupied states keyed ``"n,j"`` (the policy-JSON key
+    convention) to their stationary probability; the special empty and
+    full-queue states are reported separately.  The online auditor
+    compares its empirical decision-epoch occupancy against
+    :meth:`decision_conditional`.
+    """
+
+    probs: Mapping[str, float]
+    empty_probability: float
+    full_probability: float
+
+    def decision_conditional(self) -> Dict[str, float]:
+        """The distribution conditioned on decision states (non-empty).
+
+        Online decision epochs only ever observe occupied states and the
+        full-queue state — the empty state's sole transition is the
+        arrival action — so this is the prediction an empirical
+        decision-epoch histogram estimates.
+        """
+        mass = sum(self.probs.values()) + self.full_probability
+        if mass <= 0.0:
+            raise SolverError("stationary occupancy has no decision mass")
+        out = {key: p / mass for key, p in self.probs.items() if p > 0.0}
+        if self.full_probability > 0.0:
+            out["full"] = self.full_probability / mass
+        return out
+
+
+def stationary_occupancy(
+    mdp: WorkerMDP,
+    policy: Policy,
+    tolerance: float = 1e-10,
+) -> OccupancyDistribution:
+    """The §5.1 stationary distribution keyed by ``(n, T_j)`` state.
+
+    Same power iteration as :func:`stationary_distribution`, repackaged
+    for consumers that need per-state probabilities (the live auditor's
+    total-variation check) rather than the summary expectations.
+    """
+    dist = stationary_distribution(mdp, policy, tolerance=tolerance)
+    space = mdp.space
+    probs: Dict[str, float] = {}
+    for n in range(1, mdp.max_queue + 1):
+        for j in range(len(mdp.grid)):
+            probs[f"{n},{j}"] = float(dist[space.index(n, j)])
+    return OccupancyDistribution(
+        probs=probs,
+        empty_probability=float(dist[space.EMPTY]),
+        full_probability=float(dist[space.FULL]),
+    )
+
+
+def total_variation(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Total-variation distance ``0.5 * sum |p - q|`` over the key union."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 
 def evaluate_policy(

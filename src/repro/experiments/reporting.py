@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import MethodPoint
+from repro.experiments.runner import AuditedRun, MethodPoint
 
 __all__ = [
     "format_table",
     "accuracy_increase_summary",
+    "audit_comparison_table",
     "resource_savings_summary",
     "series_by_method",
 ]
@@ -123,6 +124,47 @@ def resource_savings_summary(
     if not savings:
         return None
     return (sum(savings) / len(savings), max(savings))
+
+
+def audit_comparison_table(runs: Iterable[AuditedRun]) -> str:
+    """Predicted-vs-observed audit table for fig6/fig7-style sweeps.
+
+    One row per audited cell: the §5.1 predictions next to the online
+    observations, the audit verdict, and the occupancy TV distance — the
+    live counterpart of the offline guarantee tables (Tables 3/4).
+    """
+    rows: List[Sequence[object]] = []
+    for run in runs:
+        p, r = run.point, run.report
+        tv = "-" if r.occupancy is None else f"{r.occupancy.tv_distance:.4f}"
+        rows.append(
+            (
+                p.task,
+                f"{p.load_qps:g}" if p.load_qps is not None else "trace",
+                p.num_workers,
+                f"{run.guarantees.expected_accuracy * 100:.2f}%",
+                f"{p.accuracy * 100:.2f}%",
+                f"{run.guarantees.expected_violation_rate * 100:.3f}%",
+                f"{p.violation_rate * 100:.3f}%",
+                tv,
+                r.verdict,
+            )
+        )
+    return format_table(
+        [
+            "task",
+            "load",
+            "K",
+            "acc floor",
+            "acc observed",
+            "viol ceiling",
+            "viol observed",
+            "occupancy TV",
+            "audit verdict",
+        ],
+        rows,
+        title="Predicted (§5.1) vs observed — live audit",
+    )
 
 
 def render_comparison(points: Iterable[MethodPoint], baselines: Sequence[str]) -> str:

@@ -19,10 +19,12 @@ from repro.arrivals.processes import sample_arrival_times
 from repro.arrivals.traces import LoadTrace
 from repro.core.config import WorkerMDPConfig
 from repro.core.generator import PolicyGenerator
+from repro.core.guarantees import PolicyGuarantees
 from repro.core.policy import Policy
 from repro.core.policy_set import PolicySet
 from repro.errors import ConfigurationError
 from repro.experiments.scale import ExperimentScale
+from repro.obs.audit import AuditConfig, AuditReport, GuaranteeAuditor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.experiments.tasks import TaskSpec
@@ -43,12 +45,15 @@ from repro.sim.simulator import Simulation, SimulationConfig
 
 __all__ = [
     "MethodPoint",
+    "AuditedRun",
     "METHODS",
     "build_ramsis_policy",
     "build_policy_set",
+    "build_audit_references",
     "modelswitching_table",
     "make_selector",
     "run_method",
+    "run_audited",
     "shared_arrivals",
     "clear_caches",
 ]
@@ -84,6 +89,9 @@ _POLICY_CACHE: Dict[Tuple, Policy] = {}
 _POLICY_SET_CACHE: Dict[Tuple, PolicySet] = {}
 _MS_TABLE_CACHE: Dict[Tuple, ResponseLatencyTable] = {}
 _ARRIVAL_CACHE: Dict[Tuple, np.ndarray] = {}
+_AUDIT_REF_CACHE: Dict[
+    Tuple, Tuple[Policy, PolicyGuarantees, Dict[str, float]]
+] = {}
 
 
 def clear_caches() -> None:
@@ -92,6 +100,7 @@ def clear_caches() -> None:
     _POLICY_SET_CACHE.clear()
     _MS_TABLE_CACHE.clear()
     _ARRIVAL_CACHE.clear()
+    _AUDIT_REF_CACHE.clear()
 
 
 def _base_config(
@@ -142,6 +151,48 @@ def build_ramsis_policy(
     policy = generate_policy(config).policy
     _POLICY_CACHE[key] = policy
     return policy
+
+
+def build_audit_references(
+    model_set: ModelSet,
+    slo_ms: float,
+    load_qps: float,
+    num_workers: int,
+    scale: ExperimentScale,
+    **overrides,
+) -> Tuple[Policy, PolicyGuarantees, Dict[str, float]]:
+    """Everything the live auditor needs for a pinned-policy cell.
+
+    Returns the cached ``(policy, guarantees, expected_occupancy)``
+    triple, where ``expected_occupancy`` is the §5.1 stationary
+    distribution conditioned on decision states (what decision epochs
+    empirically sample).
+    """
+    key = (
+        "audit",
+        model_set.task,
+        len(model_set),
+        slo_ms,
+        round(load_qps, 6),
+        num_workers,
+        scale.fld_resolution,
+        scale.max_batch_size,
+        tuple(sorted(overrides.items())),
+    )
+    cached = _AUDIT_REF_CACHE.get(key)
+    if cached is not None:
+        return cached
+    config = _base_config(model_set, slo_ms, load_qps, num_workers, scale, **overrides)
+    from repro.core.generator import generate_policy
+    from repro.core.guarantees import stationary_occupancy
+    from repro.core.mdp import build_worker_mdp
+
+    result = generate_policy(config)
+    mdp = build_worker_mdp(config)
+    occupancy = stationary_occupancy(mdp, result.policy).decision_conditional()
+    triple = (result.policy, result.guarantees, occupancy)
+    _AUDIT_REF_CACHE[key] = triple
+    return triple
 
 
 def build_policy_set(
@@ -342,3 +393,71 @@ def run_method(
         violation_rate=metrics.violation_rate,
         queries=metrics.total_queries,
     )
+
+
+@dataclass(frozen=True)
+class AuditedRun:
+    """A RAMSIS evaluation cell plus its live audit outcome."""
+
+    point: MethodPoint
+    report: AuditReport
+    guarantees: PolicyGuarantees
+
+
+def run_audited(
+    task: TaskSpec,
+    slo_ms: float,
+    num_workers: int,
+    trace: LoadTrace,
+    scale: ExperimentScale,
+    seed: int = 11,
+    oracle_load: bool = True,
+    policy_load_qps: Optional[float] = None,
+    audit_config: Optional[AuditConfig] = None,
+    latency_model: Optional[LatencyModel] = None,
+    model_set: Optional[ModelSet] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> AuditedRun:
+    """Run a RAMSIS pinned-policy cell under the live guarantee auditor.
+
+    The policy (and the §5.1 references the auditor checks against) is
+    generated for ``policy_load_qps`` when given, else the trace's mean
+    load.  Passing a ``policy_load_qps`` below the trace's actual load
+    deliberately audits a *stale* policy — the adversarial case where the
+    auditor must flag bound breaches and load drift.  ``tracer`` becomes
+    the auditor's inner tracer, so a :class:`~repro.obs.RecordingTracer`
+    here also captures the emitted ``audit_*`` events.
+    """
+    models = model_set if model_set is not None else task.model_set
+    actual_load = trace.qps[0] if len(trace.qps) == 1 else trace.mean_qps
+    policy_load = policy_load_qps if policy_load_qps is not None else actual_load
+    policy, guarantees, occupancy = build_audit_references(
+        models, slo_ms, policy_load, num_workers, scale
+    )
+    auditor = GuaranteeAuditor(
+        guarantees,
+        policy=policy,
+        expected_occupancy=occupancy,
+        config=audit_config,
+        inner=tracer,
+        registry=registry,
+    )
+    selector = RamsisSelector(policy, on_policy_change=auditor.note_policy)
+    point = run_method(
+        "RAMSIS",
+        task,
+        slo_ms,
+        num_workers,
+        trace,
+        scale,
+        seed=seed,
+        oracle_load=oracle_load,
+        latency_model=latency_model,
+        model_set=models,
+        selector=selector,
+        tracer=auditor,
+        registry=registry,
+    )
+    report = auditor.finalize(trace.duration_ms)
+    return AuditedRun(point=point, report=report, guarantees=guarantees)

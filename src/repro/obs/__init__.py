@@ -1,4 +1,4 @@
-"""Observability: tracing, metrics, logging, and exporters.
+"""Observability: tracing, metrics, auditing, and exporters.
 
 The paper's claims are distributional (SLO violation rates, expected
 accuracy, policy-generation runtime), so this package makes every run
@@ -9,10 +9,14 @@ end-of-run :class:`~repro.sim.metrics.SimulationMetrics`:
   no-op default tracer (zero overhead when off);
 - :mod:`repro.obs.metrics` — counters, gauges (with time series), and
   streaming histograms in a Prometheus-flavoured registry;
+- :mod:`repro.obs.audit` — the live guarantee auditor: per-window §5.1
+  bound verdicts with confidence intervals, empirical-vs-stationary
+  occupancy divergence, and Page–Hinkley load-drift detection;
 - :mod:`repro.obs.exporters` — JSONL event log, Chrome ``trace_event``
   JSON (Perfetto / ``chrome://tracing``), Prometheus text dump;
-- :mod:`repro.obs.reconstruct` — recompute violation rate / batch sizes
-  from a trace alone (the instrumentation's correctness oracle);
+- :mod:`repro.obs.reconstruct` — recompute violation rate / accuracy /
+  batch sizes from a trace alone (the instrumentation's correctness
+  oracle);
 - :mod:`repro.obs.log` — package-wide logging setup for the CLI.
 
 Typical use::
@@ -27,6 +31,19 @@ Typical use::
 """
 
 from repro.obs import exporters
+from repro.obs.audit import (
+    AuditAlert,
+    AuditBounds,
+    AuditConfig,
+    AuditReport,
+    DriftEvent,
+    GuaranteeAuditor,
+    OccupancySummary,
+    PageHinkley,
+    WindowVerdict,
+    hoeffding_interval,
+    wilson_interval,
+)
 from repro.obs.log import configure, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -42,6 +59,7 @@ from repro.obs.reconstruct import (
 from repro.obs.trace import (
     NULL_TRACER,
     Event,
+    ForwardingTracer,
     NullTracer,
     RecordingTracer,
     Span,
@@ -49,20 +67,32 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AuditAlert",
+    "AuditBounds",
+    "AuditConfig",
+    "AuditReport",
     "Counter",
+    "DriftEvent",
     "Event",
+    "ForwardingTracer",
     "Gauge",
+    "GuaranteeAuditor",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OccupancySummary",
+    "PageHinkley",
     "RecordingTracer",
     "Span",
     "Tracer",
     "TraceSummary",
+    "WindowVerdict",
     "configure",
     "exporters",
     "get_logger",
+    "hoeffding_interval",
     "reconstruct_from_jsonl",
     "reconstruct_metrics",
+    "wilson_interval",
 ]

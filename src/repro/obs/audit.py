@@ -1,0 +1,936 @@
+"""Live guarantee auditing: online validation of the §5.1 bounds.
+
+The §5.1 analysis promises that a policy's **expected accuracy** is a lower
+bound on online accuracy per satisfied query and its **expected SLO
+violation rate** an upper bound on the online violation rate.  Offline the
+repo checks this in batch (Tables 3/4); :class:`GuaranteeAuditor` checks it
+*while a run is in flight*, turning the static guarantees into a runtime
+contract:
+
+1. **Bound audit** — per sliding window of completions, the observed
+   violation rate and accuracy per satisfied query are estimated with a
+   confidence interval (Wilson for proportions, Hoeffding for the bounded
+   accuracy mean) and compared against the active policy's
+   :class:`~repro.core.guarantees.PolicyGuarantees`.  A window is verdicted
+   ``ok`` unless the *entire* interval sits on the wrong side of the bound
+   (``bound-breach-beyond-CI``) — sampling noise alone never raises a
+   breach.
+2. **Occupancy audit** — every MS&S decision observes the worker state
+   ``(n, T_j)``; the empirical decision-epoch histogram is compared by
+   total-variation distance against the §5.1 stationary distribution
+   (:func:`~repro.core.guarantees.stationary_occupancy`), validating the
+   power-iteration machinery online.
+3. **Load-drift audit** — a two-sided Page–Hinkley detector runs on the
+   realized arrival rate (the auditor keeps its own moving-average
+   monitor) and flags when load leaves the active policy's profiled
+   operating point before the selector has switched policies.
+
+The auditor is a :class:`~repro.obs.trace.ForwardingTracer`: it taps the
+simulator's existing lifecycle stream (``arrival`` instants, ``serve``
+spans, ``completion`` instants), relays everything to an optional inner
+:class:`~repro.obs.trace.RecordingTracer`, and emits its own ``audit_*``
+events onto an ``audit`` track so verdicts flow through the JSONL/Chrome
+exporters unchanged.  With no auditor configured the simulator hot path is
+untouched (the usual ``tracer.enabled`` guard).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from statistics import NormalDist
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.guarantees import PolicyGuarantees, total_variation
+from repro.core.policy import Policy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import ForwardingTracer, Tracer
+
+__all__ = [
+    "wilson_interval",
+    "hoeffding_interval",
+    "PageHinkley",
+    "AuditBounds",
+    "AuditConfig",
+    "AuditAlert",
+    "WindowVerdict",
+    "DriftEvent",
+    "OccupancySummary",
+    "AuditReport",
+    "GuaranteeAuditor",
+]
+
+#: Window verdict when the whole confidence interval violates a bound.
+BREACH = "bound-breach-beyond-CI"
+#: Window verdict when the bound is compatible with the observations.
+OK = "ok"
+#: Verdict when no predicted bound was configured for the check.
+UNCHECKED = "unchecked"
+
+
+# ----------------------------------------------------------------------
+# Interval estimators
+# ----------------------------------------------------------------------
+def wilson_interval(
+    successes: int, total: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns the trivial ``(0, 1)`` interval when ``total`` is zero, so
+    empty windows can never breach a bound.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if total <= 0:
+        return (0.0, 1.0)
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    phat = successes / total
+    denom = 1.0 + z * z / total
+    center = (phat + z * z / (2.0 * total)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / total + z * z / (4.0 * total * total))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def hoeffding_interval(
+    mean: float, total: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Hoeffding interval for the mean of ``total`` values bounded in [0, 1]."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if total <= 0:
+        return (0.0, 1.0)
+    epsilon = math.sqrt(math.log(2.0 / (1.0 - confidence)) / (2.0 * total))
+    return (max(0.0, mean - epsilon), min(1.0, mean + epsilon))
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+class _RateEstimator:
+    """Trailing moving-average arrival rate — the load monitor's rule,
+    replicated here so the auditor's drift signal is independent of
+    whatever monitor the run uses (e.g. the oracle), and so ``obs`` keeps
+    no import edge into the ``sim`` layer."""
+
+    __slots__ = ("_window_ms", "_arrivals")
+
+    def __init__(self, window_ms: float) -> None:
+        self._window_ms = window_ms
+        self._arrivals: Deque[float] = deque()
+
+    def record(self, t_ms: float) -> float:
+        """Fold one arrival at ``t_ms`` and return the current rate (QPS)."""
+        arrivals = self._arrivals
+        arrivals.append(t_ms)
+        cutoff = t_ms - self._window_ms
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+        horizon = min(t_ms, self._window_ms)
+        if horizon <= 0.0:
+            return 0.0
+        return len(arrivals) / horizon * 1000.0
+
+
+class PageHinkley:
+    """Two-sided Page–Hinkley change detector on a normalized stream.
+
+    Samples are fed as ``value / reference - 1`` so the tolerance
+    (``delta``) and alarm threshold (``threshold``) are fractions of the
+    reference level, independent of the absolute load.  ``update`` returns
+    ``"up"``/``"down"`` on the step that crosses the threshold, else
+    ``None``; :meth:`reset` re-arms the detector around a new reference.
+    """
+
+    def __init__(
+        self,
+        reference: float,
+        delta: float = 0.15,
+        threshold: float = 8.0,
+        min_samples: int = 30,
+    ) -> None:
+        if reference <= 0.0:
+            raise ValueError(f"reference must be > 0, got {reference}")
+        self._reference = reference
+        self._delta = delta
+        self._threshold = threshold
+        self._min_samples = min_samples
+        self.reset(reference)
+
+    @property
+    def reference(self) -> float:
+        """The level deviations are measured against."""
+        return self._reference
+
+    def reset(self, reference: Optional[float] = None) -> None:
+        """Re-arm around ``reference`` (default: keep the current one)."""
+        if reference is not None:
+            if reference <= 0.0:
+                raise ValueError(f"reference must be > 0, got {reference}")
+            self._reference = reference
+        self._n = 0
+        self._cum_up = 0.0
+        self._min_up = 0.0
+        self._cum_down = 0.0
+        self._max_down = 0.0
+
+    def update(self, value: float) -> Optional[str]:
+        """Fold one observation; returns the drift direction on alarm."""
+        v = value / self._reference - 1.0
+        self._n += 1
+        self._cum_up += v - self._delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._cum_down += v + self._delta
+        self._max_down = max(self._max_down, self._cum_down)
+        if self._n < self._min_samples:
+            return None
+        if self._cum_up - self._min_up > self._threshold:
+            return "up"
+        if self._max_down - self._cum_down > self._threshold:
+            return "down"
+        return None
+
+
+# ----------------------------------------------------------------------
+# Configuration and result records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AuditBounds:
+    """The predicted §5.1 bounds a run is audited against."""
+
+    accuracy_floor: float
+    violation_ceiling: float
+
+    @staticmethod
+    def from_guarantees(guarantees: PolicyGuarantees) -> "AuditBounds":
+        """Headline (per-query-weighted) bounds of a policy evaluation."""
+        return AuditBounds(
+            accuracy_floor=guarantees.expected_accuracy,
+            violation_ceiling=guarantees.expected_violation_rate,
+        )
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Knobs of the streaming auditor (defaults documented in README)."""
+
+    #: Completions per audit window.
+    window_queries: int = 200
+    #: Two-sided confidence level of the window intervals.
+    confidence: float = 0.95
+    #: Interval estimator for the violation proportion.
+    ci_method: str = "wilson"  # "wilson" | "hoeffding"
+    #: TV distance above which the occupancy audit reports divergence.
+    tv_threshold: float = 0.25
+    #: Decision epochs required before the TV verdict is trusted.
+    min_occupancy_epochs: int = 200
+    #: Averaging window of the auditor's own realized-load monitor.
+    drift_window_ms: float = 2000.0
+    #: Page–Hinkley tolerance / alarm threshold (fractions of reference).
+    drift_delta: float = 0.15
+    drift_threshold: float = 8.0
+    #: Arrivals required before the drift detector may alarm.
+    drift_min_samples: int = 30
+
+    def __post_init__(self) -> None:
+        if self.window_queries < 1:
+            raise ValueError(
+                f"window_queries must be >= 1, got {self.window_queries}"
+            )
+        if self.ci_method not in ("wilson", "hoeffding"):
+            raise ValueError(
+                f"ci_method must be 'wilson' or 'hoeffding', got {self.ci_method!r}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+
+
+@dataclass(frozen=True)
+class AuditAlert:
+    """One alert delivered to registered callbacks."""
+
+    kind: str  # violation-bound-breach | accuracy-bound-breach |
+    #          occupancy-divergence | load-drift
+    t_ms: float
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """Bound-audit outcome of one completion window."""
+
+    index: int
+    start_ms: float
+    end_ms: float
+    queries: int
+    satisfied: int
+    violation_rate: float
+    violation_ci: Tuple[float, float]
+    accuracy: float
+    accuracy_ci: Tuple[float, float]
+    violation_verdict: str
+    accuracy_verdict: str
+    occupancy_tv: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when neither bound is breached beyond its CI."""
+        return BREACH not in (self.violation_verdict, self.accuracy_verdict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "index": self.index,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "queries": self.queries,
+            "satisfied": self.satisfied,
+            "violation_rate": self.violation_rate,
+            "violation_ci": list(self.violation_ci),
+            "accuracy": self.accuracy,
+            "accuracy_ci": list(self.accuracy_ci),
+            "violation_verdict": self.violation_verdict,
+            "accuracy_verdict": self.accuracy_verdict,
+            "occupancy_tv": self.occupancy_tv,
+        }
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One load-drift alarm."""
+
+    t_ms: float
+    direction: str  # "up" | "down"
+    realized_qps: float
+    reference_qps: float
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "t_ms": self.t_ms,
+            "direction": self.direction,
+            "realized_qps": self.realized_qps,
+            "reference_qps": self.reference_qps,
+        }
+
+
+@dataclass(frozen=True)
+class OccupancySummary:
+    """Final occupancy-audit outcome."""
+
+    tv_distance: float
+    decision_epochs: int
+    threshold: float
+    trusted: bool  # enough epochs to evaluate the threshold
+
+    @property
+    def diverged(self) -> bool:
+        """True when the empirical occupancy left the predicted one."""
+        return self.trusted and self.tv_distance > self.threshold
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "tv_distance": self.tv_distance,
+            "decision_epochs": self.decision_epochs,
+            "threshold": self.threshold,
+            "trusted": self.trusted,
+            "diverged": self.diverged,
+        }
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Everything the auditor concluded about one run."""
+
+    bounds: Optional[AuditBounds]
+    windows: Tuple[WindowVerdict, ...]
+    violation_breaches: int
+    accuracy_breaches: int
+    occupancy: Optional[OccupancySummary]
+    drift_events: Tuple[DriftEvent, ...]
+    policy_switches: int
+    total_queries: int
+    satisfied_queries: int
+    observed_violation_rate: float
+    observed_accuracy: float
+
+    @property
+    def ok(self) -> bool:
+        """True when no bound breach, occupancy divergence, or drift."""
+        return (
+            self.violation_breaches == 0
+            and self.accuracy_breaches == 0
+            and not (self.occupancy is not None and self.occupancy.diverged)
+            and not self.drift_events
+        )
+
+    @property
+    def verdict(self) -> str:
+        """``ok`` or a comma-joined list of what went wrong."""
+        if self.ok:
+            return OK
+        problems = []
+        if self.violation_breaches:
+            problems.append("violation-bound-breach")
+        if self.accuracy_breaches:
+            problems.append("accuracy-bound-breach")
+        if self.occupancy is not None and self.occupancy.diverged:
+            problems.append("occupancy-divergence")
+        if self.drift_events:
+            problems.append("load-drift")
+        return ",".join(problems)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The ``ramsis audit`` report schema."""
+        return {
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "bounds": (
+                None
+                if self.bounds is None
+                else {
+                    "accuracy_floor": self.bounds.accuracy_floor,
+                    "violation_ceiling": self.bounds.violation_ceiling,
+                }
+            ),
+            "windows": [w.to_json_dict() for w in self.windows],
+            "violation_breaches": self.violation_breaches,
+            "accuracy_breaches": self.accuracy_breaches,
+            "occupancy": (
+                None if self.occupancy is None else self.occupancy.to_json_dict()
+            ),
+            "drift_events": [d.to_json_dict() for d in self.drift_events],
+            "policy_switches": self.policy_switches,
+            "total_queries": self.total_queries,
+            "satisfied_queries": self.satisfied_queries,
+            "observed_violation_rate": self.observed_violation_rate,
+            "observed_accuracy": self.observed_accuracy,
+        }
+
+    def render_text(self) -> str:
+        """Human-readable multi-line report."""
+        from repro.experiments.reporting import format_table
+
+        lines: List[str] = [f"Audit verdict: {self.verdict}"]
+        if self.bounds is not None:
+            lines.append(
+                f"predicted bounds: accuracy >= "
+                f"{self.bounds.accuracy_floor * 100:.2f}%, violations <= "
+                f"{self.bounds.violation_ceiling * 100:.3f}%"
+            )
+        lines.append(
+            f"observed: accuracy {self.observed_accuracy * 100:.2f}%, "
+            f"violations {self.observed_violation_rate * 100:.3f}% over "
+            f"{self.total_queries} queries"
+        )
+        if self.occupancy is not None:
+            occ = self.occupancy
+            status = "diverged" if occ.diverged else (
+                "ok" if occ.trusted else "insufficient epochs"
+            )
+            lines.append(
+                f"occupancy: TV {occ.tv_distance:.4f} over "
+                f"{occ.decision_epochs} decision epochs "
+                f"(threshold {occ.threshold:g}) — {status}"
+            )
+        if self.drift_events:
+            for d in self.drift_events:
+                lines.append(
+                    f"load drift ({d.direction}) at t={d.t_ms / 1000.0:.1f}s: "
+                    f"realized {d.realized_qps:.1f} QPS vs policy reference "
+                    f"{d.reference_qps:.1f} QPS"
+                )
+        else:
+            lines.append("load drift: none")
+        if self.policy_switches:
+            lines.append(f"policy switches observed: {self.policy_switches}")
+        if self.windows:
+            rows = []
+            for w in self.windows:
+                rows.append(
+                    (
+                        w.index,
+                        f"{w.end_ms / 1000.0:.1f}",
+                        w.queries,
+                        f"{w.violation_rate * 100:.2f}%"
+                        f" [{w.violation_ci[0] * 100:.2f}, {w.violation_ci[1] * 100:.2f}]",
+                        w.violation_verdict,
+                        f"{w.accuracy * 100:.2f}%"
+                        f" [{w.accuracy_ci[0] * 100:.2f}, {w.accuracy_ci[1] * 100:.2f}]",
+                        w.accuracy_verdict,
+                    )
+                )
+            lines.append("")
+            lines.append(
+                format_table(
+                    [
+                        "window",
+                        "t end (s)",
+                        "queries",
+                        "violation rate [CI %]",
+                        "verdict",
+                        "accuracy [CI %]",
+                        "verdict",
+                    ],
+                    rows,
+                    title="Per-window bound audit",
+                )
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The streaming auditor
+# ----------------------------------------------------------------------
+class GuaranteeAuditor(ForwardingTracer):
+    """Streams a run's lifecycle events and audits them against §5.1.
+
+    Parameters
+    ----------
+    bounds:
+        Predicted bounds, as :class:`AuditBounds` or a
+        :class:`~repro.core.guarantees.PolicyGuarantees`; ``None`` leaves
+        the bound audit ``unchecked`` (occupancy/drift still run).
+    policy:
+        The active policy — supplies the slack grid and ``N_w`` used to
+        quantize observed decision states, and the default drift
+        reference (its generation load).
+    expected_occupancy:
+        The predicted decision-epoch distribution, normally
+        ``stationary_occupancy(mdp, policy).decision_conditional()``.
+        ``None`` disables the occupancy audit.
+    inner:
+        Optional tracer every record is forwarded to (fan-out).
+    registry:
+        Optional metrics registry receiving ``audit_*`` counters/gauges.
+    reference_load_qps:
+        Drift-detector reference; defaults to ``policy.load_qps``.
+    """
+
+    def __init__(
+        self,
+        bounds: Optional[object] = None,
+        *,
+        policy: Optional[Policy] = None,
+        expected_occupancy: Optional[Mapping[str, float]] = None,
+        config: Optional[AuditConfig] = None,
+        inner: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+        reference_load_qps: Optional[float] = None,
+    ) -> None:
+        super().__init__(inner)
+        if isinstance(bounds, PolicyGuarantees):
+            bounds = AuditBounds.from_guarantees(bounds)
+        if bounds is not None and not isinstance(bounds, AuditBounds):
+            raise TypeError(
+                f"bounds must be AuditBounds or PolicyGuarantees, got {type(bounds)}"
+            )
+        self._bounds: Optional[AuditBounds] = bounds
+        self._policy = policy
+        self._expected = dict(expected_occupancy) if expected_occupancy else None
+        self._cfg = config or AuditConfig()
+        self._alert_callbacks: List[Callable[[AuditAlert], None]] = []
+
+        # Window accumulator.
+        self._windows: List[WindowVerdict] = []
+        self._win_start_ms = 0.0
+        self._win_total = 0
+        self._win_satisfied = 0
+        self._win_accuracy_sum = 0.0
+        # Run-cumulative tallies.
+        self._total = 0
+        self._satisfied = 0
+        self._accuracy_sum = 0.0
+        self._violation_breaches = 0
+        self._accuracy_breaches = 0
+
+        # Occupancy accumulator (empirical decision-epoch histogram).
+        self._occupancy: Dict[str, int] = {}
+        self._epochs = 0
+
+        # Drift detector over the auditor's own realized-load estimate.
+        self._rate = _RateEstimator(self._cfg.drift_window_ms)
+        reference = reference_load_qps
+        if reference is None and policy is not None:
+            reference = policy.load_qps
+        self._detector = (
+            PageHinkley(
+                reference,
+                delta=self._cfg.drift_delta,
+                threshold=self._cfg.drift_threshold,
+                min_samples=self._cfg.drift_min_samples,
+            )
+            if reference is not None and reference > 0.0
+            else None
+        )
+        self._drift_events: List[DriftEvent] = []
+        self._drift_armed = True
+        self._policy_switches = 0
+        self._last_ts_ms = 0.0
+        self._report: Optional[AuditReport] = None
+
+        if registry is not None:
+            self._c_windows = registry.counter(
+                "audit_windows_total", help="audit windows closed"
+            )
+            self._c_breach_viol = registry.counter(
+                "audit_breaches_total",
+                help="windows breaching a §5.1 bound beyond CI",
+                labels={"bound": "violation"},
+            )
+            self._c_breach_acc = registry.counter(
+                "audit_breaches_total",
+                help="windows breaching a §5.1 bound beyond CI",
+                labels={"bound": "accuracy"},
+            )
+            self._c_drift = registry.counter(
+                "audit_drift_alarms_total", help="load-drift alarms raised"
+            )
+            self._g_violation = registry.gauge(
+                "audit_window_violation_rate",
+                help="observed violation rate per audit window",
+            )
+            self._g_accuracy = registry.gauge(
+                "audit_window_accuracy",
+                help="observed accuracy per satisfied query per audit window",
+            )
+            self._g_tv = registry.gauge(
+                "audit_occupancy_tv",
+                help="TV distance of empirical occupancy vs §5.1 prediction",
+            )
+        else:
+            self._c_windows = self._c_breach_viol = self._c_breach_acc = None
+            self._c_drift = self._g_violation = self._g_accuracy = None
+            self._g_tv = None
+
+    # ------------------------------------------------------------------
+    # Configuration / hooks
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> AuditConfig:
+        """The auditor's knobs."""
+        return self._cfg
+
+    @property
+    def bounds(self) -> Optional[AuditBounds]:
+        """The bounds currently audited against."""
+        return self._bounds
+
+    def add_alert_callback(self, callback: Callable[[AuditAlert], None]) -> None:
+        """Register an alert-rule callback (called synchronously)."""
+        self._alert_callbacks.append(callback)
+
+    def note_policy(self, policy: Policy, now_ms: float) -> None:
+        """Selector hook: the effective policy changed at ``now_ms``.
+
+        Re-arms the drift detector around the new policy's load and, when
+        the policy carries §5.1 metadata, switches the audited bounds.
+        Matches :class:`~repro.selectors.ramsis.RamsisSelector`'s
+        ``on_policy_change`` signature.
+        """
+        first = self._policy is None and self._policy_switches == 0
+        if self._policy is not policy:
+            if not first:
+                self._policy_switches += 1
+            self._policy = policy
+        meta = policy.metadata
+        if meta.expected_accuracy is not None and meta.expected_violation_rate is not None:
+            self._bounds = AuditBounds(
+                accuracy_floor=meta.expected_accuracy,
+                violation_ceiling=meta.expected_violation_rate,
+            )
+        if policy.load_qps > 0.0:
+            if self._detector is None:
+                self._detector = PageHinkley(
+                    policy.load_qps,
+                    delta=self._cfg.drift_delta,
+                    threshold=self._cfg.drift_threshold,
+                    min_samples=self._cfg.drift_min_samples,
+                )
+            else:
+                self._detector.reset(policy.load_qps)
+        self._drift_armed = True
+        if not first:
+            self.inner.instant(
+                "audit_policy_switch",
+                "audit",
+                now_ms,
+                category="audit",
+                args={"load_qps": policy.load_qps},
+            )
+
+    # ------------------------------------------------------------------
+    # Tracer interface (tap + forward)
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        track: str,
+        start_ms: float,
+        duration_ms: float,
+        category: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().complete(name, track, start_ms, duration_ms, category, args)
+        if name == "serve" and args is not None:
+            self._observe_decision(args)
+            self._last_ts_ms = max(self._last_ts_ms, start_ms + duration_ms)
+
+    def instant(
+        self,
+        name: str,
+        track: str,
+        ts_ms: float,
+        category: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().instant(name, track, ts_ms, category, args)
+        self._last_ts_ms = max(self._last_ts_ms, ts_ms)
+        if name == "completion" and args is not None:
+            self._observe_completion(ts_ms, args)
+        elif name == "arrival":
+            self._observe_arrival(ts_ms)
+
+    # ------------------------------------------------------------------
+    # Stream consumers
+    # ------------------------------------------------------------------
+    def _observe_completion(self, ts_ms: float, args: Mapping[str, Any]) -> None:
+        if self._win_total == 0:
+            self._win_start_ms = ts_ms
+        satisfied = bool(args.get("satisfied"))
+        accuracy = float(args.get("accuracy", 0.0))
+        self._win_total += 1
+        self._total += 1
+        if satisfied:
+            self._win_satisfied += 1
+            self._satisfied += 1
+            self._win_accuracy_sum += accuracy
+            self._accuracy_sum += accuracy
+        if self._win_total >= self._cfg.window_queries:
+            self._close_window(ts_ms)
+
+    def _observe_decision(self, args: Mapping[str, Any]) -> None:
+        if self._policy is None:
+            return
+        n = args.get("queue_len")
+        slack = args.get("slack_ms")
+        if n is None or slack is None:
+            return
+        if n > self._policy.max_queue:
+            key = "full"
+        else:
+            key = f"{int(n)},{self._policy.grid.floor_index(float(slack))}"
+        self._occupancy[key] = self._occupancy.get(key, 0) + 1
+        self._epochs += 1
+
+    def _observe_arrival(self, ts_ms: float) -> None:
+        realized = self._rate.record(ts_ms)
+        if self._detector is None or not self._drift_armed:
+            return
+        direction = self._detector.update(realized)
+        if direction is None:
+            return
+        # Only flag once the realized level actually sits outside the
+        # active policy's tolerance band (the PH statistic is cumulative
+        # and can fire on a past excursion that already receded).
+        reference = self._detector.reference
+        if direction == "up" and realized <= reference * (1.0 + self._cfg.drift_delta):
+            return
+        if direction == "down" and realized >= reference * (1.0 - self._cfg.drift_delta):
+            return
+        event = DriftEvent(
+            t_ms=ts_ms,
+            direction=direction,
+            realized_qps=realized,
+            reference_qps=reference,
+        )
+        self._drift_events.append(event)
+        self._drift_armed = False  # one alarm per policy period
+        if self._c_drift is not None:
+            self._c_drift.inc()
+        self.inner.instant(
+            "audit_drift",
+            "audit",
+            ts_ms,
+            category="audit",
+            args=event.to_json_dict(),
+        )
+        self._alert(
+            AuditAlert(kind="load-drift", t_ms=ts_ms, detail=event.to_json_dict())
+        )
+
+    # ------------------------------------------------------------------
+    # Window evaluation
+    # ------------------------------------------------------------------
+    def _interval_for_proportion(
+        self, successes: int, total: int
+    ) -> Tuple[float, float]:
+        if self._cfg.ci_method == "hoeffding":
+            mean = 0.0 if total == 0 else successes / total
+            return hoeffding_interval(mean, total, self._cfg.confidence)
+        return wilson_interval(successes, total, self._cfg.confidence)
+
+    def _close_window(self, end_ms: float) -> None:
+        total = self._win_total
+        satisfied = self._win_satisfied
+        violations = total - satisfied
+        violation_rate = 0.0 if total == 0 else violations / total
+        accuracy = 0.0 if satisfied == 0 else self._win_accuracy_sum / satisfied
+        violation_ci = self._interval_for_proportion(violations, total)
+        accuracy_ci = hoeffding_interval(accuracy, satisfied, self._cfg.confidence)
+
+        if self._bounds is None:
+            violation_verdict = accuracy_verdict = UNCHECKED
+        else:
+            # The §5.1 numbers are one-sided bounds: breach only when the
+            # whole interval sits on the wrong side.
+            violation_verdict = (
+                BREACH if violation_ci[0] > self._bounds.violation_ceiling else OK
+            )
+            # An all-violations window has no satisfied queries to average;
+            # treat its accuracy as unchecked rather than breached.
+            if satisfied == 0:
+                accuracy_verdict = UNCHECKED
+            else:
+                accuracy_verdict = (
+                    BREACH if accuracy_ci[1] < self._bounds.accuracy_floor else OK
+                )
+
+        tv = self._current_tv()
+        verdict = WindowVerdict(
+            index=len(self._windows),
+            start_ms=self._win_start_ms,
+            end_ms=end_ms,
+            queries=total,
+            satisfied=satisfied,
+            violation_rate=violation_rate,
+            violation_ci=violation_ci,
+            accuracy=accuracy,
+            accuracy_ci=accuracy_ci,
+            violation_verdict=violation_verdict,
+            accuracy_verdict=accuracy_verdict,
+            occupancy_tv=tv,
+        )
+        self._windows.append(verdict)
+        self._win_total = 0
+        self._win_satisfied = 0
+        self._win_accuracy_sum = 0.0
+
+        if self._c_windows is not None:
+            self._c_windows.inc()
+            self._g_violation.set(violation_rate, t_ms=end_ms)
+            self._g_accuracy.set(accuracy, t_ms=end_ms)
+            if tv is not None:
+                self._g_tv.set(tv, t_ms=end_ms)
+        self.inner.instant(
+            "audit_window",
+            "audit",
+            end_ms,
+            category="audit",
+            args=verdict.to_json_dict(),
+        )
+        if violation_verdict == BREACH:
+            self._violation_breaches += 1
+            if self._c_breach_viol is not None:
+                self._c_breach_viol.inc()
+            self._alert(
+                AuditAlert(
+                    kind="violation-bound-breach",
+                    t_ms=end_ms,
+                    detail=verdict.to_json_dict(),
+                )
+            )
+        if accuracy_verdict == BREACH:
+            self._accuracy_breaches += 1
+            if self._c_breach_acc is not None:
+                self._c_breach_acc.inc()
+            self._alert(
+                AuditAlert(
+                    kind="accuracy-bound-breach",
+                    t_ms=end_ms,
+                    detail=verdict.to_json_dict(),
+                )
+            )
+        if (
+            tv is not None
+            and self._epochs >= self._cfg.min_occupancy_epochs
+            and tv > self._cfg.tv_threshold
+        ):
+            self._alert(
+                AuditAlert(
+                    kind="occupancy-divergence",
+                    t_ms=end_ms,
+                    detail={"tv_distance": tv, "threshold": self._cfg.tv_threshold},
+                )
+            )
+
+    def _current_tv(self) -> Optional[float]:
+        if self._expected is None or self._epochs == 0:
+            return None
+        empirical = {k: c / self._epochs for k, c in self._occupancy.items()}
+        return total_variation(empirical, self._expected)
+
+    def _alert(self, alert: AuditAlert) -> None:
+        for callback in self._alert_callbacks:
+            callback(alert)
+
+    # ------------------------------------------------------------------
+    # Introspection / finalization
+    # ------------------------------------------------------------------
+    @property
+    def windows(self) -> Tuple[WindowVerdict, ...]:
+        """Windows closed so far."""
+        return tuple(self._windows)
+
+    @property
+    def drift_events(self) -> Tuple[DriftEvent, ...]:
+        """Drift alarms raised so far."""
+        return tuple(self._drift_events)
+
+    def empirical_occupancy(self) -> Dict[str, float]:
+        """The normalized decision-epoch histogram observed so far."""
+        if self._epochs == 0:
+            return {}
+        return {k: c / self._epochs for k, c in self._occupancy.items()}
+
+    def finalize(self, now_ms: Optional[float] = None) -> AuditReport:
+        """Close any partial window and freeze the report (idempotent)."""
+        if self._report is not None:
+            return self._report
+        end = now_ms if now_ms is not None else self._last_ts_ms
+        if self._win_total > 0:
+            self._close_window(end)
+        tv = self._current_tv()
+        occupancy = (
+            None
+            if tv is None
+            else OccupancySummary(
+                tv_distance=tv,
+                decision_epochs=self._epochs,
+                threshold=self._cfg.tv_threshold,
+                trusted=self._epochs >= self._cfg.min_occupancy_epochs,
+            )
+        )
+        self._report = AuditReport(
+            bounds=self._bounds,
+            windows=tuple(self._windows),
+            violation_breaches=self._violation_breaches,
+            accuracy_breaches=self._accuracy_breaches,
+            occupancy=occupancy,
+            drift_events=tuple(self._drift_events),
+            policy_switches=self._policy_switches,
+            total_queries=self._total,
+            satisfied_queries=self._satisfied,
+            observed_violation_rate=(
+                0.0 if self._total == 0 else 1.0 - self._satisfied / self._total
+            ),
+            observed_accuracy=(
+                0.0 if self._satisfied == 0 else self._accuracy_sum / self._satisfied
+            ),
+        )
+        return self._report

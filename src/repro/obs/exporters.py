@@ -183,15 +183,28 @@ def _sanitize(name: str) -> str:
     return _NAME_RE.sub("_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text exposition: label values escape backslash, double
+    # quote, and line feed (in that order — backslash first).
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labels_text(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{_sanitize(k)}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in labels
+    )
     return "{" + inner + "}"
 
 
 def _merge_labels(labels, extra: str) -> str:
-    parts = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    parts = [f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in labels]
     parts.append(extra)
     return "{" + ",".join(parts) + "}"
 

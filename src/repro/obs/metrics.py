@@ -99,6 +99,16 @@ class Gauge:
         """All timestamped samples recorded so far."""
         return tuple(self._series)
 
+    def clear(self) -> None:
+        """Drop the time series and return to the unset (NaN) value.
+
+        Components that are reused across runs (e.g. the load monitor)
+        call this from their own ``reset`` so stale samples from a prior
+        run never leak into the next run's exports.
+        """
+        self._value = math.nan
+        self._series.clear()
+
 
 class Histogram:
     """Streaming histogram: fixed buckets plus a quantile reservoir."""

@@ -40,6 +40,11 @@ class TraceSummary:
     decisions: int
     batch_total: int
     arrivals: int
+    #: Sum of per-query model accuracy over satisfied completions, folded
+    #: in record order — the same summation
+    #: :class:`~repro.sim.metrics.MetricsCollector` performs, so the
+    #: reconstructed accuracy matches the simulator's float-exactly.
+    accuracy_sum: float = 0.0
 
     @property
     def violation_rate(self) -> float:
@@ -47,6 +52,13 @@ class TraceSummary:
         if self.total_queries == 0:
             return 0.0
         return 1.0 - self.satisfied_queries / self.total_queries
+
+    @property
+    def accuracy_per_satisfied_query(self) -> float:
+        """Mean model accuracy over satisfied completions (0.0 if none)."""
+        if self.satisfied_queries == 0:
+            return 0.0
+        return self.accuracy_sum / self.satisfied_queries
 
     @property
     def mean_batch_size(self) -> float:
@@ -58,14 +70,17 @@ class TraceSummary:
 
 def _fold(records: Iterable[Mapping]) -> TraceSummary:
     total = satisfied = decisions = batch_total = arrivals = 0
+    accuracy_sum = 0.0
     for record in records:
         name = record.get("name")
         kind = record.get("type")
         if kind == "instant":
             if name == COMPLETION_EVENT:
                 total += 1
-                if record.get("args", {}).get("satisfied"):
+                args = record.get("args", {})
+                if args.get("satisfied"):
                     satisfied += 1
+                    accuracy_sum += float(args.get("accuracy", 0.0))
             elif name == ARRIVAL_EVENT:
                 arrivals += 1
         elif kind == "span" and name == SERVICE_SPAN:
@@ -77,6 +92,7 @@ def _fold(records: Iterable[Mapping]) -> TraceSummary:
         decisions=decisions,
         batch_total=batch_total,
         arrivals=arrivals,
+        accuracy_sum=accuracy_sum,
     )
 
 

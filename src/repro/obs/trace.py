@@ -35,6 +35,7 @@ __all__ = [
     "Event",
     "Tracer",
     "NullTracer",
+    "ForwardingTracer",
     "RecordingTracer",
     "NULL_TRACER",
 ]
@@ -129,6 +130,61 @@ class NullTracer(Tracer):
 
 #: Shared no-op tracer used wherever no tracer was configured.
 NULL_TRACER = NullTracer()
+
+
+class ForwardingTracer(Tracer):
+    """A tracer that relays every record to an inner tracer.
+
+    Subclasses observe the stream (override a method, call ``super()``)
+    without owning storage — the pattern the streaming auditor uses to sit
+    between the simulator and a :class:`RecordingTracer`.  With no inner
+    tracer the records are consumed by the subclass alone.
+    """
+
+    enabled = True
+
+    def __init__(self, inner: Optional[Tracer] = None) -> None:
+        self._inner = inner if inner is not None else NULL_TRACER
+
+    @property
+    def inner(self) -> Tracer:
+        """The tracer records are forwarded to (``NULL_TRACER`` if none)."""
+        return self._inner
+
+    def complete(
+        self,
+        name: str,
+        track: str,
+        start_ms: float,
+        duration_ms: float,
+        category: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._inner.complete(name, track, start_ms, duration_ms, category, args)
+
+    def instant(
+        self,
+        name: str,
+        track: str,
+        ts_ms: float,
+        category: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._inner.instant(name, track, ts_ms, category, args)
+
+    def counter(self, name: str, track: str, ts_ms: float, value: float) -> None:
+        self._inner.counter(name, track, ts_ms, value)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        track: str = "offline",
+        category: str = "offline",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[None]:
+        with self._inner.span(name, track=track, category=category, args=args):
+            yield
 
 
 class RecordingTracer(Tracer):

@@ -9,7 +9,7 @@ attached, a new policy is generated on the fly.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.policy import Action, Policy
 from repro.core.policy_set import PolicySet
@@ -27,18 +27,38 @@ class RamsisSelector(ModelSelector):
         Either one :class:`Policy` (pinned — used by the constant-load
         experiments where the load is known) or a :class:`PolicySet` for
         load-adaptive selection.
+    on_policy_change:
+        Optional ``(policy, now_ms)`` hook invoked when the effective
+        policy changes — once up front with the initial policy (at
+        ``now_ms = 0``) and then on every switch at decision time.  The
+        live guarantee auditor uses it to re-arm its drift detector and
+        swap the audited §5.1 bounds.
     """
 
     queue_scope = QueueScope.PER_WORKER
     name = "RAMSIS"
 
-    def __init__(self, policies: Union[Policy, PolicySet]) -> None:
+    def __init__(
+        self,
+        policies: Union[Policy, PolicySet],
+        on_policy_change: Optional[Callable[[Policy, float], None]] = None,
+    ) -> None:
         if isinstance(policies, Policy):
             self._set: Optional[PolicySet] = None
             self._pinned: Optional[Policy] = policies
         else:
             self._set = policies
             self._pinned = None
+        self._on_policy_change = on_policy_change
+        self._active: Optional[Policy] = None
+        if on_policy_change is not None and self._pinned is not None:
+            self._active = self._pinned
+            on_policy_change(self._pinned, 0.0)
+
+    @property
+    def active_policy(self) -> Optional[Policy]:
+        """The policy most recently used to serve a decision."""
+        return self._active if self._active is not None else self._pinned
 
     def current_policy(self, anticipated_load_qps: float) -> Policy:
         """The policy in effect for the anticipated load."""
@@ -55,4 +75,8 @@ class RamsisSelector(ModelSelector):
         anticipated_load_qps: float,
     ) -> Action:
         policy = self.current_policy(anticipated_load_qps)
+        if policy is not self._active:
+            self._active = policy
+            if self._on_policy_change is not None:
+                self._on_policy_change(policy, now_ms)
         return policy.action_for(queue_length, earliest_slack_ms)

@@ -95,8 +95,19 @@ class LoadMonitor:
             arrivals.popleft()
 
     def reset(self) -> None:
-        """Forget all recorded arrivals."""
+        """Forget all recorded arrivals.
+
+        Attached gauges are cleared too — a monitor reused across runs
+        would otherwise export the previous run's load series — and
+        republished at zero so the post-reset state is visible rather
+        than NaN.  The arrivals counter stays monotonic, per the usual
+        counter semantics.
+        """
         self._arrivals.clear()
+        for gauge in (self._g_anticipated, self._g_realized):
+            if gauge is not None:
+                gauge.clear()
+                gauge.set(0.0)
 
 
 class OracleLoadMonitor(LoadMonitor):

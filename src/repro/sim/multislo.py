@@ -21,6 +21,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.arrivals.distributions import ArrivalDistribution, PoissonArrivals
 from repro.arrivals.traces import LoadTrace
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.profiles.models import ModelSet
 from repro.selectors.base import ModelSelector
 from repro.sim.latency_model import DeterministicLatency, LatencyModel
@@ -40,6 +42,11 @@ class SLOClass:
     selector: ModelSelector
     num_workers: Optional[int] = None  # None -> assigned by the partitioner
     pattern: Optional[ArrivalDistribution] = None
+    #: Opt-in observability, per class: the partitions share nothing, so
+    #: each class records onto its own tracer/registry (worker tracks are
+    #: numbered within the partition and would collide on a shared one).
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.slo_ms <= 0:
@@ -160,6 +167,8 @@ def run_multi_slo(
                 monitor=OracleLoadMonitor(cls.trace) if oracle_load else None,
                 seed=seed + index,
                 track_responses=False,
+                tracer=cls.tracer,
+                registry=cls.registry,
             )
         )
         pattern = cls.pattern or PoissonArrivals(max(cls.trace.mean_qps, 1e-9))

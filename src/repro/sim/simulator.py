@@ -241,10 +241,11 @@ class Simulation:
             nonlocal sequence
             head = queue[0]
             queue_len = len(queue)
+            earliest_slack_ms = head.slack_at(now)
             anticipated = monitor.anticipated_load_qps(now)
             action = selectors[worker].select(
                 queue_length=queue_len,
-                earliest_slack_ms=head.slack_at(now),
+                earliest_slack_ms=earliest_slack_ms,
                 now_ms=now,
                 anticipated_load_qps=anticipated,
             )
@@ -276,6 +277,7 @@ class Simulation:
                                 "model": "<dropped>",
                                 "satisfied": False,
                                 "dropped": True,
+                                "accuracy": 0.0,
                                 "response_ms": now - dropped.arrival_ms,
                             },
                         )
@@ -308,6 +310,7 @@ class Simulation:
                         "model": model.name,
                         "batch": batch,
                         "queue_len": queue_len,
+                        "slack_ms": earliest_slack_ms,
                         "anticipated_qps": anticipated,
                     },
                 )
@@ -414,6 +417,7 @@ class Simulation:
                                 "worker": worker,
                                 "model": model_name,
                                 "satisfied": satisfied,
+                                "accuracy": model.accuracy,
                                 "response_ms": now - query.arrival_ms,
                             },
                         )

@@ -1,0 +1,179 @@
+"""End-to-end audit tests: clean seeded runs stay clean, stale policies
+get flagged, and the CLI/report plumbing round-trips."""
+
+import json
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.cli import main
+from repro.experiments.reporting import audit_comparison_table
+from repro.experiments.runner import clear_caches, run_audited
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RecordingTracer
+
+from .conftest import make_tiny_model_set
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def tiny_task() -> TaskSpec:
+    return TaskSpec(name="tiny", model_set=make_tiny_model_set(), slos_ms=(100.0,))
+
+
+def audited(load_qps, duration_ms, workers, policy_load_qps=None, seed=7, **kwargs):
+    return run_audited(
+        tiny_task(),
+        100.0,
+        workers,
+        LoadTrace.constant(load_qps, duration_ms),
+        ExperimentScale.smoke(),
+        seed=seed,
+        policy_load_qps=policy_load_qps,
+        **kwargs,
+    )
+
+
+class TestCleanRun:
+    def test_seeded_run_audits_clean(self):
+        tracer = RecordingTracer()
+        registry = MetricsRegistry()
+        run = audited(
+            40.0, 30_000.0, workers=2, tracer=tracer, registry=registry
+        )
+        report = run.report
+
+        # Acceptance: a clean seeded run produces zero bound-breach
+        # verdicts and TV below the documented default threshold (0.25).
+        assert report.ok, report.verdict
+        assert report.violation_breaches == 0
+        assert report.accuracy_breaches == 0
+        assert report.windows, "expected at least one closed window"
+        assert report.occupancy is not None
+        assert report.occupancy.trusted
+        assert report.occupancy.tv_distance < 0.25
+        assert report.drift_events == ()
+
+        # The §5.1 bounds actually held pointwise, not just within CI.
+        assert report.observed_accuracy >= run.guarantees.expected_accuracy
+        assert (
+            report.observed_violation_rate
+            <= run.guarantees.expected_violation_rate + 0.02
+        )
+
+        # Audit totals agree with the simulator's own accounting.
+        assert report.total_queries == run.point.queries
+
+        # Windows + occupancy flowed to the inner tracer and registry.
+        audit_names = [e.name for e in tracer.events if e.track == "audit"]
+        assert audit_names.count("audit_window") == len(report.windows)
+        (windows_metric,) = registry.collect("audit_windows_total")
+        assert windows_metric.value == float(len(report.windows))
+
+    def test_report_json_round_trips(self):
+        run = audited(30.0, 10_000.0, workers=1)
+        payload = json.loads(json.dumps(run.report.to_json_dict()))
+        assert payload["ok"] is True
+        assert payload["occupancy"]["tv_distance"] < 0.25
+
+    def test_comparison_table_renders(self):
+        runs = [audited(30.0, 10_000.0, workers=1)]
+        table = audit_comparison_table(runs)
+        assert "Predicted" in table and "observed" in table
+        assert "tiny" in table
+        assert "ok" in table
+
+
+class TestAdversarialRun:
+    def test_stale_policy_is_flagged(self):
+        # Policy profiled for 15 QPS, actual load 60 QPS on one worker:
+        # the auditor must flag both the bound breach and the load drift.
+        run = audited(60.0, 20_000.0, workers=1, policy_load_qps=15.0)
+        report = run.report
+
+        assert not report.ok
+        assert report.violation_breaches > 0
+        assert len(report.drift_events) >= 1
+        assert report.drift_events[0].direction == "up"
+        assert report.drift_events[0].realized_qps > 15.0
+
+        assert "violation-bound-breach" in report.verdict
+        assert "load-drift" in report.verdict
+
+    def test_stale_policy_occupancy_diverges(self):
+        run = audited(60.0, 20_000.0, workers=1, policy_load_qps=15.0)
+        occupancy = run.report.occupancy
+        assert occupancy is not None and occupancy.trusted
+        assert occupancy.tv_distance > 0.25
+
+
+class TestAuditCli:
+    def test_clean_run_exits_zero_and_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "audit"
+        code = main(
+            [
+                "audit",
+                "--task",
+                "text",
+                "--workers",
+                "1",
+                "--load",
+                "30",
+                "--duration",
+                "10",
+                "--scale",
+                "smoke",
+                "--seed",
+                "11",
+                "--out-dir",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Audit verdict: ok" in captured
+
+        report = json.loads((out / "audit.json").read_text())
+        assert report["ok"] is True
+        assert report["windows"]
+        assert (out / "audit.txt").read_text().startswith("Audit verdict")
+        assert (out / "events.jsonl").stat().st_size > 0
+        assert (out / "metrics.prom").stat().st_size > 0
+        prom = (out / "metrics.prom").read_text()
+        assert "audit_windows_total" in prom
+
+    def test_stale_policy_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "audit_bad"
+        code = main(
+            [
+                "audit",
+                "--task",
+                "text",
+                "--workers",
+                "1",
+                "--load",
+                "60",
+                "--policy-load",
+                "15",
+                "--duration",
+                "10",
+                "--scale",
+                "smoke",
+                "--seed",
+                "11",
+                "--out-dir",
+                str(out),
+            ]
+        )
+        assert code == 1
+        report = json.loads((out / "audit.json").read_text())
+        assert report["ok"] is False
+        assert report["violation_breaches"] > 0
+        assert report["drift_events"]

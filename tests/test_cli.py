@@ -11,7 +11,8 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in (
-            "gen", "ms-gen", "simulate", "report", "trace", "synth-trace", "zoo"
+            "gen", "ms-gen", "simulate", "report", "trace", "synth-trace",
+            "zoo", "audit",
         ):
             args = parser.parse_args([command])
             assert args.command == command

@@ -165,3 +165,40 @@ class TestPrometheusText:
 
         assert _format_value(math.inf) == "+Inf"
         assert _format_value(-math.inf) == "-Inf"
+
+
+class TestLabelValueEscaping:
+    def test_escape_helper_order_backslash_first(self):
+        from repro.obs.exporters import _escape_label_value
+
+        assert _escape_label_value('plain') == 'plain'
+        assert _escape_label_value('a\\b') == 'a\\\\b'
+        assert _escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert _escape_label_value('two\nlines') == 'two\\nlines'
+        # Backslash must be escaped before the other rules run, or the
+        # backslashes they introduce would be doubled again.
+        assert _escape_label_value('\\n') == '\\\\n'
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+    def test_exposition_escapes_hostile_label_values(self):
+        reg = MetricsRegistry()
+        hostile = 'C:\\tmp "quoted"\nnext'
+        reg.counter("requests_total", labels={"path": hostile}).inc()
+        text = prometheus_text(reg)
+        sample = next(
+            ln for ln in text.splitlines() if ln.startswith("requests_total{")
+        )
+        # One physical line per sample: the newline never reaches the wire.
+        assert "\n" not in sample
+        assert sample == (
+            'requests_total{path="C:\\\\tmp \\"quoted\\"\\nnext"} 1.0'
+        )
+
+    def test_histogram_merged_labels_escaped(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "latency_ms", labels={"queue": 'q"1"'}, buckets=(10.0,)
+        )
+        hist.observe(5.0)
+        text = prometheus_text(reg)
+        assert 'latency_ms_bucket{queue="q\\"1\\"",le="10"} 1' in text

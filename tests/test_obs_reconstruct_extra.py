@@ -1,0 +1,184 @@
+"""Reconstruction coverage beyond the basic integration path: accuracy
+exactness, multi-SLO partitions with per-class tracers, and heterogeneous
+worker fleets."""
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.obs.exporters import write_events_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.reconstruct import reconstruct_from_jsonl, reconstruct_metrics
+from repro.obs.trace import RecordingTracer
+from repro.sim.multislo import SLOClass, run_multi_slo
+from repro.sim.simulator import Simulation, SimulationConfig
+
+from .test_obs_integration import traced_run
+from .test_sim_simulator import AlwaysModelSelector
+
+
+def assert_summary_matches(summary, metrics):
+    """The trace alone must reproduce the simulator's metrics exactly."""
+    assert summary.total_queries == metrics.total_queries
+    assert summary.satisfied_queries == metrics.satisfied_queries
+    assert summary.violation_rate == metrics.violation_rate
+    assert summary.decisions == metrics.decisions
+    # Float-exact, not approx: the folded accuracy sum preserves the
+    # collector's summation order.
+    assert (
+        summary.accuracy_per_satisfied_query
+        == metrics.accuracy_per_satisfied_query
+    )
+
+
+class TestAccuracyReconstruction:
+    def test_accuracy_exact_per_worker(self, tiny_models):
+        metrics, tracer, _ = traced_run(
+            tiny_models,
+            AlwaysModelSelector("medium"),
+            LoadTrace.constant(30.0, 5000.0),
+        )
+        assert metrics.accuracy_per_satisfied_query > 0.0
+        assert_summary_matches(reconstruct_metrics(tracer), metrics)
+
+    def test_accuracy_exact_with_mixed_models(self, tiny_models):
+        # Greedy-style switching exercises distinct per-model accuracies.
+        from repro.selectors import GreedyDeadlineSelector
+
+        metrics, tracer, _ = traced_run(
+            tiny_models,
+            GreedyDeadlineSelector(),
+            LoadTrace.constant(50.0, 5000.0),
+            seed=3,
+        )
+        assert_summary_matches(reconstruct_metrics(tracer), metrics)
+
+    def test_accuracy_survives_jsonl_round_trip(self, tiny_models, tmp_path):
+        metrics, tracer, _ = traced_run(
+            tiny_models,
+            AlwaysModelSelector("fast"),
+            LoadTrace.constant(40.0, 4000.0),
+        )
+        path = write_events_jsonl(tracer, tmp_path / "events.jsonl")
+        assert_summary_matches(reconstruct_from_jsonl(path), metrics)
+
+    def test_dropped_queries_fold_as_zero_accuracy(self, tiny_models):
+        # A tiny queue cap forces drops; drop completions carry
+        # accuracy=0.0 and must not perturb the satisfied-query mean.
+        metrics, tracer, _ = traced_run(
+            tiny_models,
+            AlwaysModelSelector("slow", cap=2),
+            LoadTrace.constant(80.0, 4000.0),
+            workers=1,
+        )
+        assert metrics.violation_rate > 0.0
+        assert_summary_matches(reconstruct_metrics(tracer), metrics)
+
+
+class TestMultiSloReconstruction:
+    def test_per_class_traces_reconstruct_exactly(self, tiny_models):
+        classes = [
+            SLOClass(
+                slo_ms=80.0,
+                trace=LoadTrace.constant(25.0, 5000.0),
+                selector=AlwaysModelSelector("fast"),
+                num_workers=1,
+                tracer=RecordingTracer(),
+                registry=MetricsRegistry(),
+            ),
+            SLOClass(
+                slo_ms=200.0,
+                trace=LoadTrace.constant(15.0, 5000.0),
+                selector=AlwaysModelSelector("slow"),
+                num_workers=2,
+                tracer=RecordingTracer(),
+            ),
+        ]
+        report = run_multi_slo(tiny_models, classes, seed=5)
+        for cls in classes:
+            metrics = report.per_class[cls.slo_ms]
+            assert metrics.total_queries > 0
+            assert_summary_matches(reconstruct_metrics(cls.tracer), metrics)
+
+    def test_partitions_do_not_cross_contaminate(self, tiny_models):
+        classes = [
+            SLOClass(
+                slo_ms=80.0,
+                trace=LoadTrace.constant(30.0, 3000.0),
+                selector=AlwaysModelSelector("fast"),
+                num_workers=1,
+                tracer=RecordingTracer(),
+            ),
+            SLOClass(
+                slo_ms=200.0,
+                trace=LoadTrace.constant(10.0, 3000.0),
+                selector=AlwaysModelSelector("medium"),
+                num_workers=1,
+                tracer=RecordingTracer(),
+            ),
+        ]
+        report = run_multi_slo(tiny_models, classes, seed=5)
+        per_trace_totals = [
+            reconstruct_metrics(cls.tracer).total_queries for cls in classes
+        ]
+        assert sum(per_trace_totals) == report.total_queries
+        assert per_trace_totals[0] == report.per_class[80.0].total_queries
+
+    def test_per_class_registry_populated(self, tiny_models):
+        registry = MetricsRegistry()
+        classes = [
+            SLOClass(
+                slo_ms=100.0,
+                trace=LoadTrace.constant(20.0, 3000.0),
+                selector=AlwaysModelSelector("fast"),
+                num_workers=1,
+                registry=registry,
+            ),
+        ]
+        report = run_multi_slo(tiny_models, classes, seed=5)
+        (completions,) = registry.collect("sim_completions_total")
+        assert completions.value == float(report.per_class[100.0].total_queries)
+
+
+class TestHeterogeneousReconstruction:
+    @pytest.mark.parametrize("factors", [(1.0, 2.0), (0.5, 1.0, 2.0)])
+    def test_speed_factors_reconstruct_exactly(self, tiny_models, factors):
+        metrics, tracer, _ = traced_run(
+            tiny_models,
+            AlwaysModelSelector("medium"),
+            LoadTrace.constant(40.0, 5000.0),
+            workers=len(factors),
+            worker_speed_factors=factors,
+        )
+        assert metrics.total_queries > 0
+        assert_summary_matches(reconstruct_metrics(tracer), metrics)
+
+    def test_heterogeneous_jsonl_round_trip(self, tiny_models, tmp_path):
+        metrics, tracer, _ = traced_run(
+            tiny_models,
+            AlwaysModelSelector("fast"),
+            LoadTrace.constant(60.0, 4000.0),
+            workers=2,
+            worker_speed_factors=(1.0, 3.0),
+        )
+        path = write_events_jsonl(tracer, tmp_path / "events.jsonl")
+        assert_summary_matches(reconstruct_from_jsonl(path), metrics)
+
+    def test_slow_fleet_with_violations_still_exact(self, tiny_models):
+        # Heterogeneous + overloaded: violations and (possibly) drops mix
+        # satisfied and unsatisfied completions across unequal workers.
+        tracer = RecordingTracer()
+        sim = Simulation(
+            SimulationConfig(
+                model_set=tiny_models,
+                slo_ms=60.0,
+                num_workers=2,
+                worker_speed_factors=(0.5, 1.5),
+                tracer=tracer,
+                seed=9,
+            )
+        )
+        metrics = sim.run(
+            AlwaysModelSelector("slow"), LoadTrace.constant(70.0, 4000.0)
+        )
+        assert metrics.violation_rate > 0.0
+        assert_summary_matches(reconstruct_metrics(tracer), metrics)

@@ -1,0 +1,76 @@
+"""LoadMonitor reset/re-use semantics and the Gauge.clear primitive."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.monitor import LoadMonitor
+
+
+class TestGaugeClear:
+    def test_clear_drops_series_and_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(3.0, t_ms=1.0)
+        gauge.set(4.0, t_ms=2.0)
+        gauge.clear()
+        assert gauge.series == ()
+        assert math.isnan(gauge.value)
+
+    def test_clear_then_set_starts_fresh(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(3.0, t_ms=1.0)
+        gauge.clear()
+        gauge.set(7.0, t_ms=5.0)
+        assert gauge.series == ((5.0, 7.0),)
+        assert gauge.value == 7.0
+
+
+class TestLoadMonitorReset:
+    def _recorded_monitor(self):
+        registry = MetricsRegistry()
+        monitor = LoadMonitor(window_ms=500.0)
+        monitor.attach_registry(registry)
+        for i in range(10):
+            monitor.record_arrival(100.0 + i * 10.0)
+        return monitor, registry
+
+    def test_reset_clears_gauge_series_and_republishes_zero(self):
+        monitor, registry = self._recorded_monitor()
+        for name in ("monitor_anticipated_load_qps", "monitor_realized_load_qps"):
+            (gauge,) = registry.collect(name)
+            assert gauge.series, f"{name} recorded no samples before reset"
+
+        monitor.reset()
+
+        for name in ("monitor_anticipated_load_qps", "monitor_realized_load_qps"):
+            (gauge,) = registry.collect(name)
+            # Stale samples must not leak into the next run's export...
+            assert gauge.series == ()
+            # ...and the gauge reads 0.0 (not NaN) until new arrivals land.
+            assert gauge.value == 0.0
+        assert monitor.anticipated_load_qps(1000.0) == 0.0
+
+    def test_reset_keeps_arrivals_counter_monotonic(self):
+        monitor, registry = self._recorded_monitor()
+        (counter,) = registry.collect("monitor_arrivals_total")
+        before = counter.value
+        monitor.reset()
+        assert counter.value == before
+        monitor.record_arrival(5000.0)
+        assert counter.value == before + 1
+
+    def test_reset_without_registry_is_safe(self):
+        monitor = LoadMonitor()
+        monitor.record_arrival(10.0)
+        monitor.reset()
+        assert monitor.realized_load_qps(20.0) == 0.0
+
+    def test_monitor_usable_after_reset(self):
+        monitor, registry = self._recorded_monitor()
+        monitor.reset()
+        monitor.record_arrival(100.0)
+        monitor.record_arrival(200.0)
+        assert monitor.realized_load_qps(200.0) > 0.0
+        (gauge,) = registry.collect("monitor_realized_load_qps")
+        assert len(gauge.series) == 2
