@@ -20,7 +20,14 @@ from typing import Dict, Optional
 
 from repro.experiments.scale import ExperimentScale
 
-__all__ = ["bench_scale", "emit", "cached_fig5", "cached_fig6"]
+__all__ = [
+    "bench_scale",
+    "bench_workers",
+    "bench_use_cache",
+    "emit",
+    "cached_fig5",
+    "cached_fig6",
+]
 
 _OUT_DIR = Path(__file__).parent / "out"
 
@@ -48,6 +55,29 @@ def bench_scale() -> ExperimentScale:
         fidelity_worker_counts=(2, 4),
         many_model_workers=6,
     )
+
+
+def bench_workers() -> int:
+    """Process count for parallel policy-bank passes.
+
+    Set with ``pytest benchmarks/... --workers N`` (see
+    ``benchmarks/conftest.py``) or ``RAMSIS_BENCH_WORKERS``; defaults to the
+    machine's CPU count, floored at 2 so the parallel path is exercised
+    even on single-core CI runners.
+    """
+    env = os.environ.get("RAMSIS_BENCH_WORKERS")
+    if env:
+        return max(int(env), 1)
+    return max(os.cpu_count() or 1, 2)
+
+
+def bench_use_cache() -> bool:
+    """Whether policy-bank benchmarks should run their cache passes.
+
+    Disabled with ``pytest benchmarks/... --no-cache`` or
+    ``RAMSIS_BENCH_NO_CACHE=1``.
+    """
+    return os.environ.get("RAMSIS_BENCH_NO_CACHE", "") not in ("1", "true")
 
 
 def emit(name: str, text: str, data: Optional[Dict] = None) -> None:

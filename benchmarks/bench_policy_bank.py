@@ -1,0 +1,144 @@
+"""Offline policy-bank generation: serial vs. parallel vs. warm cache.
+
+Times three passes over the same 8-cell load grid and checks the tentpole
+invariants of the pipeline:
+
+- **cold serial**: every cell solved in-process, persisting into a fresh
+  cache directory;
+- **cold parallel**: the same cells fanned across ``--workers`` processes
+  into a second fresh directory;
+- **warm cache**: the serial path again, resolving every cell from the
+  first pass's disk artifacts.
+
+All three banks must be byte-identical, and the warm pass must beat the
+cold serial pass.  The parallel speedup is reported but only asserted to be
+a valid run — on single-core CI runners process fan-out cannot win.
+
+Results land in ``benchmarks/out/policy_bank.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from benchmarks._common import bench_scale, bench_use_cache, bench_workers, emit
+from repro.cache import PolicyCache
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import PolicyGenerator
+from repro.experiments.tasks import image_task
+
+#: Load grid (QPS) — 8 cells, the acceptance benchmark's shape.
+LOADS = [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]
+
+
+def _bank_config() -> WorkerMDPConfig:
+    scale = bench_scale()
+    task = image_task()
+    return WorkerMDPConfig.default_poisson(
+        task.model_set,
+        slo_ms=task.slos_ms[0],
+        load_qps=max(LOADS),
+        num_workers=2,
+        fld_resolution=scale.fld_resolution,
+        max_batch_size=scale.max_batch_size,
+    )
+
+
+def _bank_bytes(results) -> str:
+    return json.dumps(
+        [r.policy.to_json_dict() for r in results], sort_keys=True
+    )
+
+
+def test_policy_bank_speedups(tmp_path):
+    config = _bank_config()
+    workers = bench_workers()
+    use_cache = bench_use_cache()
+
+    dir_serial = tmp_path / "cache-serial"
+    dir_parallel = tmp_path / "cache-parallel"
+
+    start = time.perf_counter()
+    serial = PolicyGenerator(
+        config, cache=PolicyCache(directory=dir_serial) if use_cache else None
+    ).generate_many(LOADS)
+    cold_serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = PolicyGenerator(
+        config,
+        cache=PolicyCache(directory=dir_parallel) if use_cache else None,
+    ).generate_many(LOADS, max_workers=workers)
+    cold_parallel_s = time.perf_counter() - start
+
+    assert _bank_bytes(serial) == _bank_bytes(parallel), (
+        "parallel bank differs from serial bank"
+    )
+
+    warm_s = None
+    if use_cache:
+        warm_cache = PolicyCache(directory=dir_serial)
+        start = time.perf_counter()
+        warm = PolicyGenerator(config, cache=warm_cache).generate_many(LOADS)
+        warm_s = time.perf_counter() - start
+        assert warm_cache.hits == len(LOADS), (
+            f"expected {len(LOADS)} warm hits, got {warm_cache.hits}"
+        )
+        assert all(r.from_cache for r in warm)
+        assert _bank_bytes(warm) == _bank_bytes(serial), (
+            "cached bank differs from solved bank"
+        )
+        assert warm_s < cold_serial_s, (
+            f"warm cache ({warm_s:.3f}s) not faster than cold serial "
+            f"({cold_serial_s:.3f}s)"
+        )
+
+    parallel_speedup = cold_serial_s / cold_parallel_s
+    warm_speedup = None if warm_s is None else cold_serial_s / warm_s
+    lines = [
+        "policy bank: 8-cell grid, "
+        f"fld_resolution={config.fld_resolution}, workers={workers}",
+        f"cold serial:   {cold_serial_s:8.3f} s",
+        f"cold parallel: {cold_parallel_s:8.3f} s "
+        f"({parallel_speedup:.2f}x)",
+    ]
+    if warm_s is not None:
+        lines.append(
+            f"warm cache:    {warm_s:8.3f} s ({warm_speedup:.2f}x)"
+        )
+    emit(
+        "policy_bank",
+        "\n".join(lines),
+        data={
+            "loads_qps": LOADS,
+            "fld_resolution": config.fld_resolution,
+            "workers": workers,
+            "cold_serial_s": cold_serial_s,
+            "cold_parallel_s": cold_parallel_s,
+            "warm_cache_s": warm_s,
+            "parallel_speedup": parallel_speedup,
+            "warm_cache_speedup": warm_speedup,
+        },
+    )
+
+
+def test_policy_bank_corruption_fallback(tmp_path):
+    """A truncated artifact falls back to a solve and is overwritten."""
+    if not bench_use_cache():
+        pytest.skip("--no-cache")
+    config = _bank_config()
+    cache = PolicyCache(directory=tmp_path / "cache")
+    reference = PolicyGenerator(config, cache=cache).generate(LOADS[0])
+    artifact = next((tmp_path / "cache").glob("??/*.json"))
+    artifact.write_text(artifact.read_text()[:100])
+
+    recovery_cache = PolicyCache(directory=tmp_path / "cache")
+    recovered = PolicyGenerator(config, cache=recovery_cache).generate(LOADS[0])
+    assert recovery_cache.invalidations == 1
+    assert not recovered.from_cache
+    assert json.dumps(recovered.policy.to_json_dict(), sort_keys=True) == (
+        json.dumps(reference.policy.to_json_dict(), sort_keys=True)
+    )

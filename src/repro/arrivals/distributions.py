@@ -81,6 +81,20 @@ class ArrivalDistribution(abc.ABC):
             return 0.0
         return float(self.pmf_vector(k, window_ms)[k])
 
+    def pmf_matrix(self, kmax: int, windows_ms: np.ndarray) -> np.ndarray:
+        """``(len(windows), kmax + 1)`` matrix of counting pmfs.
+
+        Row ``i`` equals ``pmf_vector(kmax, windows_ms[i])`` bit-for-bit —
+        kernel builders batch their per-slack-bin pmf computations through
+        this method, and the bank-equivalence tests rely on the identity.
+        Subclasses override with closed-form batched implementations; the
+        base implementation simply stacks :meth:`pmf_vector` rows.
+        """
+        windows = np.asarray(windows_ms, dtype=np.float64)
+        if windows.ndim != 1:
+            raise ValueError(f"windows_ms must be 1-D, got shape {windows.shape}")
+        return np.stack([self.pmf_vector(kmax, float(w)) for w in windows])
+
     def cdf_vector(self, kmax: int, window_ms: float) -> np.ndarray:
         """Cumulative probabilities ``P[N <= k]`` for ``k = 0..kmax``."""
         return np.cumsum(self.pmf_vector(kmax, window_ms))
@@ -182,6 +196,32 @@ class PoissonArrivals(ArrivalDistribution):
         np.exp(log_pmf, out=out)
         return out
 
+    def pmf_matrix(self, kmax: int, windows_ms: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows_ms, dtype=np.float64)
+        if windows.ndim != 1:
+            raise ValueError(f"windows_ms must be 1-D, got shape {windows.shape}")
+        if kmax < 0:
+            raise ValueError(f"kmax must be >= 0, got {kmax}")
+        out = np.zeros((windows.size, kmax + 1), dtype=np.float64)
+        mus = self.rate_per_ms * np.maximum(windows, 0.0)
+        # Per-row scalar logs keep every row bit-identical to pmf_vector
+        # (math.log and np.log may differ in the last ulp).
+        log_mus = np.array(
+            [math.log(mu) if mu > 0.0 else 0.0 for mu in mus]
+        )
+        ks = np.arange(kmax + 1, dtype=np.float64)
+        log_pmf = (
+            ks[None, :] * log_mus[:, None]
+            - mus[:, None]
+            - _log_factorial(kmax)[None, :]
+        )
+        np.exp(log_pmf, out=out)
+        zero = mus == 0.0
+        if zero.any():
+            out[zero] = 0.0
+            out[zero, 0] = 1.0
+        return out
+
     def sample_interarrivals(self, rng: np.random.Generator, count: int) -> np.ndarray:
         return rng.exponential(scale=self.mean_interarrival_ms, size=count)
 
@@ -254,6 +294,28 @@ class GammaArrivals(ArrivalDistribution):
         np.clip(out, 0.0, 1.0, out=out)
         return out
 
+    def pmf_matrix(self, kmax: int, windows_ms: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows_ms, dtype=np.float64)
+        if windows.ndim != 1:
+            raise ValueError(f"windows_ms must be 1-D, got shape {windows.shape}")
+        if kmax < 0:
+            raise ValueError(f"kmax must be >= 0, got {kmax}")
+        from scipy.special import gammainc
+
+        out = np.zeros((windows.size, kmax + 1), dtype=np.float64)
+        live = windows > 0.0
+        out[~live, 0] = 1.0
+        if live.any():
+            ks = np.arange(1, kmax + 2, dtype=np.float64) * self._shape
+            xs = windows[live] / self._scale_ms
+            cdfs = gammainc(ks[None, :], xs[:, None])  # elementwise ufunc
+            block = np.zeros((int(live.sum()), kmax + 1), dtype=np.float64)
+            block[:, 0] = 1.0 - cdfs[:, 0]
+            block[:, 1:] = cdfs[:, :-1] - cdfs[:, 1:]
+            np.clip(block, 0.0, 1.0, out=block)
+            out[live] = block
+        return out
+
     def sample_interarrivals(self, rng: np.random.Generator, count: int) -> np.ndarray:
         return rng.gamma(shape=self._shape, scale=self._scale_ms, size=count)
 
@@ -292,6 +354,19 @@ class DeterministicArrivals(ArrivalDistribution):
             # All mass beyond the requested support; report a zero vector so
             # callers relying on `support_bound` notice the truncation.
             out[:] = 0.0
+        return out
+
+    def pmf_matrix(self, kmax: int, windows_ms: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows_ms, dtype=np.float64)
+        if windows.ndim != 1:
+            raise ValueError(f"windows_ms must be 1-D, got shape {windows.shape}")
+        if kmax < 0:
+            raise ValueError(f"kmax must be >= 0, got {kmax}")
+        out = np.zeros((windows.size, kmax + 1), dtype=np.float64)
+        gap = self.mean_interarrival_ms
+        counts = (np.maximum(windows, 0.0) // gap).astype(np.int64)
+        inside = counts <= kmax  # rows past the support stay all-zero
+        out[np.nonzero(inside)[0], counts[inside]] = 1.0
         return out
 
     def sample_interarrivals(self, rng: np.random.Generator, count: int) -> np.ndarray:

@@ -80,36 +80,86 @@ def _result_path(
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _cache_from_args(args: argparse.Namespace):
+    """A :class:`PolicyCache` honoring ``--cache-dir``/``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.cache import PolicyCache
+
+    return PolicyCache(directory=args.cache_dir)
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
-    """Generate RAMSIS policies (artifact: RAMSIS_gen.py)."""
+    """Generate RAMSIS policies (artifact: RAMSIS_gen.py).
+
+    One policy per ``--loads`` entry (default: just ``--load``); grid cells
+    fan out across ``--jobs`` processes and resolve through the persistent
+    policy cache unless ``--no-cache``.
+    """
     from repro.core.config import WorkerMDPConfig
-    from repro.core.generator import generate_policy
+    from repro.core.generator import PolicyGenerator
 
     task = _task_by_name(args.task)
     slo = args.slo if args.slo is not None else task.slos_ms[0]
+    loads = [float(q) for q in (args.loads or [args.load])]
     config = WorkerMDPConfig.default_poisson(
         task.model_set,
         slo_ms=slo,
-        load_qps=args.load,
+        load_qps=max(loads),
         num_workers=args.workers,
         fld_resolution=args.fld_resolution,
     )
-    result = generate_policy(config)
+    generator = PolicyGenerator(config, cache=_cache_from_args(args))
+    results = generator.generate_many(loads, max_workers=args.jobs)
     out_dir = Path(args.out) / f"RAMSIS_{args.workers}_{slo:g}"
     out_dir.mkdir(parents=True, exist_ok=True)
-    out_file = out_dir / f"{args.load:g}.json"
-    result.policy.save(out_file)
-    g = result.guarantees
-    log.info("policy written to %s", out_file)
-    print(
-        f"states covered: {len(result.policy.states())}, "
-        f"value iterations: {result.iterations}, "
-        f"runtime: {result.runtime_s:.2f}s\n"
-        f"expected accuracy: {g.expected_accuracy * 100:.2f}%, "
-        f"expected SLO violation rate: {g.expected_violation_rate * 100:.3f}%"
-    )
+    for load, result in zip(loads, results):
+        out_file = out_dir / f"{load:g}.json"
+        result.policy.save(out_file)
+        g = result.guarantees
+        log.info("policy written to %s", out_file)
+        print(
+            f"load {load:g} QPS: states covered: "
+            f"{len(result.policy.states())}, "
+            f"value iterations: {result.iterations}, "
+            f"runtime: {result.runtime_s:.2f}s"
+            + (" (cached)" if result.from_cache else "")
+            + f"\nexpected accuracy: {g.expected_accuracy * 100:.2f}%, "
+            f"expected SLO violation rate: "
+            f"{g.expected_violation_rate * 100:.3f}%"
+        )
     log.info("script complete!")
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the persistent policy cache."""
+    from repro.cache import PolicyCache
+
+    cache = PolicyCache(directory=args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(
+            f"cache directory: {stats['directory']}\n"
+            f"artifacts: {stats['artifacts']}\n"
+            f"total size: {stats['total_bytes']} bytes"
+        )
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifact(s) from {cache.directory}")
+        return 0
+    if args.action == "verify":
+        outcome = cache.verify()
+        print(
+            f"verified {len(outcome['ok']) + len(outcome['corrupt'])} "
+            f"artifact(s): {len(outcome['ok'])} ok, "
+            f"{len(outcome['corrupt'])} corrupt"
+        )
+        for path in outcome["corrupt"]:
+            print(f"  corrupt: {path}")
+        return 0 if not outcome["corrupt"] else 1
+    raise SystemExit(f"unknown cache action {args.action!r}")
 
 
 def cmd_ms_gen(args: argparse.Namespace) -> int:
@@ -504,14 +554,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("gen", help="generate a RAMSIS policy")
+    gen = sub.add_parser("gen", help="generate RAMSIS policies")
     gen.add_argument("--task", default="image", choices=["image", "text"])
     gen.add_argument("--slo", type=float, default=None, help="latency SLO in ms")
     gen.add_argument("--workers", type=int, default=1)
     gen.add_argument("--load", type=float, default=40.0, help="query load (QPS)")
+    gen.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help="generate a policy per load (overrides --load)",
+    )
+    gen.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="solve grid cells across this many processes",
+    )
+    gen.add_argument(
+        "--cache-dir",
+        default=None,
+        help="policy cache directory (default: $RAMSIS_CACHE_DIR or "
+        "~/.cache/ramsis)",
+    )
+    gen.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent policy cache",
+    )
     gen.add_argument("--fld-resolution", type=int, default=100)
     gen.add_argument("--out", default="policy_gen")
     gen.set_defaults(func=cmd_gen)
+
+    cache = sub.add_parser("cache", help="inspect the persistent policy cache")
+    cache.add_argument(
+        "action", choices=["stats", "clear", "verify"], help="what to do"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="policy cache directory (default: $RAMSIS_CACHE_DIR or "
+        "~/.cache/ramsis)",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     msgen = sub.add_parser("ms-gen", help="profile ModelSwitching p99 latencies")
     msgen.add_argument("--task", default="image", choices=["image", "text"])

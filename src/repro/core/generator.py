@@ -2,23 +2,46 @@
 
 :func:`generate_policy` is the one-call entry point: configuration in,
 solved and annotated :class:`~repro.core.policy.Policy` out.
-:class:`PolicyGenerator` adds caching so sweeps over loads and worker
-counts (the experiment harness, the policy-set refinement loop) never solve
-the same MDP twice.
+:class:`PolicyGenerator` layers three caches and a parallel fan-out on top:
+
+- an **in-memory** cache keyed by ``(load, workers, tolerance)`` so sweeps
+  within one process never solve the same MDP twice;
+- an optional **persistent disk** cache (:class:`repro.cache.PolicyCache`)
+  keyed by a content hash of the canonicalized config, so experiment
+  invocations share solved policies across processes and runs;
+- :meth:`PolicyGenerator.generate_many`, which fans cache misses out across
+  a ``ProcessPoolExecutor`` with deterministic result ordering — every cell
+  runs the exact same :func:`generate_policy` code path, so parallel banks
+  are byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.core.config import WorkerMDPConfig
 from repro.core.guarantees import PolicyGuarantees, evaluate_policy
-from repro.core.mdp import WorkerMDP, build_worker_mdp
+from repro.core.mdp import build_worker_mdp
 from repro.core.policy import Policy, PolicyMetadata
 from repro.core.solvers import value_iteration
 from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache uses results)
+    from repro.cache import PolicyCache
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["GenerationResult", "PolicyGenerator", "generate_policy"]
 
@@ -29,6 +52,9 @@ class GenerationResult:
 
     ``residuals`` carries value iteration's per-sweep residual history
     when the caller asked for it (see :func:`generate_policy`).
+    ``values`` is the converged value vector — kept so the §6 refinement
+    loop can warm-start adjacent loads — and ``from_cache`` marks results
+    restored from the persistent disk cache rather than solved.
     """
 
     policy: Policy
@@ -36,6 +62,8 @@ class GenerationResult:
     iterations: int
     runtime_s: float
     residuals: Optional[Tuple[float, ...]] = None
+    values: Optional[np.ndarray] = field(default=None, compare=False)
+    from_cache: bool = field(default=False, compare=False)
 
 
 def generate_policy(
@@ -44,12 +72,17 @@ def generate_policy(
     with_guarantees: bool = True,
     tracer: Optional[Tracer] = None,
     record_residuals: bool = False,
+    initial: Optional[np.ndarray] = None,
 ) -> GenerationResult:
     """Build the worker MDP, solve it, and package the optimal MS policy.
 
     When ``with_guarantees`` is set (default), the §5.1 expectations are
     computed and embedded in the policy metadata — the policy-set
     refinement rule and the resource-planning example consume them.
+
+    ``initial`` warm-starts value iteration from a previously converged
+    value vector (e.g. an adjacent load's), cutting sweep counts without
+    changing the fixed point.
 
     An enabled ``tracer`` records the three offline phases (kernel/MDP
     construction, value iteration, guarantee evaluation) as nested spans
@@ -66,6 +99,7 @@ def generate_policy(
             stats = value_iteration(
                 mdp,
                 tolerance=tolerance,
+                initial=initial,
                 tracer=tracer,
                 record_residuals=record_residuals,
             )
@@ -89,6 +123,7 @@ def generate_policy(
         iterations=stats.iterations,
         runtime_s=time.perf_counter() - start,
         residuals=stats.residuals,
+        values=stats.values,
     )
 
 
@@ -117,40 +152,230 @@ def _annotate(policy: Policy, guarantees: PolicyGuarantees) -> Policy:
     )
 
 
-class PolicyGenerator:
-    """Caching wrapper around :func:`generate_policy`.
+def _solve_cell(
+    payload: Tuple[WorkerMDPConfig, float, Optional[np.ndarray]]
+) -> GenerationResult:
+    """Process-pool entry point: solve one grid cell.
 
-    Cache key: (load, number of workers) on top of a base configuration —
-    the two parameters experiment sweeps vary.
+    Module-level so it pickles under every multiprocessing start method;
+    runs the identical code path as the serial ``generate_policy`` call,
+    which is what makes parallel banks byte-identical to serial ones.
+    """
+    config, tolerance, initial = payload
+    return generate_policy(config, tolerance=tolerance, initial=initial)
+
+
+class PolicyGenerator:
+    """Caching, parallelizing wrapper around :func:`generate_policy`.
+
+    Resolution order for every cell: in-memory cache -> persistent disk
+    cache (when ``cache`` is given) -> solve.  The in-memory key is
+    ``(load, workers, tolerance)`` on top of a base configuration; the
+    disk key is a content hash of the full canonicalized config plus the
+    solver tolerance (see :mod:`repro.cache.keys`).
     """
 
-    def __init__(self, base_config: WorkerMDPConfig, tolerance: float = 1e-7) -> None:
+    def __init__(
+        self,
+        base_config: WorkerMDPConfig,
+        tolerance: float = 1e-7,
+        cache: Optional["PolicyCache"] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self._base = base_config
         self._tolerance = tolerance
-        self._cache: Dict[Tuple[float, int], GenerationResult] = {}
+        self._cache: Dict[Tuple[float, int, float], GenerationResult] = {}
+        self._disk = cache
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._registry = registry
 
     @property
     def base_config(self) -> WorkerMDPConfig:
         """The configuration all generated policies share (minus load/K)."""
         return self._base
 
-    def generate(
-        self, load_qps: float, num_workers: Optional[int] = None
-    ) -> GenerationResult:
-        """Policy for ``load_qps`` (and optionally a worker-count override)."""
-        workers = num_workers if num_workers is not None else self._base.num_workers
-        key = (round(load_qps, 9), workers)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+    @property
+    def disk_cache(self) -> Optional["PolicyCache"]:
+        """The persistent cache layer, if one is attached."""
+        return self._disk
+
+    def _count_cell(self, source: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                "policy_bank_cells_total",
+                "Policy-bank cells resolved, by source",
+                labels={"source": source},
+            ).inc()
+
+    def _key(self, load_qps: float, workers: int) -> Tuple[float, int, float]:
+        return (round(load_qps, 9), workers, self._tolerance)
+
+    def _config_for(self, load_qps: float, workers: int) -> WorkerMDPConfig:
         config = self._base.with_load(load_qps)
         if workers != config.num_workers:
-            from dataclasses import replace
-
             config = replace(config, num_workers=workers)
-        result = generate_policy(config, tolerance=self._tolerance)
+        return config
+
+    def _commit(
+        self,
+        key: Tuple[float, int, float],
+        config: WorkerMDPConfig,
+        result: GenerationResult,
+    ) -> None:
         self._cache[key] = result
+        if self._disk is not None:
+            self._disk.put(config, self._tolerance, result)
+
+    def generate(
+        self,
+        load_qps: float,
+        num_workers: Optional[int] = None,
+        initial: Optional[np.ndarray] = None,
+    ) -> GenerationResult:
+        """Policy for ``load_qps`` (and optionally a worker-count override).
+
+        ``initial`` warm-starts value iteration on a cache miss; cached
+        results are returned as-is (the fixed point does not depend on the
+        seed, and warm/cold convergence to the same policy is asserted by
+        the test suite).
+        """
+        workers = num_workers if num_workers is not None else self._base.num_workers
+        key = self._key(load_qps, workers)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._count_cell("memory")
+            return cached
+        config = self._config_for(load_qps, workers)
+        if self._disk is not None:
+            restored = self._disk.get(config, self._tolerance)
+            if restored is not None:
+                self._cache[key] = restored
+                self._count_cell("disk")
+                return restored
+        with self._tracer.span(
+            f"cell {load_qps:g}qps",
+            track="policy_bank",
+            args={"load_qps": load_qps, "workers": workers},
+        ):
+            result = generate_policy(
+                config,
+                tolerance=self._tolerance,
+                tracer=self._tracer,
+                initial=initial,
+            )
+        self._count_cell("solve")
+        self._commit(key, config, result)
         return result
+
+    def generate_many(
+        self,
+        loads_qps: Sequence[float],
+        num_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        initials: Optional[Mapping[float, Optional[np.ndarray]]] = None,
+    ) -> List[GenerationResult]:
+        """Policies for a batch of loads, in the order given.
+
+        Cache layers are consulted first; only misses are solved.  With
+        ``max_workers > 1`` the misses fan out across a
+        ``ProcessPoolExecutor`` (submit/solve/collect progress appears on
+        the tracer's ``policy_bank`` track); otherwise they solve serially
+        in this process.  Either way results come back in the order of
+        ``loads_qps`` and are bit-identical, because every cell runs the
+        same :func:`generate_policy` code path.
+
+        ``initials`` optionally maps a load to a warm-start value vector
+        (see :meth:`generate`).
+        """
+        workers = num_workers if num_workers is not None else self._base.num_workers
+        loads = [float(q) for q in loads_qps]
+        results: List[Optional[GenerationResult]] = [None] * len(loads)
+        pending: List[
+            Tuple[int, float, WorkerMDPConfig, Optional[np.ndarray]]
+        ] = []
+        for i, q in enumerate(loads):
+            key = self._key(q, workers)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._count_cell("memory")
+                results[i] = cached
+                continue
+            config = self._config_for(q, workers)
+            if self._disk is not None:
+                restored = self._disk.get(config, self._tolerance)
+                if restored is not None:
+                    self._cache[key] = restored
+                    self._count_cell("disk")
+                    results[i] = restored
+                    continue
+            initial = initials.get(q) if initials is not None else None
+            pending.append((i, q, config, initial))
+
+        if pending:
+            parallel = (
+                max_workers is not None and max_workers > 1 and len(pending) > 1
+            )
+            if parallel:
+                self._solve_parallel(pending, max_workers, workers, results)
+            else:
+                for i, q, config, initial in pending:
+                    with self._tracer.span(
+                        f"cell {q:g}qps",
+                        track="policy_bank",
+                        args={"load_qps": q, "workers": workers},
+                    ):
+                        result = generate_policy(
+                            config,
+                            tolerance=self._tolerance,
+                            tracer=self._tracer,
+                            initial=initial,
+                        )
+                    self._count_cell("solve")
+                    self._commit(self._key(q, workers), config, result)
+                    results[i] = result
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _solve_parallel(
+        self,
+        pending: List[Tuple[int, float, WorkerMDPConfig, Optional[np.ndarray]]],
+        max_workers: int,
+        workers: int,
+        results: List[Optional[GenerationResult]],
+    ) -> None:
+        """Fan pending cells out across processes; fill ``results`` in place."""
+        pool_size = min(max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            with self._tracer.span(
+                "policy_bank_submit",
+                track="policy_bank",
+                args={"cells": len(pending), "processes": pool_size},
+            ):
+                futures = [
+                    (i, q, config, pool.submit(
+                        _solve_cell, (config, self._tolerance, initial)
+                    ))
+                    for i, q, config, initial in pending
+                ]
+            with self._tracer.span(
+                "policy_bank_collect",
+                track="policy_bank",
+                args={"cells": len(pending)},
+            ):
+                # Collect in submit order: result placement is positional,
+                # so the returned bank ordering is deterministic regardless
+                # of which worker finishes first.
+                for i, q, config, future in futures:
+                    with self._tracer.span(
+                        f"cell {q:g}qps",
+                        track="policy_bank",
+                        args={"load_qps": q, "workers": workers},
+                    ):
+                        result = future.result()
+                    self._count_cell("solve")
+                    self._commit(self._key(q, workers), config, result)
+                    results[i] = result
 
     def cache_size(self) -> int:
         """Number of distinct (load, workers) policies generated so far."""

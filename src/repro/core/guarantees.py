@@ -95,15 +95,34 @@ def stationary_distribution(
     space = mdp.space
     size = space.size
 
-    # Pre-assemble rows once; states sharing an action row share memory.
+    # Pre-assemble rows once.  Full-drain actions under a split-family view
+    # share the precomputed (M, N, S) row bank, so those states gather in
+    # one fancy-indexed copy; everything else (partial drains, drop-mode
+    # fallbacks, the exact view's phase mixtures) goes through
+    # ``transition_row`` as before.
     rows = np.zeros((size, size), dtype=np.float64)
+    rows[space.EMPTY, space.index(1, mdp.grid.slo_index)] = 1.0
+    gather_ids: list = []
+    gather_m: list = []
+    gather_n: list = []
+    split_rows = getattr(mdp, "_rows", None) if mdp._split is not None else None
     for state_id in range(size):
         if state_id == space.EMPTY:
-            rows[state_id, space.index(1, mdp.grid.slo_index)] = 1.0
             continue
         n, _ = space.decode(state_id)
         action = table.get(state_id, (_FALLBACK, n))
+        if split_rows is not None:
+            m, b = action
+            if m == _FALLBACK and not mdp.config.drop_late:
+                m, b = 0, n
+            if m != _FALLBACK and b == n:
+                gather_ids.append(state_id)
+                gather_m.append(m)
+                gather_n.append(n - 1)
+                continue
         rows[state_id] = mdp.transition_row(state_id, action)
+    if gather_ids:
+        rows[gather_ids] = split_rows[gather_m, gather_n]
 
     dist = np.full(size, 1.0 / size)
     for _ in range(max_iterations):
@@ -191,36 +210,38 @@ def evaluate_policy(
     table = _policy_action_table(mdp, policy)
     dist = stationary_distribution(mdp, policy, tolerance=tolerance)
     space = mdp.space
+    size = space.size
 
-    served_weight = 0.0
-    satisfied_weight = 0.0
-    accuracy_weight = 0.0
-    epoch_weight = 0.0
-    epoch_satisfied = 0.0
-    epoch_accuracy = 0.0
-    for state_id in range(space.size):
-        if state_id == space.EMPTY:
-            continue
-        prob = float(dist[state_id])
-        if prob <= 0.0:
-            continue
+    # Static per-state action attributes (batch, accuracy, satisfied).
+    batch = np.zeros(size, dtype=np.float64)
+    accuracy_arr = np.zeros(size, dtype=np.float64)
+    satisfied_arr = np.zeros(size, dtype=bool)
+    for state_id in range(1, size):
         n, j = space.decode(state_id)
         m, b = table[state_id]
-        slack = 0.0 if state_id == space.FULL else mdp.grid[j]
         if m == _FALLBACK:
-            satisfied = False
-            accuracy = 0.0
-            b = n
-        else:
-            satisfied = mdp.latency_ms(m, b) <= slack
-            accuracy = mdp.accuracy_of(m)
-        served_weight += prob * b
-        epoch_weight += prob
-        if satisfied:
-            satisfied_weight += prob * b
-            accuracy_weight += prob * b * accuracy
-            epoch_satisfied += prob
-            epoch_accuracy += prob * accuracy
+            batch[state_id] = n
+            continue
+        slack = 0.0 if state_id == space.FULL else mdp.grid[j]
+        batch[state_id] = b
+        accuracy_arr[state_id] = mdp.accuracy_of(m)
+        satisfied_arr[state_id] = mdp.latency_ms(m, b) <= slack
+
+    # Cumulative sums reproduce the sequential per-state accumulation
+    # bit-for-bit (skipped states contribute an exact 0.0).
+    live = dist > 0.0
+    live[space.EMPTY] = False
+    sat = live & satisfied_arr
+
+    def _acc(contrib: np.ndarray) -> float:
+        return float(np.cumsum(contrib)[-1])
+
+    served_weight = _acc(np.where(live, dist * batch, 0.0))
+    epoch_weight = _acc(np.where(live, dist, 0.0))
+    satisfied_weight = _acc(np.where(sat, dist * batch, 0.0))
+    accuracy_weight = _acc(np.where(sat, dist * batch * accuracy_arr, 0.0))
+    epoch_satisfied = _acc(np.where(sat, dist, 0.0))
+    epoch_accuracy = _acc(np.where(sat, dist * accuracy_arr, 0.0))
 
     if served_weight <= 0.0:
         raise SolverError("policy never serves queries in steady state")

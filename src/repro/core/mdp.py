@@ -142,6 +142,18 @@ class WorkerMDP:
         else:  # pragma: no cover - enum is exhaustive
             raise ConfigurationError(f"unknown view {config.view}")
 
+        self._counts_cache: Dict[float, np.ndarray] = {}
+        # Variable batching: everything about a partial-drain action that
+        # does not depend on the value vector (validity, arrival counts,
+        # leftover slack-bin map, reward, discount) is precomputed once
+        # here instead of per Bellman sweep — the per-sweep work drops to
+        # one windowed contraction and one masked compare per action.
+        self._partial_plan = (
+            self._build_partial_plan()
+            if config.batching is BatchingMode.VARIABLE
+            else []
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -241,11 +253,58 @@ class WorkerMDP:
         n_max, j_count = self._max_queue, len(self._grid)
         k = self._exact.num_workers
         weights = np.zeros((n_max, j_count, k), dtype=np.float64)
-        for n in range(1, n_max + 1):
-            for j in range(j_count):
-                weights[n - 1, j] = self._exact.phase_weights(n, self._grid[j])
+        for j in range(j_count):
+            # One batched pmf evaluation covers all queue lengths at this
+            # slack (bit-identical to per-(n, j) phase_weights calls).
+            weights[:, j, :] = self._exact.phase_weights_table(
+                n_max, self._grid[j]
+            )
         self._full_phase = self._exact.phase_weights(n_max, 0.0)
         return weights
+
+    def _build_partial_plan(
+        self,
+    ) -> List[Tuple[int, int, np.ndarray, np.ndarray, float, np.ndarray, float, float]]:
+        """Sweep-invariant data for every partial-drain action ``(m, b < n)``.
+
+        Entries are ``(m, b, valid_j, counts, residual, j_map, reward,
+        gamma)`` in the exact ``(m, b)`` order the per-sweep loop used to
+        iterate, so greedy tie-breaking is unchanged.
+        """
+        grid_values = self._grid.as_array()
+        n_max, j_count = self._max_queue, len(self._grid)
+        plan = []
+        for m in range(self._num_models):
+            for b in range(1, n_max):  # partial drains only (b < n <= N)
+                latency = self._latency[m, b - 1]
+                valid_j = latency <= grid_values  # (J,)
+                if not valid_j.any():
+                    continue
+                counts = self._counts_for(latency)  # (N + 1,)
+                residual = max(0.0, 1.0 - float(counts.sum()))
+                # Leftover slack T_j - l quantizes to a per-j bin index.
+                j_map = np.array(
+                    [
+                        self._grid.floor_index(grid_values[j] - latency)
+                        for j in range(j_count)
+                    ]
+                )
+                reward = self._accuracy[m] * (
+                    float(b) if self._config.reward_per_query else 1.0
+                )
+                plan.append(
+                    (
+                        m,
+                        b,
+                        valid_j,
+                        counts,
+                        residual,
+                        j_map,
+                        reward,
+                        float(self._gamma_action[m, b - 1]),
+                    )
+                )
+        return plan
 
     # ------------------------------------------------------------------
     # Bellman backup
@@ -345,9 +404,7 @@ class WorkerMDP:
         so the slack bin of the next state is deterministic and only the
         arrival count is stochastic.
         """
-        gamma = self._config.discount
         space = self._space
-        grid_values = self._grid.as_array()
         n_max, j_count = self._max_queue, len(self._grid)
         v_occ = space.occupied_view(values)
         v_full = values[space.FULL]
@@ -362,40 +419,22 @@ class WorkerMDP:
             vpad, n_max + 1, axis=0
         )  # (N + 1, J, N + 1); windows[i, :, k] == vpad[i + k]
 
-        for m in range(self._num_models):
-            for b in range(1, n_max):  # partial drains only (b < n <= N)
-                latency = self._latency[m, b - 1]
-                valid_j = latency <= grid_values  # (J,)
-                if not valid_j.any():
-                    continue
-                counts = self._counts_for(latency)  # (N + 1,)
-                max_base = n_max - b
-                # ev[base-1, j] = E[V(next) | leftover = base, slack bin j]
-                ev = windows[:max_base] @ counts
-                residual = max(0.0, 1.0 - float(counts.sum()))
-                if residual > 0.0:
-                    ev = ev + residual * v_full
-
-                # Leftover slack T_j - l quantizes to a per-j bin index.
-                j_map = np.array(
-                    [
-                        self._grid.floor_index(grid_values[j] - latency)
-                        for j in range(j_count)
-                    ]
-                )
-                reward = self._accuracy[m] * (
-                    float(b) if self._config.reward_per_query else 1.0
-                )
-                # States (n, j) with n > b: rows b..N-1 of the (N, J) block.
-                q_part = (
-                    reward + self._gamma_action[m, b - 1] * ev[:, j_map]
-                )  # (max_base, J)
-                q_part = np.where(valid_j[None, :], q_part, -np.inf)
-                region = slice(b, n_max)
-                better = q_part > best_q[region]
-                best_q[region] = np.where(better, q_part, best_q[region])
-                best_m[region] = np.where(better, m, best_m[region])
-                best_b[region] = np.where(better, b, best_b[region])
+        for m, b, valid_j, counts, residual, j_map, reward, gamma_mb in (
+            self._partial_plan
+        ):
+            max_base = n_max - b
+            # ev[base-1, j] = E[V(next) | leftover = base, slack bin j]
+            ev = windows[:max_base] @ counts
+            if residual > 0.0:
+                ev = ev + residual * v_full
+            # States (n, j) with n > b: rows b..N-1 of the (N, J) block.
+            q_part = reward + gamma_mb * ev[:, j_map]  # (max_base, J)
+            q_part = np.where(valid_j[None, :], q_part, -np.inf)
+            region = slice(b, n_max)
+            better = q_part > best_q[region]
+            best_q[region] = np.where(better, q_part, best_q[region])
+            best_m[region] = np.where(better, m, best_m[region])
+            best_b[region] = np.where(better, b, best_b[region])
         return best_q, best_m, best_b
 
     def _counts_for(self, latency: float) -> np.ndarray:
@@ -409,6 +448,10 @@ class WorkerMDP:
         if self._split is not None:
             return self._split.arrival_counts(latency)
         assert self._exact is not None
+        key = round(float(latency), 9)
+        cached = self._counts_cache.get(key)
+        if cached is not None:
+            return cached
         k = self._exact.num_workers
         n_max = self._max_queue
         pmf = self._config.arrivals.pmf_vector((n_max + 1) * k - 1, latency)
@@ -420,6 +463,7 @@ class WorkerMDP:
                 lo = max(lo, 0)
                 if lo <= hi:
                     counts[a] += pmf[lo : hi + 1].sum() / k
+        self._counts_cache[key] = counts
         return counts
 
     # ------------------------------------------------------------------

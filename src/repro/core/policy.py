@@ -203,8 +203,13 @@ class Policy:
         return Policy(grid=grid, max_queue=max_queue, actions=actions, metadata=metadata)
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the policy as JSON (artifact layout)."""
-        Path(path).write_text(json.dumps(self.to_json_dict(), indent=1))
+        """Write the policy as JSON (artifact layout).
+
+        Keys are emitted sorted so equal policies serialize to identical
+        bytes — the content-addressed policy cache and the parallel-vs-
+        serial equivalence checks hash this representation.
+        """
+        Path(path).write_text(json.dumps(self.to_json_dict(), indent=1, sort_keys=True))
 
     @staticmethod
     def load(path: Union[str, Path]) -> "Policy":

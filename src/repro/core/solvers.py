@@ -43,6 +43,9 @@ class SolveStats:
     runtime_s: float
     converged: bool
     residuals: Optional[Tuple[float, ...]] = None
+    #: True when the solve was seeded with an ``initial`` value vector
+    #: (warm start) instead of the MDP's zero vector.
+    warm_started: bool = False
 
 
 def value_iteration(
@@ -94,6 +97,7 @@ def value_iteration(
                 runtime_s=time.perf_counter() - start,
                 converged=True,
                 residuals=None if history is None else tuple(history),
+                warm_started=initial is not None,
             )
     raise SolverError(
         f"value iteration did not converge after {max_iterations} sweeps "

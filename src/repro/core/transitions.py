@@ -40,7 +40,7 @@ with the conditional per-worker rate of Gupta et al. [18]; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -178,18 +178,21 @@ class SplitViewKernelBuilder:
 
         t_b, t_c, t_d = _service_windows(self._grid, latency_ms)
         occupied = space.occupied_view(row)  # (N, J) view into `row`
-        for j in range(len(self._grid)):
-            if t_c[j] <= 0.0:
-                continue
-            p_b0 = self._arrivals.pmf(0, t_b[j])
-            if p_b0 <= _MASS_EPSILON:
-                continue
-            pmf_c = self._arrivals.pmf_vector(n_max, t_c[j])
-            pmf_d = self._arrivals.pmf_vector(n_max, t_d[j])
-            conv = np.convolve(pmf_c, pmf_d)[: n_max + 1]
-            # k_C >= 1: subtract the k_C = 0 term of the convolution.
-            probs = p_b0 * (conv - pmf_c[0] * pmf_d)
-            occupied[:, j] = np.maximum(probs[1:], 0.0)
+        live = np.nonzero(t_c > 0.0)[0]
+        if live.size:
+            # One batched pmf evaluation per window family; each matrix row
+            # is bit-identical to the per-bin pmf_vector call it replaces.
+            p_b0s = self._arrivals.pmf_matrix(0, t_b[live])[:, 0]
+            pmf_cs = self._arrivals.pmf_matrix(n_max, t_c[live])
+            pmf_ds = self._arrivals.pmf_matrix(n_max, t_d[live])
+            for i, j in enumerate(live):
+                p_b0 = p_b0s[i]
+                if p_b0 <= _MASS_EPSILON:
+                    continue
+                conv = np.convolve(pmf_cs[i], pmf_ds[i])[: n_max + 1]
+                # k_C >= 1: subtract the k_C = 0 term of the convolution.
+                probs = p_b0 * (conv - pmf_cs[i][0] * pmf_ds[i])
+                occupied[:, j] = np.maximum(probs[1:], 0.0)
 
         total = row.sum()
         row[space.FULL] = max(0.0, 1.0 - total)
@@ -559,6 +562,28 @@ class ExactRoundRobinKernelBuilder:
             return np.full(k, 1.0 / k)
         return weights / total
 
+    def phase_weights_table(self, n_max: int, slack_ms: float) -> np.ndarray:
+        """``(n_max, K)`` phase distributions for every queue length at once.
+
+        Row ``n - 1`` equals ``phase_weights(n, slack_ms)`` bit-for-bit:
+        the counting pmfs are prefix-stable in ``kmax`` (element ``i`` of
+        ``pmf_vector(kmax, t)`` does not depend on ``kmax``), so one long
+        pmf evaluation replaces the ``n_max`` per-queue-length calls.
+        """
+        t_a = max(self._grid.slo_ms - slack_ms, 0.0)
+        k = self._k
+        big = self._arrivals.pmf_vector(n_max * k - 1, t_a)
+        out = np.empty((n_max, k), dtype=np.float64)
+        for n in range(1, n_max + 1):
+            lo = (n - 1) * k
+            weights = big[lo : lo + k].astype(np.float64, copy=True)
+            total = weights.sum()
+            if total <= _MASS_EPSILON:
+                out[n - 1] = 1.0 / k
+            else:
+                out[n - 1] = weights / total
+        return out
+
     def service_rows_by_phase(self, latency_ms: float) -> np.ndarray:
         """``(K, S)`` matrix of transition rows, one per phase ``r``."""
         key = round(float(latency_ms), 9)
@@ -576,6 +601,8 @@ class ExactRoundRobinKernelBuilder:
             # n' = 0: at most K - r - 1 central arrivals during the service.
             rows[r, space.EMPTY] = self._arrivals.cdf(k - r - 1, latency_ms)
 
+        n_arr = np.arange(1, n_max + 1)
+        occupied = rows[:, 2:].reshape(k, n_max, len(self._grid))
         for j in range(len(self._grid)):
             if t_c[j] <= 0.0:
                 continue
@@ -588,28 +615,42 @@ class ExactRoundRobinKernelBuilder:
                 self._arrivals.support_bound(t_b[j]), k - 1
             )  # k_B < K - r <= K
             pmf_b = self._arrivals.pmf_vector(sup_b, t_b[j])
+
+            # The next-queue mass depends on (r, k_b) only through
+            # c_min = K - r - k_b: the window [n'K - r - k_b, (n'+1)K - r -
+            # k_b) rewrites to [(n'-1)K + c_min, n'K + c_min).  Compute one
+            # mass vector over n' per distinct c_min (K of them instead of
+            # K(K+1)/2 convolutions) and reuse it across phases.
+            mass_by_cmin: Dict[int, Optional[np.ndarray]] = {}
+
+            def mass_for(c_min: int) -> Optional[np.ndarray]:
+                if c_min in mass_by_cmin:
+                    return mass_by_cmin[c_min]
+                masked = pmf_c.copy()
+                masked[:c_min] = 0.0
+                if masked.sum() <= _MASS_EPSILON:
+                    mass_by_cmin[c_min] = None
+                    return None
+                g = np.convolve(masked, pmf_d)
+                cum = np.concatenate(([0.0], np.cumsum(g)))
+                top = len(cum) - 1
+                lo_t = (n_arr - 1) * k + c_min  # >= c_min >= 1
+                hi_idx = np.minimum(n_arr * k + c_min, top)
+                mass = cum[hi_idx] - cum[np.minimum(lo_t, top)]
+                mass[lo_t >= top] = 0.0
+                mass_by_cmin[c_min] = mass
+                return mass
+
             for r in range(k):
                 for k_b in range(min(sup_b, k - r - 1) + 1):
                     p_b = pmf_b[k_b]
                     if p_b <= _MASS_EPSILON:
                         continue
-                    c_min = k - r - k_b  # >= 1 worker arrival falls in C
-                    masked = pmf_c.copy()
-                    masked[:c_min] = 0.0
-                    if masked.sum() <= _MASS_EPSILON:
+                    mass = mass_for(k - r - k_b)
+                    if mass is None:
                         continue
-                    g = np.convolve(masked, pmf_d)
-                    cum = np.concatenate(([0.0], np.cumsum(g)))
-                    for n_next in range(1, n_max + 1):
-                        lo_t = n_next * k - r - k_b
-                        hi_t = (n_next + 1) * k - r - k_b - 1
-                        lo_t = max(lo_t, 0)
-                        if lo_t >= len(cum) - 1:
-                            continue
-                        hi_idx = min(hi_t + 1, len(cum) - 1)
-                        mass = cum[hi_idx] - cum[lo_t]
-                        if mass > 0.0:
-                            rows[r, space.index(n_next, j)] += p_b * mass
+                    add = mass > 0.0
+                    occupied[r, add, j] += p_b * mass[add]
 
         totals = rows.sum(axis=1)
         rows[:, space.FULL] = np.maximum(0.0, 1.0 - totals)

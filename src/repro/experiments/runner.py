@@ -10,7 +10,7 @@ runner that turns one (method, task, SLO, workers, workload) cell into a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.selectors import (
 from repro.sim.latency_model import DeterministicLatency, LatencyModel
 from repro.sim.monitor import LoadMonitor, OracleLoadMonitor
 from repro.sim.simulator import Simulation, SimulationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache import PolicyCache
 
 __all__ = [
     "MethodPoint",
@@ -202,8 +205,18 @@ def build_policy_set(
     min_load_qps: float,
     max_load_qps: float,
     scale: ExperimentScale,
+    max_workers: Optional[int] = None,
+    cache: Optional["PolicyCache"] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> PolicySet:
-    """A cached load-refined policy set covering ``[min, max]`` QPS."""
+    """A cached load-refined policy set covering ``[min, max]`` QPS.
+
+    ``max_workers > 1`` fans grid cells (and each refinement round's
+    midpoints) across processes; ``cache`` adds a persistent disk layer
+    (:class:`repro.cache.PolicyCache`) so separate invocations share solved
+    policies.  Both paths produce byte-identical banks.
+    """
     key = (
         "set",
         model_set.task,
@@ -222,13 +235,17 @@ def build_policy_set(
         raise ConfigurationError("max_load_qps must exceed min_load_qps")
     grid = np.linspace(min_load_qps, max_load_qps, scale.policy_grid_points)
     generator = PolicyGenerator(
-        _base_config(model_set, slo_ms, max_load_qps, num_workers, scale)
+        _base_config(model_set, slo_ms, max_load_qps, num_workers, scale),
+        cache=cache,
+        tracer=tracer,
+        registry=registry,
     )
     policy_set = PolicySet.generate(
         generator,
         load_grid_qps=[float(q) for q in grid],
         accuracy_gap_threshold=scale.policy_accuracy_gap,
         max_policies=max(scale.policy_grid_points * 2, 8),
+        max_workers=max_workers,
     )
     _POLICY_SET_CACHE[key] = policy_set
     return policy_set

@@ -151,8 +151,13 @@ class ModelSet:
     # Derived quantities
     # ------------------------------------------------------------------
     def fastest(self) -> ModelProfile:
-        """Lowest-latency model (``m_w_min`` — the forced fallback, §4.3.1)."""
-        return min(self._models, key=lambda m: m.latency_ms(1))
+        """Lowest-latency model (``m_w_min`` — the forced fallback, §4.3.1).
+
+        Latency ties break toward the higher-accuracy model, matching the
+        action ordering inside :class:`repro.core.mdp.WorkerMDP` so the
+        forced-fallback model is the same object in both places.
+        """
+        return min(self._models, key=lambda m: (m.latency_ms(1), -m.accuracy))
 
     def slowest(self) -> ModelProfile:
         """Highest-latency model (defines the paper's SLO grid, §7)."""

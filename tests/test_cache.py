@@ -1,0 +1,205 @@
+"""Persistent policy cache: keys, round-trips, corruption handling."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arrivals.distributions import ArrivalDistribution, PoissonArrivals
+from repro.cache import (
+    CACHE_SCHEMA_VERSION,
+    ENV_VAR,
+    PolicyCache,
+    cache_key,
+    canonical_config_dict,
+)
+from repro.core.generator import generate_policy
+from repro.obs.metrics import MetricsRegistry
+
+TOL = 1e-6
+
+
+class OpaqueArrivals(ArrivalDistribution):
+    """An arrival family the canonicalizer does not know -> uncacheable."""
+
+    def __init__(self, load_qps: float) -> None:
+        super().__init__(load_qps)
+        self._inner = PoissonArrivals(load_qps)
+
+    def pmf_vector(self, kmax, window_ms):
+        return self._inner.pmf_vector(kmax, window_ms)
+
+    def sample_interarrivals(self, rng, count):
+        return self._inner.sample_interarrivals(rng, count)
+
+    def with_load(self, load_qps):
+        return OpaqueArrivals(load_qps)
+
+
+@pytest.fixture
+def result(tiny_config):
+    return generate_policy(tiny_config, tolerance=TOL)
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_cache_key_is_stable(tiny_config):
+    first = cache_key(tiny_config, TOL)
+    assert first is not None
+    assert cache_key(tiny_config, TOL) == first
+    # A structurally equal config (fresh arrivals object, same load)
+    # hashes to the same digest.
+    rebuilt = tiny_config.with_load(tiny_config.arrivals.load_qps)
+    assert cache_key(rebuilt, TOL) == first
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda c: c.with_load(c.arrivals.load_qps + 1.0),
+        lambda c: replace(c, slo_ms=c.slo_ms + 10.0),
+        lambda c: replace(c, num_workers=c.num_workers + 1),
+        lambda c: replace(c, fld_resolution=c.fld_resolution + 1),
+        lambda c: replace(c, max_batch_size=c.max_batch_size - 1),
+    ],
+    ids=["load", "slo", "workers", "fld", "batch"],
+)
+def test_cache_key_sensitive_to_config(tiny_config, mutate):
+    assert cache_key(mutate(tiny_config), TOL) != cache_key(tiny_config, TOL)
+
+
+def test_cache_key_sensitive_to_tolerance(tiny_config):
+    assert cache_key(tiny_config, 1e-6) != cache_key(tiny_config, 1e-7)
+
+
+def test_cache_key_embeds_schema_version(tiny_config):
+    canonical = canonical_config_dict(tiny_config, TOL)
+    assert canonical["schema_version"] == CACHE_SCHEMA_VERSION
+    assert canonical["tolerance"] == TOL
+    assert canonical["slo_ms"] == tiny_config.slo_ms
+
+
+def test_uncacheable_config(tiny_config, tmp_path, result):
+    opaque = replace(tiny_config, arrivals=OpaqueArrivals(25.0))
+    assert cache_key(opaque, TOL) is None
+    cache = PolicyCache(directory=tmp_path)
+    assert cache.put(opaque, TOL, result) is None
+    assert cache.get(opaque, TOL) is None
+    assert cache.misses == 1
+    assert cache.stats()["artifacts"] == 0
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+def test_round_trip(tiny_config, tmp_path, result):
+    cache = PolicyCache(directory=tmp_path)
+    path = cache.put(tiny_config, TOL, result)
+    assert path is not None and path.is_file()
+    assert cache.stores == 1
+
+    restored = cache.get(tiny_config, TOL)
+    assert restored is not None
+    assert cache.hits == 1
+    assert restored.from_cache
+    assert not result.from_cache
+    assert json.dumps(restored.policy.to_json_dict(), sort_keys=True) == (
+        json.dumps(result.policy.to_json_dict(), sort_keys=True)
+    )
+    assert restored.guarantees == result.guarantees
+    assert restored.iterations == result.iterations
+    assert np.array_equal(restored.values, result.values)
+
+
+def test_get_on_empty_cache_is_miss(tiny_config, tmp_path):
+    cache = PolicyCache(directory=tmp_path)
+    assert cache.get(tiny_config, TOL) is None
+    assert cache.misses == 1
+    assert cache.invalidations == 0
+
+
+def test_registry_counters(tiny_config, tmp_path, result):
+    registry = MetricsRegistry()
+    cache = PolicyCache(directory=tmp_path, registry=registry)
+    cache.get(tiny_config, TOL)
+    cache.put(tiny_config, TOL, result)
+    cache.get(tiny_config, TOL)
+    assert registry.counter("policy_cache_misses_total").value == 1
+    assert registry.counter("policy_cache_stores_total").value == 1
+    assert registry.counter("policy_cache_hits_total").value == 1
+
+
+# ----------------------------------------------------------------------
+# Corruption
+# ----------------------------------------------------------------------
+def test_truncated_artifact_falls_back(tiny_config, tmp_path, result, caplog):
+    cache = PolicyCache(directory=tmp_path)
+    path = cache.put(tiny_config, TOL, result)
+    path.write_text(path.read_text()[:80])
+
+    with caplog.at_level("WARNING", logger="repro.cache"):
+        assert cache.get(tiny_config, TOL) is None
+    assert cache.invalidations == 1
+    assert cache.misses == 1
+    assert any("corrupt" in r.message for r in caplog.records)
+
+    # The next put overwrites the bad artifact and gets back to a hit.
+    cache.put(tiny_config, TOL, result)
+    assert cache.get(tiny_config, TOL) is not None
+
+
+def test_schema_version_mismatch_invalidates(tiny_config, tmp_path, result):
+    cache = PolicyCache(directory=tmp_path)
+    path = cache.put(tiny_config, TOL, result)
+    data = json.loads(path.read_text())
+    data["schema_version"] = CACHE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(data))
+    assert cache.get(tiny_config, TOL) is None
+    assert cache.invalidations == 1
+
+
+# ----------------------------------------------------------------------
+# Directory resolution
+# ----------------------------------------------------------------------
+def test_env_var_resolves_directory(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "env-cache"))
+    assert PolicyCache().directory == tmp_path / "env-cache"
+    # An explicit directory always wins over the environment.
+    assert PolicyCache(directory=tmp_path / "x").directory == tmp_path / "x"
+
+
+# ----------------------------------------------------------------------
+# Maintenance (stats / verify / clear)
+# ----------------------------------------------------------------------
+def test_stats_verify_clear(tiny_config, tmp_path, result):
+    cache = PolicyCache(directory=tmp_path)
+    good = cache.put(tiny_config, TOL, result)
+    bad = cache.put(tiny_config.with_load(30.0), TOL, result)
+    bad.write_text("{ nope")
+
+    stats = cache.stats()
+    assert stats["artifacts"] == 2
+    assert stats["total_bytes"] > 0
+    assert stats["directory"] == str(tmp_path)
+
+    report = cache.verify()
+    assert report["ok"] == [str(good)]
+    assert report["corrupt"] == [str(bad)]
+
+    assert cache.clear() == 2
+    assert cache.stats()["artifacts"] == 0
+
+
+def test_verify_catches_digest_mismatch(tiny_config, tmp_path, result):
+    cache = PolicyCache(directory=tmp_path)
+    path = cache.put(tiny_config, TOL, result)
+    # Valid JSON stored under a name that does not match its key digest.
+    moved = path.with_name("0" * 64 + ".json")
+    moved.write_text(path.read_text())
+    path.unlink()
+    report = cache.verify()
+    assert report["corrupt"] == [str(moved)]
