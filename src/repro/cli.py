@@ -33,7 +33,7 @@ from typing import List, Optional
 
 from repro.arrivals.traces import LoadTrace, synthesize_twitter_trace
 from repro.experiments.reporting import format_table, render_comparison
-from repro.experiments.runner import MethodPoint, run_method
+from repro.experiments.runner import MethodPoint
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.tasks import TaskSpec, image_task, text_task
 from repro.obs.log import configure as configure_logging
@@ -197,13 +197,22 @@ def cmd_ms_gen(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    """Run one method on a workload (artifact: run_sim.py)."""
+    """Run one method on a workload (artifact: run_sim.py).
+
+    The worker sweep (``--trace real``) / load sweep (``--trace constant``)
+    cells are independent, so ``--jobs N`` fans them out across processes
+    through :mod:`repro.experiments.sweep` — results (and the JSON written
+    under ``--results-dir``) are identical to a serial run.
+    """
+    from repro.experiments.sweep import SweepCell, run_sweep
+
     task = _task_by_name(args.task)
     scale = _scale_by_name(args.scale)
     slo = args.slo if args.slo is not None else task.slos_ms[0]
     results_dir = Path(args.results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
 
+    cells: List[SweepCell] = []
     if args.trace == "real":
         from repro.experiments.fig5 import production_trace
 
@@ -211,50 +220,53 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         workers_sweep = (
             [args.workers] if args.workers else list(scale.worker_counts)
         )
-        oracle = False
+        for workers in workers_sweep:
+            cells.append(
+                SweepCell(
+                    method=args.m,
+                    task=task,
+                    slo_ms=slo,
+                    num_workers=workers,
+                    trace=trace,
+                    seed=args.seed,
+                )
+            )
     else:
         loads = [args.load] if args.load else list(scale.constant_loads_qps)
-        workers_sweep = [
-            args.workers
-            or (
-                scale.constant_workers_image
-                if task.name == "image"
-                else scale.constant_workers_text
-            )
-        ]
-        oracle = True
-
-    points: List[MethodPoint] = []
-    if args.trace == "real":
-        for workers in workers_sweep:
-            point = run_method(
-                args.m, task, slo, workers, trace, scale, seed=args.seed
-            )
-            points.append(point)
-            print(
-                f"{args.m} workers={workers}: acc="
-                f"{point.accuracy * 100:.2f}% viol={point.violation_rate * 100:.3f}%"
-            )
-    else:
+        workers = args.workers or (
+            scale.constant_workers_image
+            if task.name == "image"
+            else scale.constant_workers_text
+        )
         for load in loads:
             const = LoadTrace.constant(
                 load, scale.constant_duration_s * 1000.0, name=f"const-{load:g}"
             )
-            point = run_method(
-                args.m,
-                task,
-                slo,
-                workers_sweep[0],
-                const,
-                scale,
-                seed=args.seed,
-                oracle_load=oracle,
+            cells.append(
+                SweepCell(
+                    method=args.m,
+                    task=task,
+                    slo_ms=slo,
+                    num_workers=workers,
+                    trace=const,
+                    seed=args.seed,
+                    oracle_load=True,
+                )
             )
-            points.append(point)
-            print(
-                f"{args.m} load={load:g}: acc={point.accuracy * 100:.2f}% "
-                f"viol={point.violation_rate * 100:.3f}%"
-            )
+
+    points = run_sweep(
+        cells, scale, jobs=args.jobs, cache=_cache_from_args(args)
+    )
+    for point in points:
+        where = (
+            f"workers={point.num_workers}"
+            if args.trace == "real"
+            else f"load={point.load_qps:g}"
+        )
+        print(
+            f"{args.m} {where}: acc={point.accuracy * 100:.2f}% "
+            f"viol={point.violation_rate * 100:.3f}%"
+        )
 
     for point in points:
         path = _result_path(
@@ -502,6 +514,47 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if run.report.ok else 1
 
 
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one evaluation figure (optionally in parallel).
+
+    ``--jobs N`` fans the figure's independent cells across processes via
+    :mod:`repro.experiments.sweep`; the rendered output is identical to a
+    serial run.  ``fig5``/``fig6`` also print their companion violation
+    tables (Tables 3/4).
+    """
+    scale = _scale_by_name(args.scale)
+    cache = _cache_from_args(args)
+    jobs = args.jobs
+    if args.which == "fig5":
+        from repro.experiments.fig5 import render_fig5, run_fig5
+        from repro.experiments.tables import render_table3
+
+        result = run_fig5(scale, jobs=jobs, cache=cache)
+        print(render_fig5(result))
+        print()
+        print(render_table3(result))
+    elif args.which == "fig6":
+        from repro.experiments.fig6 import render_fig6, run_fig6
+        from repro.experiments.tables import render_table4
+
+        result = run_fig6(scale, jobs=jobs, cache=cache)
+        print(render_fig6(result))
+        print()
+        print(render_table4(result))
+    elif args.which == "fig7":
+        from repro.experiments.fig7 import render_fig7, run_fig7
+
+        print(render_fig7(run_fig7(scale, jobs=jobs, cache=cache)))
+    elif args.which == "fig8":
+        from repro.experiments.fig8 import render_fig8, run_fig8
+
+        print(render_fig8(run_fig8(scale, jobs=jobs, cache=cache)))
+    else:  # pragma: no cover - argparse choices guard
+        raise SystemExit(f"unknown figure {args.which!r}")
+    log.info("script complete!")
+    return 0
+
+
 def cmd_zoo(args: argparse.Namespace) -> int:
     """Print the model profiles (Fig. 3 / Fig. 9 data)."""
     task = _task_by_name(args.task)
@@ -618,7 +671,50 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", default="default")
     simulate.add_argument("--seed", type=int, default=11)
     simulate.add_argument("--results-dir", default="results")
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run sweep cells across this many processes",
+    )
+    simulate.add_argument(
+        "--cache-dir",
+        default=None,
+        help="policy cache directory (default: $RAMSIS_CACHE_DIR or "
+        "~/.cache/ramsis)",
+    )
+    simulate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent policy cache",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one evaluation figure (parallel with --jobs)"
+    )
+    figure.add_argument(
+        "which", choices=["fig5", "fig6", "fig7", "fig8"], help="figure to run"
+    )
+    figure.add_argument("--scale", default="smoke")
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run sweep cells across this many processes",
+    )
+    figure.add_argument(
+        "--cache-dir",
+        default=None,
+        help="policy cache directory (default: $RAMSIS_CACHE_DIR or "
+        "~/.cache/ramsis)",
+    )
+    figure.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent policy cache",
+    )
+    figure.set_defaults(func=cmd_figure)
 
     report = sub.add_parser("report", help="summarize stored results")
     report.add_argument("--task", default=None)

@@ -23,6 +23,7 @@ a query the instant it arrives, needed for the arrival transition, Eq. 1).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -76,8 +77,16 @@ class TimeGrid:
         """
         if slack_ms <= 0.0:
             return 0
-        j = int(np.searchsorted(self.values, slack_ms, side="right")) - 1
-        return min(max(j, 0), len(self.values) - 1)
+        # bisect on the tuple == np.searchsorted(..., side="right") without
+        # the per-call tuple->array conversion; this is the online
+        # selector's hot path (one lookup per MS&S decision).
+        j = bisect_right(self.values, slack_ms) - 1
+        values_len = len(self.values)
+        if j < 0:
+            return 0
+        if j >= values_len:
+            return values_len - 1
+        return j
 
     def upper(self, j: int) -> float:
         """Exclusive upper bound of bin ``j``.

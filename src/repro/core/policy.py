@@ -15,6 +15,7 @@ generation knobs the policy was specialized for.
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
@@ -105,6 +106,9 @@ class Policy:
         self._max_queue = max_queue
         self._actions: Dict[Tuple[int, int], Action] = dict(actions)
         self._metadata = metadata
+        # Cached for action_for's inlined grid lookup (the online hot path).
+        self._grid_values = grid.values
+        self._grid_top = len(grid.values) - 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -154,7 +158,15 @@ class Policy:
         """
         if queue_length < 1:
             raise PolicyError("action_for requires a non-empty queue")
-        j = self._grid.floor_index(earliest_slack_ms)
+        # Inlined TimeGrid.floor_index (one lookup per MS&S decision).
+        if earliest_slack_ms <= 0.0:
+            j = 0
+        else:
+            j = bisect_right(self._grid_values, earliest_slack_ms) - 1
+            if j < 0:
+                j = 0
+            elif j > self._grid_top:
+                j = self._grid_top
         if queue_length > self._max_queue:
             base = self._actions[(self._max_queue, 0)]
             return Action(model=base.model, batch_size=queue_length, is_late=True)

@@ -10,6 +10,9 @@ full index):
   (model sets, SLO grids) of §7.
 - :mod:`repro.experiments.runner` — shared machinery: policy-set
   construction, ModelSwitching offline profiling, method execution.
+- :mod:`repro.experiments.sweep` — parallel sweep engine: fans a figure's
+  independent cells across processes with deterministic result ordering
+  and a shared persistent policy cache.
 - :mod:`repro.experiments.fig5` .. :mod:`repro.experiments.fig8`,
   :mod:`repro.experiments.appendix` — per-figure drivers.
 - :mod:`repro.experiments.tables` — Table 2 (policy-generation runtimes)
@@ -24,9 +27,11 @@ from repro.experiments.runner import (
     MethodPoint,
     build_policy_set,
     build_ramsis_policy,
+    build_ramsis_result,
     modelswitching_table,
     run_method,
 )
+from repro.experiments.sweep import SweepCell, run_cell, run_sweep
 from repro.experiments.reporting import (
     accuracy_increase_summary,
     format_table,
@@ -39,10 +44,14 @@ __all__ = [
     "image_task",
     "text_task",
     "MethodPoint",
+    "SweepCell",
     "build_policy_set",
     "build_ramsis_policy",
+    "build_ramsis_result",
     "modelswitching_table",
+    "run_cell",
     "run_method",
+    "run_sweep",
     "format_table",
     "accuracy_increase_summary",
     "resource_savings_summary",

@@ -10,13 +10,17 @@ runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.arrivals.traces import LoadTrace, synthesize_twitter_trace
 from repro.experiments.reporting import format_table, render_comparison
-from repro.experiments.runner import METHODS, MethodPoint, run_method
+from repro.experiments.runner import METHODS, MethodPoint
 from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import SweepCell, run_sweep
 from repro.experiments.tasks import TaskSpec, image_task, text_task
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache import PolicyCache
 
 __all__ = ["Fig5Result", "run_fig5", "render_fig5"]
 
@@ -56,32 +60,36 @@ def run_fig5(
     methods: Sequence[str] = METHODS,
     slos_per_task: Optional[int] = None,
     seed: int = 11,
+    jobs: Optional[int] = None,
+    cache: Optional["PolicyCache"] = None,
 ) -> Fig5Result:
     """Execute the §7.1 sweep: methods x worker counts x SLOs x tasks.
 
     ``slos_per_task`` limits the SLO grid (1 keeps only the lowest SLO,
-    the benchmark default; ``None`` keeps the paper's three).
+    the benchmark default; ``None`` keeps the paper's three).  ``jobs > 1``
+    fans the cells across processes (identical points, see
+    :mod:`repro.experiments.sweep`); ``cache`` shares solved policies.
     """
     scale = scale or ExperimentScale.default()
     tasks = tasks if tasks is not None else (image_task(), text_task())
     trace = production_trace(scale)
-    points: List[MethodPoint] = []
+    cells: List[SweepCell] = []
     for task in tasks:
         slos = task.slos_ms[:slos_per_task] if slos_per_task else task.slos_ms
         for slo in slos:
             for workers in scale.worker_counts:
                 for method in methods:
-                    points.append(
-                        run_method(
-                            method,
-                            task,
-                            slo,
-                            workers,
-                            trace,
-                            scale,
+                    cells.append(
+                        SweepCell(
+                            method=method,
+                            task=task,
+                            slo_ms=slo,
+                            num_workers=workers,
+                            trace=trace,
                             seed=seed,
                         )
                     )
+    points = run_sweep(cells, scale, jobs=jobs, cache=cache)
     return Fig5Result(points=tuple(points), trace_name=trace.name)
 
 

@@ -10,13 +10,17 @@ prediction.  Table 4 reports the same runs' violation rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.arrivals.traces import LoadTrace
 from repro.experiments.reporting import format_table, render_comparison
-from repro.experiments.runner import METHODS, MethodPoint, run_method
+from repro.experiments.runner import METHODS, MethodPoint
 from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import SweepCell, run_sweep
 from repro.experiments.tasks import TaskSpec, image_task, text_task
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache import PolicyCache
 
 __all__ = ["Fig6Result", "run_fig6", "render_fig6", "constant_workers_for"]
 
@@ -54,11 +58,17 @@ def run_fig6(
     methods: Sequence[str] = METHODS,
     slos_per_task: Optional[int] = None,
     seed: int = 13,
+    jobs: Optional[int] = None,
+    cache: Optional["PolicyCache"] = None,
 ) -> Fig6Result:
-    """Execute the §7.2 sweep: methods x constant loads x SLOs x tasks."""
+    """Execute the §7.2 sweep: methods x constant loads x SLOs x tasks.
+
+    ``jobs > 1`` fans the cells across processes (identical points, see
+    :mod:`repro.experiments.sweep`); ``cache`` shares solved policies.
+    """
     scale = scale or ExperimentScale.default()
     tasks = tasks if tasks is not None else (image_task(), text_task())
-    points: List[MethodPoint] = []
+    cells: List[SweepCell] = []
     for task in tasks:
         workers = constant_workers_for(task, scale)
         slos = task.slos_ms[:slos_per_task] if slos_per_task else task.slos_ms
@@ -70,18 +80,18 @@ def run_fig6(
                     name=f"const-{load:g}",
                 )
                 for method in methods:
-                    points.append(
-                        run_method(
-                            method,
-                            task,
-                            slo,
-                            workers,
-                            trace,
-                            scale,
+                    cells.append(
+                        SweepCell(
+                            method=method,
+                            task=task,
+                            slo_ms=slo,
+                            num_workers=workers,
+                            trace=trace,
                             seed=seed,
                             oracle_load=True,
                         )
                     )
+    points = run_sweep(cells, scale, jobs=jobs, cache=cache)
     return Fig6Result(points=tuple(points))
 
 

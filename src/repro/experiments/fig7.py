@@ -18,17 +18,18 @@ the violation rate (the full-queue state's pessimistic accounting).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.arrivals.traces import LoadTrace
-from repro.core.generator import generate_policy
-from repro.core.config import WorkerMDPConfig
+from repro.core.guarantees import PolicyGuarantees
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import build_ramsis_policy, run_method
+from repro.experiments.runner import build_ramsis_result
 from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import SweepCell, run_sweep
 from repro.experiments.tasks import TaskSpec, image_task
-from repro.selectors import RamsisSelector
-from repro.sim.latency_model import StochasticLatency
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache import PolicyCache
 
 __all__ = ["FidelityPoint", "Fig7Result", "run_fig7", "render_fig7"]
 
@@ -68,28 +69,58 @@ def run_fig7(
     task: Optional[TaskSpec] = None,
     loads_qps: Optional[Sequence[float]] = None,
     seed: int = 17,
+    jobs: Optional[int] = None,
+    cache: Optional["PolicyCache"] = None,
 ) -> Fig7Result:
-    """Execute the fidelity sweep on the image task."""
+    """Execute the fidelity sweep on the image task.
+
+    The **expectation** variant is the offline §5.1 analysis — it *is* the
+    policy solve, so it runs serially up front and (with ``cache``)
+    publishes every solved policy to the shared disk layer.  The
+    simulation/implementation variants are ordinary evaluation cells and
+    fan out across ``jobs`` processes; their pinned-policy lookups then
+    hit the warmed cache instead of re-solving.
+    """
     scale = scale or ExperimentScale.default()
     task = task or image_task()
     slo = task.slos_ms[0]
     loads = loads_qps if loads_qps is not None else scale.constant_loads_qps
-    points: List[FidelityPoint] = []
+
+    expectations: Dict[Tuple[int, float], PolicyGuarantees] = {}
+    cells: List[SweepCell] = []
     for workers in scale.fidelity_worker_counts:
         for load in loads:
-            policy = build_ramsis_policy(
-                task.model_set, slo, load, workers, scale
+            result = build_ramsis_result(
+                task.model_set, slo, load, workers, scale, cache=cache
             )
-            # Expectation: recompute guarantees for this exact policy.
-            config = WorkerMDPConfig.default_poisson(
-                task.model_set,
-                slo_ms=slo,
-                load_qps=load,
-                num_workers=workers,
-                fld_resolution=scale.fld_resolution,
-                max_batch_size=scale.max_batch_size,
+            expectations[(workers, load)] = result.guarantees
+            trace = LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"fid-{load:g}"
             )
-            expectation = generate_policy(config).guarantees
+            for variant, stochastic_seed in (
+                ("simulation", None),
+                ("implementation", seed + 1),
+            ):
+                cells.append(
+                    SweepCell(
+                        method="RAMSIS",
+                        task=task,
+                        slo_ms=slo,
+                        num_workers=workers,
+                        trace=trace,
+                        seed=seed,
+                        oracle_load=True,
+                        stochastic_seed=stochastic_seed,
+                        tag=variant,
+                    )
+                )
+    simulated = run_sweep(cells, scale, jobs=jobs, cache=cache)
+
+    points: List[FidelityPoint] = []
+    index = 0
+    for workers in scale.fidelity_worker_counts:
+        for load in loads:
+            expectation = expectations[(workers, load)]
             points.append(
                 FidelityPoint(
                     variant="expectation",
@@ -99,32 +130,16 @@ def run_fig7(
                     violation_rate=expectation.expected_violation_rate,
                 )
             )
-            trace = LoadTrace.constant(
-                load, scale.constant_duration_s * 1000.0, name=f"fid-{load:g}"
-            )
-            for variant, latency_model in (
-                ("simulation", None),
-                ("implementation", StochasticLatency(seed=seed + 1)),
-            ):
-                cell = run_method(
-                    "RAMSIS",
-                    task,
-                    slo,
-                    workers,
-                    trace,
-                    scale,
-                    seed=seed,
-                    oracle_load=True,
-                    latency_model=latency_model,
-                    selector=RamsisSelector(policy),
-                )
+            for _ in range(2):
+                cell, point = cells[index], simulated[index]
+                index += 1
                 points.append(
                     FidelityPoint(
-                        variant=variant,
+                        variant=cell.tag,
                         num_workers=workers,
                         load_qps=load,
-                        accuracy=cell.accuracy,
-                        violation_rate=cell.violation_rate,
+                        accuracy=point.accuracy,
+                        violation_rate=point.violation_rate,
                     )
                 )
     return Fig7Result(points=tuple(points))

@@ -12,15 +12,19 @@ per load level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.arrivals.traces import LoadTrace
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import MethodPoint, run_method
+from repro.experiments.runner import MethodPoint
 from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import SweepCell, run_sweep
 from repro.experiments.tasks import TaskSpec, image_task
 from repro.profiles.models import ModelSet
 from repro.profiles.zoo import build_synthetic_model_set
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache import PolicyCache
 
 __all__ = ["Fig8Result", "run_fig8", "render_fig8"]
 
@@ -46,8 +50,14 @@ def run_fig8(
     methods: Sequence[str] = ("RAMSIS", "MS"),
     synthetic_count: int = 60,
     seed: int = 19,
+    jobs: Optional[int] = None,
+    cache: Optional["PolicyCache"] = None,
 ) -> Fig8Result:
-    """Execute the model-count sensitivity sweep."""
+    """Execute the model-count sensitivity sweep.
+
+    ``jobs > 1`` fans the cells across processes (identical points, see
+    :mod:`repro.experiments.sweep`); ``cache`` shares solved policies.
+    """
     scale = scale or ExperimentScale.default()
     task = task or image_task()
     slo = task.slos_ms[0]
@@ -57,7 +67,8 @@ def run_fig8(
     high = build_synthetic_model_set(task.model_set, target_count=synthetic_count)
     model_sets: List[Tuple[int, ModelSet]] = [(len(low), low), (len(high), high)]
 
-    points: List[Tuple[str, int, MethodPoint]] = []
+    cells: List[SweepCell] = []
+    labels: List[Tuple[str, int]] = []
     for count, models in model_sets:
         spec = TaskSpec(name=task.name, model_set=models, slos_ms=task.slos_ms)
         for load in scale.constant_loads_qps:
@@ -65,18 +76,25 @@ def run_fig8(
                 load, scale.constant_duration_s * 1000.0, name=f"f8-{load:g}"
             )
             for method in methods:
-                cell = run_method(
-                    method,
-                    spec,
-                    slo,
-                    workers,
-                    trace,
-                    scale,
-                    seed=seed,
-                    oracle_load=True,
-                    model_set=models,
+                cells.append(
+                    SweepCell(
+                        method=method,
+                        task=spec,
+                        slo_ms=slo,
+                        num_workers=workers,
+                        trace=trace,
+                        seed=seed,
+                        oracle_load=True,
+                        model_set=models,
+                        tag=f"M={count}",
+                    )
                 )
-                points.append((method, count, cell))
+                labels.append((method, count))
+    results = run_sweep(cells, scale, jobs=jobs, cache=cache)
+    points = [
+        (method, count, point)
+        for (method, count), point in zip(labels, results)
+    ]
     return Fig8Result(points=tuple(points))
 
 

@@ -45,11 +45,13 @@ from repro.sim.simulator import Simulation, SimulationConfig
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.cache import PolicyCache
+    from repro.core.generator import GenerationResult
 
 __all__ = [
     "MethodPoint",
     "AuditedRun",
     "METHODS",
+    "build_ramsis_result",
     "build_ramsis_policy",
     "build_policy_set",
     "build_audit_references",
@@ -64,6 +66,10 @@ __all__ = [
 #: Canonical method identifiers used across figures and the CLI
 #: (the artifact's names: RAMSIS, JF = Jellyfish+, MS = ModelSwitching).
 METHODS = ("RAMSIS", "JF", "MS")
+
+#: Solver tolerance the experiment drivers generate policies at; the
+#: persistent-cache key includes it, so every layer must agree.
+_TOLERANCE = 1e-7
 
 
 @dataclass(frozen=True)
@@ -88,7 +94,7 @@ class MethodPoint:
 # ----------------------------------------------------------------------
 # Caches (in-memory, per process).  Benchmarks re-use cells heavily.
 # ----------------------------------------------------------------------
-_POLICY_CACHE: Dict[Tuple, Policy] = {}
+_RESULT_CACHE: Dict[Tuple, "GenerationResult"] = {}
 _POLICY_SET_CACHE: Dict[Tuple, PolicySet] = {}
 _MS_TABLE_CACHE: Dict[Tuple, ResponseLatencyTable] = {}
 _ARRIVAL_CACHE: Dict[Tuple, np.ndarray] = {}
@@ -99,7 +105,7 @@ _AUDIT_REF_CACHE: Dict[
 
 def clear_caches() -> None:
     """Drop all cached policies, tables, and arrival realizations."""
-    _POLICY_CACHE.clear()
+    _RESULT_CACHE.clear()
     _POLICY_SET_CACHE.clear()
     _MS_TABLE_CACHE.clear()
     _ARRIVAL_CACHE.clear()
@@ -125,15 +131,23 @@ def _base_config(
     )
 
 
-def build_ramsis_policy(
+def build_ramsis_result(
     model_set: ModelSet,
     slo_ms: float,
     load_qps: float,
     num_workers: int,
     scale: ExperimentScale,
+    cache: Optional["PolicyCache"] = None,
     **overrides,
-) -> Policy:
-    """One cached RAMSIS policy for a fixed (load, workers, SLO) cell."""
+) -> "GenerationResult":
+    """One cached RAMSIS generation result for a (load, workers, SLO) cell.
+
+    Resolution order: in-memory memo, then the persistent disk ``cache``
+    (when given), then a fresh solve — whose result is committed to both
+    layers.  The disk layer is what lets parallel sweep workers share
+    solved policies across processes: the first process to solve a cell
+    publishes it, every later process restores it.
+    """
     key = (
         "policy",
         model_set.task,
@@ -145,15 +159,37 @@ def build_ramsis_policy(
         scale.max_batch_size,
         tuple(sorted(overrides.items())),
     )
-    cached = _POLICY_CACHE.get(key)
+    cached = _RESULT_CACHE.get(key)
     if cached is not None:
         return cached
     config = _base_config(model_set, slo_ms, load_qps, num_workers, scale, **overrides)
     from repro.core.generator import generate_policy
 
-    policy = generate_policy(config).policy
-    _POLICY_CACHE[key] = policy
-    return policy
+    if cache is not None:
+        restored = cache.get(config, _TOLERANCE)
+        if restored is not None:
+            _RESULT_CACHE[key] = restored
+            return restored
+    result = generate_policy(config, tolerance=_TOLERANCE)
+    if cache is not None:
+        cache.put(config, _TOLERANCE, result)
+    _RESULT_CACHE[key] = result
+    return result
+
+
+def build_ramsis_policy(
+    model_set: ModelSet,
+    slo_ms: float,
+    load_qps: float,
+    num_workers: int,
+    scale: ExperimentScale,
+    cache: Optional["PolicyCache"] = None,
+    **overrides,
+) -> Policy:
+    """One cached RAMSIS policy for a fixed (load, workers, SLO) cell."""
+    return build_ramsis_result(
+        model_set, slo_ms, load_qps, num_workers, scale, cache=cache, **overrides
+    ).policy
 
 
 def build_audit_references(
@@ -312,14 +348,20 @@ def make_selector(
     scale: ExperimentScale,
     pinned_load_qps: Optional[float] = None,
     model_set: Optional[ModelSet] = None,
+    cache: Optional["PolicyCache"] = None,
 ) -> ModelSelector:
-    """Instantiate the selector for a canonical method name."""
+    """Instantiate the selector for a canonical method name.
+
+    ``cache`` adds a persistent disk layer under RAMSIS policy
+    construction (pinned policies and policy sets alike); other methods
+    ignore it.
+    """
     models = model_set if model_set is not None else task.model_set
     peak = trace.peak_qps * 1.05
     if method == "RAMSIS":
         if pinned_load_qps is not None:
             policy = build_ramsis_policy(
-                models, slo_ms, pinned_load_qps, num_workers, scale
+                models, slo_ms, pinned_load_qps, num_workers, scale, cache=cache
             )
             return RamsisSelector(policy)
         policy_set = build_policy_set(
@@ -329,6 +371,7 @@ def make_selector(
             min_load_qps=trace.min_qps * 0.9,
             max_load_qps=peak,
             scale=scale,
+            cache=cache,
         )
         return RamsisSelector(policy_set)
     if method == "JF":
@@ -359,6 +402,7 @@ def run_method(
     selector: Optional[ModelSelector] = None,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    cache: Optional["PolicyCache"] = None,
 ) -> MethodPoint:
     """Execute one evaluation cell and collect its metrics.
 
@@ -367,7 +411,9 @@ def run_method(
     monitor is used.  Constant (single-interval) traces pin RAMSIS to the
     policy for that exact load, like the artifact does.  ``tracer`` and
     ``registry`` (see :mod:`repro.obs`) opt the underlying simulation into
-    per-query tracing and time-series metrics.
+    per-query tracing and time-series metrics.  ``cache`` layers a
+    persistent :class:`repro.cache.PolicyCache` under policy construction
+    so concurrent sweep processes share solved policies.
     """
     models = model_set if model_set is not None else task.model_set
     pinned = trace.qps[0] if len(trace.qps) == 1 else None
@@ -381,6 +427,7 @@ def run_method(
             scale,
             pinned_load_qps=pinned if method == "RAMSIS" else None,
             model_set=models,
+            cache=cache,
         )
     monitor: LoadMonitor = (
         OracleLoadMonitor(trace) if oracle_load else LoadMonitor(window_ms=500.0)

@@ -1,0 +1,203 @@
+"""Parallel experiment sweeps.
+
+Every evaluation figure is a grid of independent ``run_method`` cells —
+(method, task, SLO, workers, workload, seed) — so figures fan out across a
+``ProcessPoolExecutor`` the same way the policy bank does
+(:meth:`repro.core.generator.PolicyGenerator.generate_many`):
+
+- **Deterministic positional collection.**  Cells are enumerated in the
+  figure's nested-loop order, submitted in that order, and results are
+  placed back positionally.  A parallel sweep therefore returns the exact
+  same :class:`~repro.experiments.runner.MethodPoint` tuple as a serial
+  one, regardless of which worker finishes first — every cell runs the
+  same ``run_method`` code path on the same seeded arrival realization.
+- **Shared solved policies.**  Passing a persistent
+  :class:`repro.cache.PolicyCache` gives all workers a common disk layer:
+  the first process to solve a policy cell publishes it and every later
+  lookup (same config, same tolerance) restores the artifact instead of
+  re-solving.  Workers receive only the cache *directory* and rebuild the
+  handle locally, so nothing unpicklable crosses the process boundary.
+- **Observability.**  Submit/collect progress and per-cell spans appear on
+  the tracer's ``sweep`` track, mirroring the ``policy_bank`` track.
+
+:class:`SweepCell` is deliberately a plain frozen dataclass of picklable
+leaves (task spec, trace, scalars).  Stochastic execution latency is
+carried as a seed (``stochastic_seed``) rather than a live
+:class:`~repro.sim.latency_model.StochasticLatency` instance so a worker
+process always constructs a fresh, deterministically-seeded RNG.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+from repro.arrivals.traces import LoadTrace
+from repro.experiments.runner import MethodPoint, run_method
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.tasks import TaskSpec
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.profiles.models import ModelSet
+from repro.sim.latency_model import StochasticLatency
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from pathlib import Path
+
+    from repro.cache import PolicyCache
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SweepCell", "run_cell", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent evaluation cell of a figure/table sweep.
+
+    ``tag`` is an opaque caller label carried through untouched (e.g. the
+    Fig. 7 variant name or the Fig. 8 model count) so drivers can
+    re-associate positional results without parallel bookkeeping lists.
+    """
+
+    method: str
+    task: TaskSpec
+    slo_ms: float
+    num_workers: int
+    trace: LoadTrace
+    seed: int = 11
+    oracle_load: bool = False
+    #: When set, execution latency is stochastic (Fig. 7's
+    #: "implementation" variant) with this RNG seed.
+    stochastic_seed: Optional[int] = None
+    #: Model-set override (Fig. 8 swaps in the synthetic 60-model set).
+    model_set: Optional[ModelSet] = None
+    tag: str = ""
+
+
+def run_cell(
+    cell: SweepCell,
+    scale: ExperimentScale,
+    cache: Optional["PolicyCache"] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional["MetricsRegistry"] = None,
+) -> MethodPoint:
+    """Execute one cell — the single code path serial and parallel share."""
+    latency_model = (
+        None
+        if cell.stochastic_seed is None
+        else StochasticLatency(seed=cell.stochastic_seed)
+    )
+    return run_method(
+        cell.method,
+        cell.task,
+        cell.slo_ms,
+        cell.num_workers,
+        cell.trace,
+        scale,
+        seed=cell.seed,
+        oracle_load=cell.oracle_load,
+        latency_model=latency_model,
+        model_set=cell.model_set,
+        tracer=tracer,
+        registry=registry,
+        cache=cache,
+    )
+
+
+def _cell_label(cell: SweepCell) -> str:
+    parts = [cell.method, cell.task.name, f"slo={cell.slo_ms:g}"]
+    parts.append(f"K={cell.num_workers}")
+    if len(cell.trace.qps) == 1:
+        parts.append(f"load={cell.trace.qps[0]:g}")
+    if cell.tag:
+        parts.append(cell.tag)
+    return " ".join(parts)
+
+
+def _pool_cell(
+    payload: Tuple[SweepCell, ExperimentScale, Optional[str]]
+) -> MethodPoint:
+    """Worker-process entry: rebuild the cache handle, run the cell."""
+    cell, scale, cache_dir = payload
+    cache: Optional["PolicyCache"] = None
+    if cache_dir is not None:
+        from repro.cache import PolicyCache
+
+        cache = PolicyCache(directory=cache_dir)
+    return run_cell(cell, scale, cache=cache)
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    scale: ExperimentScale,
+    jobs: Optional[int] = None,
+    cache: Optional[Union["PolicyCache", str, "Path"]] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional["MetricsRegistry"] = None,
+) -> List[MethodPoint]:
+    """Run every cell; results come back in the order of ``cells``.
+
+    ``jobs > 1`` fans the cells out across a ``ProcessPoolExecutor``;
+    otherwise they run serially in this process.  Both paths return
+    identical points (see module docstring).  ``cache`` may be a
+    :class:`repro.cache.PolicyCache` or a directory path; parallel workers
+    always receive the directory and open their own handle.  ``tracer``
+    and ``registry`` only instrument the serial path's inner simulations —
+    they cannot cross process boundaries — but the sweep-level ``sweep``
+    track (submit/collect/per-cell spans) is emitted either way.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    cells = list(cells)
+    results: List[Optional[MethodPoint]] = [None] * len(cells)
+
+    cache_obj: Optional["PolicyCache"] = None
+    cache_dir: Optional[str] = None
+    if cache is not None:
+        from repro.cache import PolicyCache
+
+        if isinstance(cache, PolicyCache):
+            cache_obj = cache
+        else:
+            cache_obj = PolicyCache(directory=cache)
+        cache_dir = str(cache_obj.directory)
+
+    parallel = jobs is not None and jobs > 1 and len(cells) > 1
+    if not parallel:
+        for i, cell in enumerate(cells):
+            with tracer.span(
+                f"cell {_cell_label(cell)}",
+                track="sweep",
+                args={"index": i, "method": cell.method},
+            ):
+                results[i] = run_cell(
+                    cell, scale, cache=cache_obj, tracer=tracer, registry=registry
+                )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    pool_size = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        with tracer.span(
+            "sweep_submit",
+            track="sweep",
+            args={"cells": len(cells), "processes": pool_size},
+        ):
+            futures = [
+                (i, cell, pool.submit(_pool_cell, (cell, scale, cache_dir)))
+                for i, cell in enumerate(cells)
+            ]
+        with tracer.span(
+            "sweep_collect", track="sweep", args={"cells": len(cells)}
+        ):
+            # Collect in submit order: placement is positional, so the
+            # returned point ordering is deterministic regardless of which
+            # worker finishes first.
+            for i, cell, future in futures:
+                with tracer.span(
+                    f"cell {_cell_label(cell)}",
+                    track="sweep",
+                    args={"index": i, "method": cell.method},
+                ):
+                    results[i] = future.result()
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

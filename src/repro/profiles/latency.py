@@ -52,6 +52,14 @@ class LinearLatencyModel:
         validate_non_negative("overhead_ms", self.overhead_ms)
         validate_positive("per_item_ms", self.per_item_ms)
         validate_non_negative("std_ms", self.std_ms)
+        # Per-batch-size p95 memo.  ``p95_ms`` is a pure function of the
+        # frozen parameters, so caching the computed value is exact;
+        # selectors call it on every MS&S decision, making this the hot
+        # path of the simulator.  Deliberately NOT a dataclass field: the
+        # policy cache canonicalizes latency models via
+        # ``dataclasses.asdict``, and mutable memo state must never leak
+        # into content digests.
+        object.__setattr__(self, "_p95_cache", {})
 
     def mean_ms(self, batch_size: int) -> float:
         """Mean inference latency of a batch of ``batch_size`` queries."""
@@ -65,7 +73,13 @@ class LinearLatencyModel:
 
     def p95_ms(self, batch_size: int) -> float:
         """95th-percentile latency — the value policies plan against."""
-        return self.mean_ms(batch_size) + _Z95 * self.effective_std_ms(batch_size)
+        value = self._p95_cache.get(batch_size)
+        if value is None:
+            value = self.mean_ms(batch_size) + _Z95 * self.effective_std_ms(
+                batch_size
+            )
+            self._p95_cache[batch_size] = value
+        return value
 
     def sample_ms(self, batch_size: int, rng: np.random.Generator) -> float:
         """Draw one stochastic execution latency (truncated normal)."""

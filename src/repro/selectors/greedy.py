@@ -10,6 +10,8 @@ testable (see benchmarks/bench_ablation_greedy.py).
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.core.policy import Action
 from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
 
@@ -28,6 +30,10 @@ class GreedyDeadlineSelector(ModelSelector):
         self._models = sorted(
             context.model_set.pareto_front(), key=lambda m: m.latency_ms(1)
         )
+        # Actions are frozen, so one instance per (model, queue length,
+        # lateness) is shared across decisions — the cache skips dataclass
+        # construction on the online hot path.
+        self._action_cache: Dict[Tuple[str, int, bool], Action] = {}
 
     def select(
         self,
@@ -43,7 +49,11 @@ class GreedyDeadlineSelector(ModelSelector):
                     best = model
         if best is None:
             # Deadline unmeetable: serve late on the fastest model (§4.3.1).
-            return Action(
-                model=self._models[0].name, batch_size=queue_length, is_late=True
-            )
-        return Action(model=best.name, batch_size=queue_length)
+            key = (self._models[0].name, queue_length, True)
+        else:
+            key = (best.name, queue_length, False)
+        action = self._action_cache.get(key)
+        if action is None:
+            action = Action(model=key[0], batch_size=queue_length, is_late=key[2])
+            self._action_cache[key] = action
+        return action

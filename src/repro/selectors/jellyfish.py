@@ -52,6 +52,21 @@ class JellyfishPlusSelector(ModelSelector):
             )
         # Most accurate first so the first feasible candidate wins.
         self._candidates.sort(key=lambda row: -row[0])
+        # Pre-built (throughput, actions-by-batch, max_batch) rows for
+        # select(): Action is frozen, so sharing one instance per
+        # (model, batch) across decisions is safe and skips the dataclass
+        # construction on the online hot path.
+        self._fast_rows: List[Tuple[float, Tuple[Action, ...], int]] = [
+            (
+                throughput,
+                tuple(
+                    Action(model=model.name, batch_size=b)
+                    for b in range(1, max_batch + 1)
+                ),
+                max_batch,
+            )
+            for _, model, max_batch, throughput in self._candidates
+        ]
 
     def model_for_load(self, load_qps: float) -> Tuple[ModelProfile, int]:
         """Most accurate (model, adaptive max batch) sustaining the load."""
@@ -72,5 +87,11 @@ class JellyfishPlusSelector(ModelSelector):
         now_ms: float,
         anticipated_load_qps: float,
     ) -> Action:
-        model, max_batch = self.model_for_load(anticipated_load_qps)
-        return Action(model=model.name, batch_size=min(queue_length, max_batch))
+        # model_for_load inlined over the pre-built rows: first feasible
+        # candidate wins, else the last (least accurate) is the fallback.
+        for row in self._fast_rows:
+            if row[0] >= anticipated_load_qps:
+                break
+        actions, max_batch = row[1], row[2]
+        batch = queue_length if queue_length < max_batch else max_batch
+        return actions[batch - 1]

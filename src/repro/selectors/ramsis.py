@@ -74,7 +74,12 @@ class RamsisSelector(ModelSelector):
         now_ms: float,
         anticipated_load_qps: float,
     ) -> Action:
-        policy = self.current_policy(anticipated_load_qps)
+        # Inlined current_policy(): one decision per served batch makes
+        # this the online hot path.
+        policy = self._pinned
+        if policy is None:
+            assert self._set is not None
+            policy = self._set.policy_for(anticipated_load_qps)
         if policy is not self._active:
             self._active = policy
             if self._on_policy_change is not None:

@@ -27,6 +27,13 @@ __all__ = ["LatencyModel", "DeterministicLatency", "StochasticLatency"]
 class LatencyModel(abc.ABC):
     """Maps an MS decision to a realized execution latency."""
 
+    #: True when :meth:`execution_ms` is a pure function of
+    #: ``(model, batch_size)`` — no randomness, no hidden state.  The
+    #: simulator's fast event loop memoizes latencies per ``(model,
+    #: batch)`` (scaled per worker speed) only for cacheable models;
+    #: stochastic models are called on every dispatch.
+    cacheable: bool = False
+
     @abc.abstractmethod
     def execution_ms(self, model: ModelProfile, batch_size: int) -> float:
         """Realized latency of running ``batch_size`` queries on ``model``."""
@@ -38,6 +45,8 @@ class LatencyModel(abc.ABC):
 
 class DeterministicLatency(LatencyModel):
     """The paper's simulation variant: latency == profiled p95."""
+
+    cacheable = True
 
     def execution_ms(self, model: ModelProfile, batch_size: int) -> float:
         return model.latency_ms(batch_size)

@@ -157,6 +157,39 @@ class MetricsCollector:
                 self._query_counters[model_name] = counter
             counter.inc()
 
+    def absorb(
+        self,
+        *,
+        total: int,
+        satisfied: int,
+        accuracy_sum: float,
+        response_sum: float,
+        responses: List[float],
+        model_counts: Mapping[str, int],
+        decisions: int,
+        batch_sum: int,
+    ) -> None:
+        """Bulk-load accumulators gathered outside the collector.
+
+        The simulator's fast event loop accumulates into local variables
+        (skipping per-completion method calls) and hands the totals over
+        here, so :meth:`finalize` stays the single source of the derived
+        statistics.  The sums must have been accumulated in completion
+        order with the same operations :meth:`record_completion` performs
+        — then the finalized metrics are float-identical to the
+        per-completion path.  Only meaningful without a registry attached
+        (the fast path never runs with one).
+        """
+        self._total += total
+        self._satisfied += satisfied
+        self._accuracy_sum += accuracy_sum
+        self._response_sum += response_sum
+        if self._track_responses:
+            self._responses.extend(responses)
+        self._model_counts.update(model_counts)
+        self._decisions += decisions
+        self._batch_sum += batch_sum
+
     @property
     def total(self) -> int:
         """Completions recorded so far."""
@@ -170,8 +203,12 @@ class MetricsCollector:
         accuracy = 0.0 if satisfied == 0 else self._accuracy_sum / satisfied
         mean_resp = 0.0 if total == 0 else self._response_sum / total
         if self._track_responses and self._responses:
-            p50 = percentile(self._responses, 50.0)
-            p99 = percentile(self._responses, 99.0)
+            # Pre-sort once: percentile() sorts internally, and sorting an
+            # already-sorted list is a linear scan, so the second call is
+            # effectively free (result unchanged).
+            ordered = sorted(self._responses)
+            p50 = percentile(ordered, 50.0)
+            p99 = percentile(ordered, 99.0)
         else:
             p50 = p99 = mean_resp
         mean_batch = 0.0 if self._decisions == 0 else self._batch_sum / self._decisions

@@ -10,7 +10,7 @@ predicts the load to isolate MS&S quality from prediction error;
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Tuple
 
 from repro.arrivals.traces import LoadTrace
 from repro.obs.metrics import MetricsRegistry
@@ -63,8 +63,11 @@ class LoadMonitor:
 
     def record_arrival(self, t_ms: float) -> None:
         """Note one arrival at time ``t_ms`` (non-decreasing)."""
-        self._arrivals.append(t_ms)
-        self._evict(t_ms)
+        arrivals = self._arrivals
+        arrivals.append(t_ms)
+        cutoff = t_ms - self._window_ms
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
         if self._c_arrivals is not None:
             self._c_arrivals.inc()
             self._g_realized.set(self.realized_load_qps(t_ms), t_ms=t_ms)
@@ -80,19 +83,32 @@ class LoadMonitor:
 
     def realized_load_qps(self, now_ms: float) -> float:
         """Trailing moving-average arrival rate at ``now_ms`` (QPS)."""
-        self._evict(now_ms)
-        if not self._arrivals:
+        arrivals = self._arrivals
+        cutoff = now_ms - self._window_ms
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+        if not arrivals:
             return 0.0
         horizon = min(now_ms, self._window_ms)
         if horizon <= 0:
             return 0.0
-        return len(self._arrivals) / horizon * 1000.0
+        return len(arrivals) / horizon * 1000.0
 
     def _evict(self, now_ms: float) -> None:
         cutoff = now_ms - self._window_ms
         arrivals = self._arrivals
         while arrivals and arrivals[0] < cutoff:
             arrivals.popleft()
+
+    def hot_state(self) -> "Tuple[Deque[float], float]":
+        """``(arrivals deque, window_ms)`` for the simulator's fast loop.
+
+        The fast event loop inlines :meth:`record_arrival` /
+        :meth:`realized_load_qps` for the built-in monitors (no registry
+        attached); this accessor keeps that coupling explicit instead of
+        reaching into private attributes.
+        """
+        return self._arrivals, self._window_ms
 
     def reset(self) -> None:
         """Forget all recorded arrivals.

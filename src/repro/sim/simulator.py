@@ -16,6 +16,22 @@ The event loop merges the (pre-sampled, sorted) arrival stream with a heap
 of service completions, so the run cost is O((arrivals + decisions) log K).
 Queries are never dropped — like the paper's evaluation, late queries are
 "better served late than never" (§4.3.1).
+
+Two interchangeable event-loop engines implement the same semantics:
+
+- :meth:`Simulation.reference_event_loop` — the straightforward loop with
+  per-query :class:`~repro.sim.queries.Query` objects and inline
+  observability hooks.  It serves both as the traced path (tracer or
+  registry attached) and as the golden reference the equivalence suite
+  pins the fast engine against.
+- the **fast path** — used automatically when no tracer/registry is
+  attached: queries are array-backed records (index into the arrival /
+  deadline arrays instead of an object per query), queue lengths are
+  maintained incrementally rather than rebuilt per arrival, deterministic
+  execution latencies resolve through a per-worker ``(model, batch) ->
+  exec_ms`` table, and metric accumulation is inlined.  Results are
+  float-identical to the reference loop (asserted by
+  ``tests/test_sim_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -38,7 +54,7 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.profiles.models import ModelSet
 from repro.sim.latency_model import DeterministicLatency, LatencyModel
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
-from repro.sim.monitor import LoadMonitor
+from repro.sim.monitor import LoadMonitor, OracleLoadMonitor
 from repro.sim.queries import Query
 from repro.selectors.base import ModelSelector, QueueScope, SelectorContext
 
@@ -88,6 +104,10 @@ class SimulationConfig:
             )
         if self.slo_ms <= 0:
             raise SimulationError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if self.max_batch_size < 1:
+            raise SimulationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
         if self.worker_speed_factors is not None:
             if len(self.worker_speed_factors) != self.num_workers:
                 raise SimulationError(
@@ -122,6 +142,7 @@ class Simulation:
         trace: LoadTrace,
         pattern: Optional[ArrivalDistribution] = None,
         arrival_times: Optional[np.ndarray] = None,
+        engine: str = "auto",
     ) -> SimulationMetrics:
         """Serve one realization of ``trace`` with ``selector``.
 
@@ -130,6 +151,12 @@ class Simulation:
         instead of sampling.  ``selector`` may be a sequence of
         ``num_workers`` selectors — one per worker, the heterogeneous-
         cluster setting where each worker type runs its own policy.
+
+        ``engine`` selects the event loop: ``"auto"`` (default) runs the
+        fast path unless a tracer or registry is attached, ``"fast"``
+        forces the fast path (observability hooks are skipped),
+        ``"reference"`` forces the golden reference loop.  All engines
+        produce float-identical :class:`SimulationMetrics`.
         """
         cfg = self._config
         if arrival_times is None:
@@ -137,7 +164,16 @@ class Simulation:
             if pattern is None:
                 pattern = PoissonArrivals(max(trace.mean_qps, 1e-9))
             arrival_times = sample_arrival_times(trace, pattern, rng)
-        arrivals = np.ascontiguousarray(np.sort(arrival_times))
+        # Both trace sampling and the experiment runner's shared arrival
+        # realizations are already sorted; a linear monotonicity check
+        # skips the O(n log n) re-sort (and its copy) in that common case.
+        arrivals = np.ascontiguousarray(arrival_times, dtype=np.float64)
+        if arrivals.ndim != 1:
+            raise SimulationError(
+                f"arrival_times must be 1-D, got shape {arrivals.shape}"
+            )
+        if arrivals.size > 1 and np.any(arrivals[1:] < arrivals[:-1]):
+            arrivals = np.sort(arrivals)
 
         if isinstance(selector, ModelSelector):
             selectors: List[ModelSelector] = [selector] * cfg.num_workers
@@ -164,17 +200,35 @@ class Simulation:
             if selectors[0].queue_scope is QueueScope.PER_WORKER
             else QueueDiscipline.CENTRAL
         )
-        return self._event_loop(selectors, arrivals, discipline)
+        if engine == "auto":
+            observed = (
+                cfg.tracer is not None and cfg.tracer.enabled
+            ) or cfg.registry is not None
+            engine = "reference" if observed else "fast"
+        if engine == "fast":
+            return self._event_loop_fast(selectors, arrivals, discipline)
+        if engine == "reference":
+            return self.reference_event_loop(selectors, arrivals, discipline)
+        raise SimulationError(
+            f"unknown engine {engine!r} (expected 'auto', 'fast', 'reference')"
+        )
 
     # ------------------------------------------------------------------
-    # Event loop
+    # Reference event loop (also the traced path)
     # ------------------------------------------------------------------
-    def _event_loop(
+    def reference_event_loop(
         self,
         selectors: List[ModelSelector],
         arrivals: np.ndarray,
         discipline: QueueDiscipline,
     ) -> SimulationMetrics:
+        """The golden event loop: per-query objects, inline obs hooks.
+
+        This is the original implementation; the fast path is pinned to
+        it by the equivalence suite.  It is also the loop that runs when
+        a tracer or metrics registry is attached, so observability
+        behavior is unchanged by the fast path's existence.
+        """
         cfg = self._config
         monitor = cfg.monitor if cfg.monitor is not None else LoadMonitor()
         monitor.reset()
@@ -429,4 +483,427 @@ class Simulation:
                     if not queues[0] or not dispatch(worker, queues[0], now):
                         idle_workers.append(worker)
 
+        return metrics.finalize()
+
+    # ------------------------------------------------------------------
+    # Fast event loop (no observability)
+    # ------------------------------------------------------------------
+    def _event_loop_fast(
+        self,
+        selectors: List[ModelSelector],
+        arrivals: np.ndarray,
+        discipline: QueueDiscipline,
+    ) -> SimulationMetrics:
+        """Array-backed event loop, float-identical to the reference.
+
+        Queries are plain indices into the arrival/deadline arrays (no
+        per-query object), queue lengths are maintained incrementally for
+        the balancer, deterministic execution latencies resolve through a
+        per-worker ``(model, batch) -> exec_ms`` memo, and the metric
+        accumulators are local variables bulk-loaded into the collector at
+        the end.  Every floating-point operation happens in the same
+        order as in :meth:`reference_event_loop`.
+
+        The balancer receives the *live* queue-length list (the reference
+        loop builds a fresh one per arrival); balancers must treat it as
+        read-only, which both built-ins do.
+        """
+        cfg = self._config
+        monitor = cfg.monitor if cfg.monitor is not None else LoadMonitor()
+        monitor.reset()
+        monitor.attach_registry(None)
+        balancer = cfg.balancer
+        balancer.reset()
+        latency_model = cfg.latency_model.clone(cfg.seed + 1)
+        model_set = cfg.model_set
+        num_workers = cfg.num_workers
+        per_worker = discipline is QueueDiscipline.PER_WORKER
+        slo_ms = cfg.slo_ms
+        drop_late = cfg.drop_late
+        track_responses = cfg.track_responses
+        speed = (
+            cfg.worker_speed_factors
+            if cfg.worker_speed_factors is not None
+            else (1.0,) * num_workers
+        )
+
+        # Array-backed query records: query i *is* index i (queries are
+        # created in arrival order, so ids coincide with positions).
+        # Python-float lists index faster than ndarray elements and keep
+        # the arithmetic bit-identical to Query.create's float fields.
+        arrival_list: List[float] = arrivals.tolist()
+        total_arrivals = len(arrival_list)
+        deadline_list = [t + slo_ms for t in arrival_list]
+
+        accuracy_of = {m.name: m.accuracy for m in model_set}
+        profile_of = {m.name: m for m in model_set}
+        # Per-worker (model, batch) -> exec_ms memo; exec = p95 * speed is
+        # one multiplication either way, so caching the product is exact.
+        cache_latency = latency_model.cacheable
+        exec_memo: List[dict] = [dict() for _ in range(num_workers)]
+        execution_ms = latency_model.execution_ms
+
+        queues: List[Deque[int]] = [
+            deque() for _ in range(num_workers if per_worker else 1)
+        ]
+        queue_lens = [0] * len(queues)
+        busy = [False] * num_workers
+        idle_workers: List[int] = list(range(num_workers - 1, -1, -1))
+
+        # Completion heap entries: (time, sequence, worker, model_name,
+        # accuracy, served indices) — accuracy rides along so the
+        # completion path never re-resolves the model by name.
+        completions: List[tuple] = []
+        sequence = 0
+
+        # Inlined MetricsCollector accumulators (absorbed at the end).
+        m_total = 0
+        m_satisfied = 0
+        m_accuracy_sum = 0.0
+        m_response_sum = 0.0
+        m_responses: List[float] = []
+        m_model_counts: dict = {}
+        m_decisions = 0
+        m_batch_sum = 0
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        record_arrival = monitor.record_arrival
+        anticipated_load = monitor.anticipated_load_qps
+        assign = balancer.assign
+        selects = [s.select for s in selectors]
+        inf = float("inf")
+
+        # Inline the built-in monitor and balancer (the default, and by far
+        # the most common, configuration): for the stock LoadMonitor /
+        # OracleLoadMonitor the per-event work is a deque append plus window
+        # eviction, and for RoundRobinBalancer a wrapping counter — both
+        # identical to the method implementations, minus the call overhead.
+        # Custom subclasses fall back to the method calls.
+        monitor_type = type(monitor)
+        inline_arrivals = monitor_type in (LoadMonitor, OracleLoadMonitor)
+        inline_anticipated = monitor_type is LoadMonitor
+        mon_arrivals, window_ms = monitor.hot_state()
+        mon_append = mon_arrivals.append
+        mon_popleft = mon_arrivals.popleft
+        round_robin = type(balancer) is RoundRobinBalancer
+        rr_next = 0
+
+        # The reference loop's `dispatch` closure is inlined once at the
+        # bottom of the loop (both event branches fall through to it), so
+        # the metric accumulators stay plain locals — no closure call, no
+        # nonlocal cell writes per decision.  Both branches establish the
+        # same contract before falling through: `worker` may serve `queue`
+        # (central: the worker is already popped from the idle pool and is
+        # re-appended on a drop, matching the reference's pop/dispatch/
+        # append-on-False sequence).
+        arrival_list.append(inf)  # sentinel: index == total_arrivals
+        arrival_index = 0
+        queue0 = queues[0]
+
+        if per_worker and round_robin and inline_arrivals:
+            # Specialized loop for the default configuration (per-worker
+            # queues, round-robin balancing, built-in monitor): the
+            # constant-flag branches are resolved here once, and the
+            # incremental queue-length list is not maintained at all —
+            # only a non-round-robin balancer ever reads it.  Same event
+            # semantics and float order as the general loop below.
+            while arrival_index < total_arrivals or completions:
+                next_arrival = arrival_list[arrival_index]
+                next_done = completions[0][0] if completions else inf
+
+                if next_arrival <= next_done:
+                    now = next_arrival
+                    query = arrival_index
+                    arrival_index += 1
+                    mon_append(now)
+                    cutoff = now - window_ms
+                    while mon_arrivals[0] < cutoff:
+                        mon_popleft()
+                    worker = rr_next
+                    rr_next += 1
+                    if rr_next == num_workers:
+                        rr_next = 0
+                    queue = queues[worker]
+                    queue.append(query)
+                    if busy[worker]:
+                        continue
+                else:
+                    now, _seq, worker, model_name, accuracy, served = heappop(
+                        completions
+                    )
+                    count = m_model_counts.get(model_name, 0)
+                    for query in served:
+                        m_total += 1
+                        response_ms = now - arrival_list[query]
+                        m_response_sum += response_ms
+                        if track_responses:
+                            m_responses.append(response_ms)
+                        count += 1
+                        if now <= deadline_list[query]:
+                            m_satisfied += 1
+                            m_accuracy_sum += accuracy
+                    m_model_counts[model_name] = count
+                    busy[worker] = False
+                    queue = queues[worker]
+                    if not queue:
+                        continue
+
+                # ---- inlined dispatch (specialized) ------------------
+                queue_len = len(queue)
+                if inline_anticipated:
+                    cutoff = now - window_ms
+                    while mon_arrivals and mon_arrivals[0] < cutoff:
+                        mon_popleft()
+                    if not mon_arrivals:
+                        anticipated = 0.0
+                    else:
+                        horizon = now if now < window_ms else window_ms
+                        anticipated = (
+                            len(mon_arrivals) / horizon * 1000.0
+                            if horizon > 0
+                            else 0.0
+                        )
+                else:
+                    anticipated = anticipated_load(now)
+                action = selects[worker](
+                    queue_len,
+                    deadline_list[queue[0]] - now,
+                    now,
+                    anticipated,
+                )
+                batch = action.batch_size
+                if batch > queue_len:
+                    batch = queue_len
+                if batch < 1:
+                    raise SimulationError(
+                        f"selector {selectors[worker].name} "
+                        f"returned batch {batch}"
+                    )
+                if action.is_late and drop_late:
+                    popleft = queue.popleft
+                    while queue:
+                        dropped = popleft()
+                        m_total += 1
+                        m_response_sum += now - arrival_list[dropped]
+                        if track_responses:
+                            m_responses.append(now - arrival_list[dropped])
+                    m_model_counts["<dropped>"] = (
+                        m_model_counts.get("<dropped>", 0) + queue_len
+                    )
+                    continue
+                if batch == queue_len:
+                    served = list(queue)
+                    queue.clear()
+                else:
+                    popleft = queue.popleft
+                    served = [popleft() for _ in range(batch)]
+                model_name = action.model
+                if cache_latency:
+                    memo = exec_memo[worker]
+                    exec_ms = memo.get((model_name, batch))
+                    if exec_ms is None:
+                        exec_ms = (
+                            execution_ms(profile_of[model_name], batch)
+                            * speed[worker]
+                        )
+                        memo[(model_name, batch)] = exec_ms
+                else:
+                    exec_ms = (
+                        execution_ms(profile_of[model_name], batch)
+                        * speed[worker]
+                    )
+                m_decisions += 1
+                m_batch_sum += batch
+                busy[worker] = True
+                sequence += 1
+                heappush(
+                    completions,
+                    (
+                        now + exec_ms,
+                        sequence,
+                        worker,
+                        model_name,
+                        accuracy_of[model_name],
+                        served,
+                    ),
+                )
+
+            metrics = MetricsCollector(track_responses=track_responses)
+            metrics.absorb(
+                total=m_total,
+                satisfied=m_satisfied,
+                accuracy_sum=m_accuracy_sum,
+                response_sum=m_response_sum,
+                responses=m_responses,
+                model_counts=m_model_counts,
+                decisions=m_decisions,
+                batch_sum=m_batch_sum,
+            )
+            return metrics.finalize()
+
+        while arrival_index < total_arrivals or completions:
+            next_arrival = arrival_list[arrival_index]
+            next_done = completions[0][0] if completions else inf
+
+            if next_arrival <= next_done:
+                now = next_arrival
+                query = arrival_index
+                arrival_index += 1
+                if inline_arrivals:
+                    # LoadMonitor.record_arrival: append + window eviction
+                    # (the just-appended element bounds the scan).
+                    mon_append(now)
+                    cutoff = now - window_ms
+                    while mon_arrivals[0] < cutoff:
+                        mon_popleft()
+                else:
+                    record_arrival(now)
+                if per_worker:
+                    if round_robin:
+                        worker = rr_next
+                        rr_next += 1
+                        if rr_next == num_workers:
+                            rr_next = 0
+                    else:
+                        worker = assign(queue_lens)
+                    queue = queues[worker]
+                    queue.append(query)
+                    queue_lens[worker] += 1
+                    if busy[worker]:
+                        continue
+                    qidx = worker
+                else:
+                    queue0.append(query)
+                    queue_lens[0] += 1
+                    if not idle_workers:
+                        continue
+                    worker = idle_workers.pop()
+                    queue = queue0
+                    qidx = 0
+            else:
+                now, _seq, worker, model_name, accuracy, served = heappop(
+                    completions
+                )
+                count = m_model_counts.get(model_name, 0)
+                for query in served:
+                    m_total += 1
+                    response_ms = now - arrival_list[query]
+                    m_response_sum += response_ms
+                    if track_responses:
+                        m_responses.append(response_ms)
+                    count += 1
+                    if now <= deadline_list[query]:
+                        m_satisfied += 1
+                        m_accuracy_sum += accuracy
+                m_model_counts[model_name] = count
+                busy[worker] = False
+                if per_worker:
+                    queue = queues[worker]
+                    if not queue:
+                        continue
+                    qidx = worker
+                else:
+                    if not queue0:
+                        idle_workers.append(worker)
+                        continue
+                    queue = queue0
+                    qidx = 0
+
+            # ---- inlined dispatch ------------------------------------
+            queue_len = len(queue)
+            if inline_anticipated:
+                # LoadMonitor.anticipated_load_qps == realized_load_qps.
+                cutoff = now - window_ms
+                while mon_arrivals and mon_arrivals[0] < cutoff:
+                    mon_popleft()
+                if not mon_arrivals:
+                    anticipated = 0.0
+                else:
+                    horizon = now if now < window_ms else window_ms
+                    anticipated = (
+                        len(mon_arrivals) / horizon * 1000.0
+                        if horizon > 0
+                        else 0.0
+                    )
+            else:
+                anticipated = anticipated_load(now)
+            action = selects[worker](
+                queue_len,
+                deadline_list[queue[0]] - now,
+                now,
+                anticipated,
+            )
+            batch = action.batch_size
+            if batch > queue_len:
+                batch = queue_len
+            if batch < 1:
+                raise SimulationError(
+                    f"selector {selectors[worker].name} returned batch {batch}"
+                )
+            if action.is_late and drop_late:
+                # Drop the whole queue and leave the worker idle (see the
+                # reference loop for the rationale).
+                popleft = queue.popleft
+                while queue:
+                    dropped = popleft()
+                    m_total += 1
+                    m_response_sum += now - arrival_list[dropped]
+                    if track_responses:
+                        m_responses.append(now - arrival_list[dropped])
+                m_model_counts["<dropped>"] = (
+                    m_model_counts.get("<dropped>", 0) + queue_len
+                )
+                queue_lens[qidx] = 0
+                if not per_worker:
+                    idle_workers.append(worker)
+                continue
+            if batch == queue_len:
+                served = list(queue)
+                queue.clear()
+            else:
+                popleft = queue.popleft
+                served = [popleft() for _ in range(batch)]
+            queue_lens[qidx] = queue_len - batch
+            model_name = action.model
+            if cache_latency:
+                memo = exec_memo[worker]
+                exec_ms = memo.get((model_name, batch))
+                if exec_ms is None:
+                    exec_ms = (
+                        execution_ms(profile_of[model_name], batch)
+                        * speed[worker]
+                    )
+                    memo[(model_name, batch)] = exec_ms
+            else:
+                exec_ms = (
+                    execution_ms(profile_of[model_name], batch) * speed[worker]
+                )
+            m_decisions += 1
+            m_batch_sum += batch
+            busy[worker] = True
+            sequence += 1
+            heappush(
+                completions,
+                (
+                    now + exec_ms,
+                    sequence,
+                    worker,
+                    model_name,
+                    accuracy_of[model_name],
+                    served,
+                ),
+            )
+
+        metrics = MetricsCollector(track_responses=track_responses)
+        metrics.absorb(
+            total=m_total,
+            satisfied=m_satisfied,
+            accuracy_sum=m_accuracy_sum,
+            response_sum=m_response_sum,
+            responses=m_responses,
+            model_counts=m_model_counts,
+            decisions=m_decisions,
+            batch_sum=m_batch_sum,
+        )
         return metrics.finalize()

@@ -1,0 +1,195 @@
+"""Golden equivalence suite: the fast event loop vs the reference loop.
+
+The optimized engine (`engine="fast"`) must produce **float-identical**
+:class:`~repro.sim.metrics.SimulationMetrics` to the original reference
+loop (`engine="reference"`) in every supported configuration — same IEEE
+operation order, same heap tie-breaking, same RNG consumption.  Every test
+here asserts exact dataclass equality, not approximate closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.balancers import ShortestQueueBalancer
+from repro.core.config import WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RecordingTracer
+from repro.selectors import (
+    GreedyDeadlineSelector,
+    JellyfishPlusSelector,
+    RamsisSelector,
+)
+from repro.sim.latency_model import StochasticLatency
+from repro.sim.monitor import OracleLoadMonitor
+from repro.sim.simulator import Simulation, SimulationConfig
+from tests.conftest import make_tiny_model_set
+
+TRACE = LoadTrace.constant(120.0, 8_000.0, name="eq-const")
+
+
+def run_engine(engine, selector_factory, trace=TRACE, arrival_times=None, **cfg):
+    """One fresh simulation (fresh config, selector, monitor) per engine."""
+    cfg.setdefault("model_set", make_tiny_model_set())
+    cfg.setdefault("slo_ms", 100.0)
+    cfg.setdefault("num_workers", 2)
+    cfg.setdefault("max_batch_size", 8)
+    sim = Simulation(SimulationConfig(**cfg))
+    return sim.run(
+        selector_factory(), trace, arrival_times=arrival_times, engine=engine
+    )
+
+
+def assert_engines_identical(selector_factory, **cfg):
+    reference = run_engine("reference", selector_factory, **cfg)
+    fast = run_engine("fast", selector_factory, **cfg)
+    assert fast == reference
+    return fast
+
+
+def tiny_policy(num_workers=2, load_qps=60.0, slo_ms=100.0):
+    config = WorkerMDPConfig.default_poisson(
+        make_tiny_model_set(),
+        slo_ms=slo_ms,
+        load_qps=load_qps,
+        num_workers=num_workers,
+        fld_resolution=10,
+        max_batch_size=8,
+    )
+    return generate_policy(config, with_guarantees=False).policy
+
+
+class TestEngineEquivalence:
+    def test_ramsis_per_worker(self):
+        policy = tiny_policy()
+        metrics = assert_engines_identical(lambda: RamsisSelector(policy))
+        assert metrics.total_queries > 0
+
+    def test_greedy_per_worker(self):
+        assert_engines_identical(GreedyDeadlineSelector)
+
+    def test_jellyfish_central(self):
+        metrics = assert_engines_identical(JellyfishPlusSelector)
+        assert metrics.decisions > 0
+
+    def test_drop_late(self):
+        # Overload so late actions occur and the drop path is exercised.
+        overload = LoadTrace.constant(400.0, 5_000.0, name="eq-overload")
+        metrics = assert_engines_identical(
+            GreedyDeadlineSelector, trace=overload, drop_late=True
+        )
+        assert metrics.violation_rate > 0.0
+
+    def test_drop_late_central(self):
+        overload = LoadTrace.constant(400.0, 5_000.0, name="eq-overload")
+        assert_engines_identical(
+            JellyfishPlusSelector, trace=overload, drop_late=True
+        )
+
+    def test_heterogeneous_worker_speeds(self):
+        assert_engines_identical(
+            GreedyDeadlineSelector, worker_speed_factors=(1.0, 1.7)
+        )
+
+    def test_stochastic_latency(self):
+        # The stochastic model draws once per dispatch in dispatch order,
+        # so RNG consumption must line up exactly between engines.
+        metrics = assert_engines_identical(
+            GreedyDeadlineSelector,
+            latency_model=StochasticLatency(seed=5),
+            seed=7,
+        )
+        assert metrics.total_queries > 0
+
+    def test_shortest_queue_balancer(self):
+        assert_engines_identical(
+            GreedyDeadlineSelector, balancer=ShortestQueueBalancer()
+        )
+
+    def test_oracle_monitor(self):
+        policy = tiny_policy()
+        assert_engines_identical(
+            lambda: RamsisSelector(policy), monitor=OracleLoadMonitor(TRACE)
+        )
+
+    def test_no_response_tracking(self):
+        assert_engines_identical(GreedyDeadlineSelector, track_responses=False)
+
+    def test_per_worker_selector_list(self):
+        policy = tiny_policy()
+
+        def factory():
+            return [RamsisSelector(policy), GreedyDeadlineSelector()]
+
+        assert_engines_identical(factory)
+
+    def test_single_worker(self):
+        assert_engines_identical(GreedyDeadlineSelector, num_workers=1)
+
+    def test_explicit_arrivals(self):
+        arrivals = np.array([0.0, 1.0, 1.0, 2.5, 40.0, 41.0, 300.0])
+        assert_engines_identical(
+            GreedyDeadlineSelector,
+            trace=LoadTrace.constant(10.0, 400.0),
+            arrival_times=arrivals,
+        )
+
+
+class TestEngineDispatch:
+    def test_auto_without_observability_matches_reference(self):
+        auto = run_engine("auto", GreedyDeadlineSelector)
+        reference = run_engine("reference", GreedyDeadlineSelector)
+        assert auto == reference
+
+    def test_auto_with_registry_runs_traced_path_identically(self):
+        # Observability forces the reference loop; its metrics must equal
+        # the fast engine's on an un-instrumented twin config.
+        observed = run_engine(
+            "auto", GreedyDeadlineSelector, registry=MetricsRegistry()
+        )
+        fast = run_engine("fast", GreedyDeadlineSelector)
+        assert observed == fast
+
+    def test_auto_with_tracer_runs_traced_path_identically(self):
+        observed = run_engine(
+            "auto", GreedyDeadlineSelector, tracer=RecordingTracer()
+        )
+        fast = run_engine("fast", GreedyDeadlineSelector)
+        assert observed == fast
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            run_engine("warp", GreedyDeadlineSelector)
+
+
+class TestRunValidation:
+    def test_max_batch_size_validated(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(
+                model_set=make_tiny_model_set(),
+                slo_ms=100.0,
+                num_workers=1,
+                max_batch_size=0,
+            )
+
+    def test_unsorted_arrivals_are_sorted(self):
+        trace = LoadTrace.constant(10.0, 1_000.0)
+        arrivals = np.array([5.0, 0.0, 12.0, 3.0, 3.0, 90.0, 44.0])
+        for engine in ("reference", "fast"):
+            shuffled = run_engine(
+                "fast" if engine == "fast" else "reference",
+                GreedyDeadlineSelector,
+                trace=trace,
+                arrival_times=arrivals,
+            )
+            ordered = run_engine(
+                engine,
+                GreedyDeadlineSelector,
+                trace=trace,
+                arrival_times=np.sort(arrivals),
+            )
+            assert shuffled == ordered

@@ -1,0 +1,140 @@
+"""Tests for the parallel experiment sweep engine.
+
+The contract under test: a parallel sweep returns the *same*
+``MethodPoint`` sequence, in the same order, as a serial one — and the
+persistent policy cache lets sweep processes share solved policies.
+Parallel runs here use ``jobs=2`` regardless of host core count; the
+executor still exercises the full submit/collect path on one CPU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrivals.traces import LoadTrace
+from repro.cache import PolicyCache
+from repro.experiments.runner import clear_caches
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import SweepCell, run_cell, run_sweep
+from repro.experiments.tasks import image_task
+from repro.obs.trace import RecordingTracer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Isolate the runner's in-memory memo between serial/parallel runs."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def smoke_cells(methods=("RAMSIS", "JF"), loads=(20.0, 50.0)):
+    scale = ExperimentScale.smoke()
+    task = image_task()
+    slo = task.slos_ms[0]
+    cells = [
+        SweepCell(
+            method=method,
+            task=task,
+            slo_ms=slo,
+            num_workers=scale.constant_workers_image,
+            trace=LoadTrace.constant(
+                load, scale.constant_duration_s * 1000.0, name=f"sw-{load:g}"
+            ),
+            seed=23,
+            oracle_load=True,
+        )
+        for load in loads
+        for method in methods
+    ]
+    return cells, scale
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, tmp_path):
+        cells, scale = smoke_cells()
+        serial = run_sweep(cells, scale)
+        clear_caches()
+        parallel = run_sweep(
+            cells, scale, jobs=2, cache=PolicyCache(directory=tmp_path)
+        )
+        assert parallel == serial
+
+    def test_results_positional_order(self):
+        cells, scale = smoke_cells()
+        points = run_sweep(cells, scale)
+        assert [p.method for p in points] == [c.method for c in cells]
+        assert [p.load_qps for p in points] == [c.trace.qps[0] for c in cells]
+
+    def test_run_cell_matches_sweep(self):
+        cells, scale = smoke_cells(methods=("JF",), loads=(20.0,))
+        direct = run_cell(cells[0], scale)
+        swept = run_sweep(cells, scale)
+        assert swept == [direct]
+
+    def test_stochastic_seed_is_deterministic(self):
+        cells, scale = smoke_cells(methods=("JF",), loads=(50.0,))
+        cell = SweepCell(
+            method=cells[0].method,
+            task=cells[0].task,
+            slo_ms=cells[0].slo_ms,
+            num_workers=cells[0].num_workers,
+            trace=cells[0].trace,
+            seed=cells[0].seed,
+            oracle_load=True,
+            stochastic_seed=3,
+        )
+        assert run_cell(cell, scale) == run_cell(cell, scale)
+        # Stochastic execution differs from the deterministic p95 variant.
+        assert run_cell(cell, scale) != run_cell(cells[0], scale)
+
+
+class TestCacheSharing:
+    def test_parallel_workers_populate_shared_cache(self, tmp_path):
+        cells, scale = smoke_cells(methods=("RAMSIS",), loads=(20.0, 50.0))
+        cache = PolicyCache(directory=tmp_path)
+        run_sweep(cells, scale, jobs=2, cache=cache)
+        assert cache.stats()["artifacts"] >= 2
+
+    def test_serial_rerun_hits_disk_cache(self, tmp_path):
+        cells, scale = smoke_cells(methods=("RAMSIS",), loads=(20.0,))
+        warm = PolicyCache(directory=tmp_path)
+        first = run_sweep(cells, scale, cache=warm)
+        clear_caches()
+        reader = PolicyCache(directory=tmp_path)
+        second = run_sweep(cells, scale, cache=reader)
+        assert second == first
+        assert reader.hits >= 1
+        assert reader.misses == 0
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        cells, scale = smoke_cells(methods=("RAMSIS",), loads=(20.0,))
+        baseline = run_sweep(cells, scale)
+        clear_caches()
+        cached = run_sweep(cells, scale, cache=tmp_path)
+        assert cached == baseline
+        assert PolicyCache(directory=tmp_path).stats()["artifacts"] >= 1
+
+
+class TestObservability:
+    def test_serial_sweep_emits_sweep_track(self):
+        cells, scale = smoke_cells(methods=("JF",), loads=(20.0,))
+        tracer = RecordingTracer()
+        run_sweep(cells, scale, tracer=tracer)
+        tracks = {s.track for s in tracer.spans}
+        assert "sweep" in tracks
+
+    def test_parallel_sweep_emits_submit_and_collect(self, tmp_path):
+        cells, scale = smoke_cells(methods=("JF", "MS"), loads=(20.0,))
+        tracer = RecordingTracer()
+        run_sweep(
+            cells,
+            scale,
+            jobs=2,
+            cache=PolicyCache(directory=tmp_path),
+            tracer=tracer,
+        )
+        names = [s.name for s in tracer.spans if s.track == "sweep"]
+        assert "sweep_submit" in names
+        assert "sweep_collect" in names
+        assert sum(n.startswith("cell ") for n in names) == len(cells)
