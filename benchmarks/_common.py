@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.scale import ExperimentScale
 
@@ -25,11 +25,13 @@ __all__ = [
     "bench_workers",
     "bench_use_cache",
     "emit",
+    "points_payload",
     "cached_fig5",
     "cached_fig6",
 ]
 
 _OUT_DIR = Path(__file__).parent / "out"
+_ROOT_DIR = Path(__file__).parent.parent
 
 
 def bench_scale() -> ExperimentScale:
@@ -80,21 +82,61 @@ def bench_use_cache() -> bool:
     return os.environ.get("RAMSIS_BENCH_NO_CACHE", "") not in ("1", "true")
 
 
-def emit(name: str, text: str, data: Optional[Dict] = None) -> None:
+def emit(
+    name: str,
+    text: str,
+    data: Optional[Dict] = None,
+    root: bool = False,
+) -> None:
     """Print a rendered table and persist it under benchmarks/out/.
 
     When ``data`` is given, a machine-readable ``<name>.json`` is written
     alongside the text table so the performance trajectory can be diffed
-    across commits instead of scraped from ASCII.
+    across commits instead of scraped from ASCII (and appended to the
+    benchmark history log by ``ramsis bench-history``).  With ``root=True``
+    the same payload is also written to ``BENCH_<name>.json`` at the repo
+    root — the convention for headline numbers that should be visible
+    without digging into ``benchmarks/out/``.
     """
     print()
     print(text)
     _OUT_DIR.mkdir(exist_ok=True)
     (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
     if data is not None:
-        (_OUT_DIR / f"{name}.json").write_text(
-            json.dumps(data, indent=1, sort_keys=True) + "\n"
-        )
+        payload = json.dumps(data, indent=1, sort_keys=True) + "\n"
+        (_OUT_DIR / f"{name}.json").write_text(payload)
+        if root:
+            (_ROOT_DIR / f"BENCH_{name}.json").write_text(payload)
+
+
+def points_payload(points: Sequence) -> List[Dict]:
+    """Convert a sequence of ``MethodPoint``-like rows to JSON-safe dicts.
+
+    Accepts any objects exposing the ``MethodPoint`` fields; missing
+    attributes are simply omitted so ablation variants with extra or
+    fewer columns serialize without ceremony.
+    """
+    fields = (
+        "task",
+        "method",
+        "variant",
+        "slo_ms",
+        "num_workers",
+        "load_qps",
+        "accuracy",
+        "violation_rate",
+        "queries",
+    )
+    rows: List[Dict] = []
+    for point in points:
+        row: Dict = {}
+        for field in fields:
+            value = getattr(point, field, None)
+            if value is None:
+                continue
+            row[field] = value.item() if hasattr(value, "item") else value
+        rows.append(row)
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -67,6 +67,7 @@ def drop_cells():
 def test_drop_ablation_report(benchmark, drop_cells):
     cells = benchmark.pedantic(lambda: drop_cells, rounds=1, iterations=1)
     rows = []
+    data_rows = []
     for (load, drop), m in sorted(cells.items()):
         dropped = m.model_query_counts.get("<dropped>", 0)
         rows.append(
@@ -78,6 +79,16 @@ def test_drop_ablation_report(benchmark, drop_cells):
                 dropped,
             )
         )
+        data_rows.append(
+            {
+                "load_qps": load,
+                "mode": "drop" if drop else "serve-late",
+                "accuracy": m.accuracy_per_satisfied_query,
+                "violation_rate": m.violation_rate,
+                "dropped": int(dropped),
+                "queries": m.total_queries,
+            }
+        )
     emit(
         "ablation_drop_late",
         format_table(
@@ -85,6 +96,7 @@ def test_drop_ablation_report(benchmark, drop_cells):
             rows,
             title="Ablation — serve-late (paper) vs drop-late (§4.3.1)",
         ),
+        data={"rows": data_rows},
     )
 
 

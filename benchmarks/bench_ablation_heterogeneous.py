@@ -98,6 +98,17 @@ def test_heterogeneous_report(benchmark, hetero_cells):
                 f"half-{SLOW_FACTOR}x cluster"
             ),
         ),
+        data={
+            "slow_factor": SLOW_FACTOR,
+            "deployments": {
+                label: {
+                    "accuracy": m.accuracy_per_satisfied_query,
+                    "violation_rate": m.violation_rate,
+                    "queries": m.total_queries,
+                }
+                for label, m in cells.items()
+            },
+        },
     )
 
 

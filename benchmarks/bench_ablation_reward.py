@@ -75,6 +75,17 @@ def test_reward_ablation_report(benchmark, reward_points):
             table,
             title="Ablation — per-decision (paper) vs per-query reward",
         ),
+        data={
+            "rows": [
+                {
+                    "reward": label,
+                    "load_qps": load,
+                    "accuracy": cell.accuracy,
+                    "violation_rate": cell.violation_rate,
+                }
+                for label, load, cell in rows
+            ]
+        },
     )
 
 

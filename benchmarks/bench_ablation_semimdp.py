@@ -73,6 +73,17 @@ def test_semimdp_report(benchmark, semimdp_cells):
             rows,
             title="Ablation — per-epoch (paper) vs semi-MDP discounting",
         ),
+        data={
+            "rows": [
+                {
+                    "discounting": label,
+                    "load_qps": load,
+                    "accuracy": cell.accuracy,
+                    "violation_rate": cell.violation_rate,
+                }
+                for label, load, cell in cells
+            ]
+        },
     )
 
 

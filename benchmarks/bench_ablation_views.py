@@ -82,6 +82,7 @@ def test_view_report(benchmark, view_results):
 
     benchmark.pedantic(marginal_policy, rounds=1, iterations=1)
     rows = []
+    data_rows = []
     for (k, view), (result, elapsed) in sorted(
         view_results.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
     ):
@@ -95,6 +96,15 @@ def test_view_report(benchmark, view_results):
                 f"{elapsed:.2f}",
             )
         )
+        data_rows.append(
+            {
+                "workers": k,
+                "view": view.value,
+                "expected_accuracy": g.expected_accuracy,
+                "expected_violation_rate": g.expected_violation_rate,
+                "generation_s": elapsed,
+            }
+        )
     emit(
         "ablation_views",
         format_table(
@@ -102,4 +112,5 @@ def test_view_report(benchmark, view_results):
             rows,
             title="Ablation — transition-probability views",
         ),
+        data={"rows": data_rows},
     )

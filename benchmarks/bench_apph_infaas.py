@@ -9,7 +9,7 @@ accuracy.  Asserted: no INFaaS target beats RAMSIS at any plottable load —
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.appendix import render_appendix_h, run_appendix_h
 
 
@@ -21,7 +21,17 @@ def apph_points():
 
 def test_apph_run_and_render(benchmark, apph_points):
     points = benchmark.pedantic(lambda: apph_points, rounds=1, iterations=1)
-    emit("apph_infaas", render_appendix_h(points))
+    emit(
+        "apph_infaas",
+        render_appendix_h(points),
+        data={
+            "points": [
+                dict(scheme=label, **row)
+                for (label, p) in points
+                for row in points_payload([p])
+            ]
+        },
+    )
     labels = {label for label, _ in points}
     assert "RAMSIS" in labels
     assert any(label.startswith("INFaaS") for label in labels)

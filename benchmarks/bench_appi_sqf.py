@@ -8,7 +8,7 @@ comparable accuracy and violations across the satisfiable range.
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.appendix import render_appendix_i, run_appendix_i
 
 
@@ -20,7 +20,17 @@ def appi_points():
 
 def test_appi_run_and_render(benchmark, appi_points):
     points = benchmark.pedantic(lambda: appi_points, rounds=1, iterations=1)
-    emit("appi_sqf", render_appendix_i(points))
+    emit(
+        "appi_sqf",
+        render_appendix_i(points),
+        data={
+            "points": [
+                dict(balancer=label, **row)
+                for (label, p) in points
+                for row in points_payload([p])
+            ]
+        },
+    )
     assert {label for label, _ in points} == {"round-robin", "shortest-queue"}
 
 

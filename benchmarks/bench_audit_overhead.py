@@ -127,6 +127,7 @@ def test_audit_overhead(benchmark):
             "queries": reference.total_queries,
             "variants": series,
         },
+        root=True,
     )
 
     # The pytest-benchmark timing tracks the default (auditing-off) path.

@@ -42,12 +42,14 @@ def capacity_rows():
     for floor in (0.62, 0.68, 0.72, 0.76):
         plan = _planner(floor).plan(load)
         rows.append(
-            (
-                f"{floor * 100:.0f}%",
-                plan.num_workers,
-                f"{plan.guarantees.expected_accuracy * 100:.2f}%",
-                f"{plan.guarantees.expected_violation_rate * 100:.3f}%",
-            )
+            {
+                "accuracy_floor": floor,
+                "workers": plan.num_workers,
+                "expected_accuracy": plan.guarantees.expected_accuracy,
+                "expected_violation_rate": (
+                    plan.guarantees.expected_violation_rate
+                ),
+            }
         )
     return rows
 
@@ -58,14 +60,23 @@ def test_capacity_plan_report(benchmark, capacity_rows):
         "capacity_planning",
         format_table(
             ["accuracy target", "workers", "E[accuracy]", "E[violation]"],
-            rows,
+            [
+                (
+                    f"{r['accuracy_floor'] * 100:.0f}%",
+                    r["workers"],
+                    f"{r['expected_accuracy'] * 100:.2f}%",
+                    f"{r['expected_violation_rate'] * 100:.3f}%",
+                )
+                for r in rows
+            ],
             title="Capacity planning at 160 QPS, SLO 150 ms (§5.1 loop)",
         ),
+        data={"rows": rows},
     )
 
 
 def test_higher_targets_cost_more_workers(capacity_rows):
-    workers = [row[1] for row in capacity_rows]
+    workers = [row["workers"] for row in capacity_rows]
     assert workers == sorted(workers)
     assert workers[-1] > workers[0]
 

@@ -10,9 +10,11 @@ experiment composes, so performance regressions are localized:
 - discrete-event simulator throughput (queries/second of sim time).
 """
 
+import time
+
 import numpy as np
 
-from benchmarks._common import bench_scale
+from benchmarks._common import bench_scale, emit
 from repro.arrivals.distributions import PoissonArrivals
 from repro.arrivals.traces import LoadTrace
 from repro.core.config import WorkerMDPConfig
@@ -26,6 +28,7 @@ from repro.core.transitions import (
     GammaGaps,
     SplitViewKernelBuilder,
 )
+from repro.experiments.reporting import format_table
 from repro.experiments.tasks import image_task
 from repro.selectors import JellyfishPlusSelector, RamsisSelector
 from repro.sim.monitor import OracleLoadMonitor
@@ -167,3 +170,53 @@ def test_simulator_throughput_central_queue(benchmark):
         iterations=1,
     )
     assert metrics.total_queries > 1000
+
+
+def test_core_micro_report():
+    """One self-timed pass over the core stages, persisted for trend diffs.
+
+    The pytest-benchmark fixtures above give precise per-stage numbers
+    interactively; this table is the machine-readable record that
+    ``ramsis bench-history`` tracks across commits.
+    """
+    config = _config()
+    timings = {}
+
+    start = time.perf_counter()
+    mdp = build_worker_mdp(config)
+    timings["build_worker_mdp_s"] = time.perf_counter() - start
+
+    values = mdp.initial_values()
+    start = time.perf_counter()
+    mdp.backup(values)
+    timings["vi_sweep_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    solution = value_iteration(mdp)
+    timings["value_iteration_s"] = time.perf_counter() - start
+
+    policy = mdp.extract_policy(solution.values)
+    rng = np.random.default_rng(0)
+    queue_lengths = rng.integers(1, policy.max_queue + 1, size=1024)
+    slacks = rng.uniform(-10.0, 150.0, size=1024)
+    start = time.perf_counter()
+    for n, s in zip(queue_lengths, slacks):
+        policy.action_for(int(n), float(s))
+    elapsed = time.perf_counter() - start
+    timings["policy_lookup_us"] = elapsed / len(queue_lengths) * 1e6
+
+    start = time.perf_counter()
+    stationary_distribution(mdp, policy)
+    timings["stationary_distribution_s"] = time.perf_counter() - start
+
+    emit(
+        "core_micro",
+        format_table(
+            ["stage", "time"],
+            [(k, f"{v:.4f}") for k, v in timings.items()],
+            title="Core building-block timings (single pass)",
+        ),
+        data=timings,
+    )
+    # §3.2.2: online decisions must be effectively free.
+    assert timings["policy_lookup_us"] < 1000.0

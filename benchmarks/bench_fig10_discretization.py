@@ -10,7 +10,7 @@ FLD with D in {2, 10, 100} versus MD.  Paper findings asserted:
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.appendix import render_variant_sweep, run_fig10
 
 
@@ -32,6 +32,7 @@ def test_fig10_run_and_render(benchmark, fig10_points):
     emit(
         "fig10_discretization",
         render_variant_sweep(points, "Figure 10 — FLD resolution vs MD"),
+        data={"points": points_payload(points)},
     )
     assert {p.variant for p in points} == {"FLD D=2", "FLD D=10", "FLD D=100", "MD"}
 

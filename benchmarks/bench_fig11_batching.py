@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.appendix import render_variant_sweep, run_fig11
 
 
@@ -30,6 +30,7 @@ def test_fig11_run_and_render(benchmark, fig11_points):
     emit(
         "fig11_batching",
         render_variant_sweep(points, "Figure 11 — maximal vs variable batching"),
+        data={"points": points_payload(points)},
     )
     assert {p.variant for p in points} == {"maximal", "variable"}
 

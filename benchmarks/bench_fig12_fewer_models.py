@@ -10,7 +10,7 @@ RAMSIS vs Jellyfish+ with the full 26-model set versus the 3-model subset
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.appendix import render_fig12, run_fig12
 
 
@@ -29,7 +29,11 @@ def _series(points, label):
 
 def test_fig12_run_and_render(benchmark, fig12_points):
     points = benchmark.pedantic(lambda: fig12_points, rounds=1, iterations=1)
-    emit("fig12_fewer_models", render_fig12(points))
+    emit(
+        "fig12_fewer_models",
+        render_fig12(points),
+        data={"points": points_payload(points)},
+    )
     assert {p.method for p in points} == {
         "RAMSIS (26 models)",
         "JF+ (26 models)",

@@ -22,7 +22,22 @@ def fig2_result():
 
 def test_fig2_run_and_render(benchmark, fig2_result):
     result = benchmark.pedantic(lambda: fig2_result, rounds=1, iterations=1)
-    emit("fig2_motivation", render_fig2(result))
+    emit(
+        "fig2_motivation",
+        render_fig2(result),
+        data={
+            "ramsis_accuracy": result.ramsis_metrics.accuracy_per_satisfied_query,
+            "baseline_accuracy": (
+                result.baseline_metrics.accuracy_per_satisfied_query
+            ),
+            "ramsis_violation_rate": result.ramsis_metrics.violation_rate,
+            "baseline_violation_rate": result.baseline_metrics.violation_rate,
+            "queries": result.ramsis_metrics.total_queries,
+            "ramsis_models_used": sorted(result.ramsis_models_used),
+            "baseline_models_used": sorted(result.baseline_models_used),
+            "lulls": len(result.lulls),
+        },
+    )
     assert result.ramsis_metrics.total_queries == (
         result.baseline_metrics.total_queries
     )

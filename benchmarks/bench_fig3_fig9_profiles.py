@@ -28,6 +28,22 @@ def _profile_rows(task):
     return rows
 
 
+def _profile_data(task):
+    front = set(task.model_set.pareto_front().names)
+    return {
+        "models": [
+            {
+                "name": m.name,
+                "accuracy": m.accuracy,
+                "p95_b1_ms": m.latency_ms(1),
+                "p95_b4_ms": m.latency_ms(4),
+                "pareto_front": m.name in front,
+            }
+            for m in sorted(task.model_set, key=lambda m: m.latency_ms(1))
+        ]
+    }
+
+
 def test_fig3_image_profiles(benchmark):
     task = image_task()
     hardware = SimulatedHardware(seed=3)
@@ -46,7 +62,7 @@ def test_fig3_image_profiles(benchmark):
         _profile_rows(task),
         title="Figure 3 — image classification model profiles (26 models)",
     )
-    emit("fig3_image_profiles", text)
+    emit("fig3_image_profiles", text, data=_profile_data(task))
     assert len(task.model_set.pareto_front()) == 9
 
 
@@ -68,5 +84,5 @@ def test_fig9_text_profiles(benchmark):
         _profile_rows(task),
         title="Figure 9 — text classification model profiles (5 BERTs)",
     )
-    emit("fig9_text_profiles", text)
+    emit("fig9_text_profiles", text, data=_profile_data(task))
     assert len(task.model_set.pareto_front()) == 5

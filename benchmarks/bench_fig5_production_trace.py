@@ -10,7 +10,7 @@ lowest SLO.  The paper's qualitative results asserted here:
 
 import pytest
 
-from benchmarks._common import cached_fig5, emit
+from benchmarks._common import cached_fig5, emit, points_payload
 from repro.experiments.fig5 import render_fig5
 from repro.experiments.reporting import (
     accuracy_increase_summary,
@@ -26,7 +26,11 @@ def fig5_result():
 
 def test_fig5_run_and_render(benchmark, fig5_result):
     result = benchmark.pedantic(lambda: fig5_result, rounds=1, iterations=1)
-    emit("fig5_production_trace", render_fig5(result))
+    emit(
+        "fig5_production_trace",
+        render_fig5(result),
+        data={"points": points_payload(result.points)},
+    )
     # Every (task, method) series produced points.
     methods = {p.method for p in result.points}
     assert methods == {"RAMSIS", "JF", "MS"}

@@ -10,7 +10,7 @@ The §7.2 shape assertions:
 
 import pytest
 
-from benchmarks._common import cached_fig6, emit
+from benchmarks._common import cached_fig6, emit, points_payload
 from repro.experiments.fig6 import render_fig6
 from repro.experiments.reporting import accuracy_increase_summary
 
@@ -22,7 +22,11 @@ def fig6_result():
 
 def test_fig6_run_and_render(benchmark, fig6_result):
     result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
-    emit("fig6_constant_load", render_fig6(result))
+    emit(
+        "fig6_constant_load",
+        render_fig6(result),
+        data={"points": points_payload(result.points)},
+    )
     assert {p.method for p in result.points} == {"RAMSIS", "JF", "MS"}
 
 

@@ -11,7 +11,7 @@ Shape assertions from the paper:
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.fig7 import render_fig7, run_fig7
 
 
@@ -23,7 +23,11 @@ def fig7_result():
 
 def test_fig7_run_and_render(benchmark, fig7_result):
     result = benchmark.pedantic(lambda: fig7_result, rounds=1, iterations=1)
-    emit("fig7_fidelity", render_fig7(result))
+    emit(
+        "fig7_fidelity",
+        render_fig7(result),
+        data={"points": points_payload(result.points)},
+    )
     assert {p.variant for p in result.points} == {
         "expectation",
         "simulation",

@@ -11,7 +11,7 @@ ModelSwitching.  Paper insights asserted:
 
 import pytest
 
-from benchmarks._common import bench_scale, emit
+from benchmarks._common import bench_scale, emit, points_payload
 from repro.experiments.fig8 import render_fig8, run_fig8
 
 
@@ -31,7 +31,17 @@ def _mean_gain(result, method):
 
 def test_fig8_run_and_render(benchmark, fig8_result):
     result = benchmark.pedantic(lambda: fig8_result, rounds=1, iterations=1)
-    emit("fig8_many_models", render_fig8(result))
+    emit(
+        "fig8_many_models",
+        render_fig8(result),
+        data={
+            "points": [
+                dict(method=label, model_count=count, **row)
+                for (label, count, p) in result.points
+                for row in points_payload([p])
+            ]
+        },
+    )
     assert {c for _, c, _ in result.points} == {9, 60}
 
 

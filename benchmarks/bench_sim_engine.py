@@ -22,10 +22,8 @@ JSON at the repo root (``BENCH_sim_engine.json``) for trend diffing.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 from typing import Callable, Dict, List
 
 import numpy as np
@@ -48,8 +46,6 @@ from repro.selectors import (
     RamsisSelector,
 )
 from repro.sim.simulator import Simulation, SimulationConfig
-
-_ROOT_JSON = Path(__file__).parent.parent / "BENCH_sim_engine.json"
 
 #: Cluster shape of the throughput scenarios.
 WORKERS = 8
@@ -193,8 +189,7 @@ def test_event_loop_throughput():
         "min_speedup_floor": floor,
         "scenarios": rows,
     }
-    emit("sim_engine", "\n".join(lines), data=data)
-    _ROOT_JSON.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    emit("sim_engine", "\n".join(lines), data=data, root=True)
 
 
 def test_sweep_serial_vs_parallel(tmp_path):

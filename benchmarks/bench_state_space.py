@@ -83,6 +83,19 @@ def test_state_space_report(benchmark, comparison_rows):
             ],
             title="§3.1.2 — naive joint-deadline MDP vs RAMSIS decomposition",
         ),
+        data={
+            "rows": [
+                {
+                    "fld_resolution": d,
+                    "max_queue": n,
+                    "naive_states": ns,
+                    "decomposed_states": ds,
+                    "naive_solve_s": nt,
+                    "decomposed_solve_s": dt,
+                }
+                for d, n, ns, ds, nt, dt in rows
+            ]
+        },
     )
 
 

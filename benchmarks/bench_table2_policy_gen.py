@@ -23,7 +23,23 @@ from repro.experiments.tables import render_table2, run_table2
 def table2_rows():
     scale = bench_scale()
     rows = run_table2(scale=scale, include_variable=True)
-    emit("table2_policy_gen_runtimes", render_table2(rows))
+    emit(
+        "table2_policy_gen_runtimes",
+        render_table2(rows),
+        data={
+            "rows": [
+                {
+                    "discretization": r.discretization,
+                    "batching": r.batching,
+                    "model_count": r.model_count,
+                    "runtime_s": r.runtime_s,
+                    "iterations": r.iterations,
+                    "states": r.states,
+                }
+                for r in rows
+            ]
+        },
+    )
     return rows
 
 

@@ -8,7 +8,7 @@ the cluster can sustain the trace's peak.
 
 import pytest
 
-from benchmarks._common import cached_fig5, emit
+from benchmarks._common import cached_fig5, emit, points_payload
 from repro.experiments.tables import render_table3
 
 
@@ -19,7 +19,11 @@ def fig5_result():
 
 def test_table3_render(benchmark, fig5_result):
     result = benchmark.pedantic(lambda: fig5_result, rounds=1, iterations=1)
-    emit("table3_trace_violations", render_table3(result))
+    emit(
+        "table3_trace_violations",
+        render_table3(result),
+        data={"points": points_payload(result.points)},
+    )
 
 
 def test_table3_violations_decline_with_workers(fig5_result):

@@ -8,7 +8,7 @@ band, i.e. the top of the scaled load range).
 
 import pytest
 
-from benchmarks._common import cached_fig6, emit
+from benchmarks._common import cached_fig6, emit, points_payload
 from repro.experiments.tables import render_table4
 
 
@@ -19,7 +19,11 @@ def fig6_result():
 
 def test_table4_render(benchmark, fig6_result):
     result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
-    emit("table4_constant_violations", render_table4(result))
+    emit(
+        "table4_constant_violations",
+        render_table4(result),
+        data={"points": points_payload(result.points)},
+    )
 
 
 def test_table4_low_loads_satisfiable(fig6_result):

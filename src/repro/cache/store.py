@@ -31,6 +31,7 @@ from repro.core.guarantees import PolicyGuarantees
 from repro.core.policy import Policy
 from repro.errors import PolicyError
 from repro.obs.log import get_logger
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.generator import GenerationResult
@@ -74,15 +75,22 @@ class PolicyCache:
         Optional metrics registry; hit/miss/invalidation/store totals are
         published as ``policy_cache_*_total`` counters in addition to the
         instance attributes.
+    tracer:
+        Optional tracer; every lookup/store becomes a ``cache_get``/
+        ``cache_put`` span on the ``cache`` track with its outcome
+        (hit/stored) in the span args — the phase profiler's view of
+        cache behaviour.
     """
 
     def __init__(
         self,
         directory: Optional[Union[str, Path]] = None,
         registry: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self._directory = _resolve_directory(directory)
         self._registry = registry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -115,6 +123,19 @@ class PolicyCache:
         invalidations, and reported as misses — callers fall back to
         solving, and the next :meth:`put` overwrites the bad file.
         """
+        if not self._tracer.enabled:
+            return self._get(config, tolerance)
+        # The span args dict is captured by reference at span exit, so
+        # mutating it after the lookup records the outcome.
+        outcome: Dict[str, Any] = {}
+        with self._tracer.span("cache_get", track="cache", args=outcome):
+            result = self._get(config, tolerance)
+            outcome["hit"] = result is not None
+        return result
+
+    def _get(
+        self, config: WorkerMDPConfig, tolerance: float
+    ) -> Optional["GenerationResult"]:
         digest = cache_key(config, tolerance)
         if digest is None:
             self.misses += 1
@@ -156,6 +177,20 @@ class PolicyCache:
         Returns the artifact path, or ``None`` when the config is
         uncacheable (no stable key).
         """
+        if not self._tracer.enabled:
+            return self._put(config, tolerance, result)
+        outcome: Dict[str, Any] = {}
+        with self._tracer.span("cache_put", track="cache", args=outcome):
+            path = self._put(config, tolerance, result)
+            outcome["stored"] = path is not None
+        return path
+
+    def _put(
+        self,
+        config: WorkerMDPConfig,
+        tolerance: float,
+        result: "GenerationResult",
+    ) -> Optional[Path]:
         canonical = canonical_config_dict(config, tolerance)
         if canonical is None:
             return None

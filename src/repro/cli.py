@@ -14,6 +14,8 @@ plot.py            ``ramsis report --trace real ...``
 (model profiles)   ``ramsis zoo --task image``
 (observability)    ``ramsis trace --m RAMSIS --load 40 --out-dir obs``
 (live audit)       ``ramsis audit --load 40 --workers 2 --out-dir audit``
+(run reports)      ``ramsis report --run-dir run0 [--html]``
+(bench history)    ``ramsis bench-history --check``
 =================  ====================================================
 
 Results are written as JSON under ``--results-dir`` with the artifact's
@@ -89,6 +91,20 @@ def _cache_from_args(args: argparse.Namespace):
     return PolicyCache(directory=args.cache_dir)
 
 
+def _write_obs_dir(tracer, registry, obs_dir) -> None:
+    """Export the run's merged trace + metrics under ``obs_dir``.
+
+    Leaves the directory in the layout ``ramsis report --run-dir``
+    consumes (``merged.jsonl``, ``trace.json``, ``metrics.prom``,
+    ``metrics.json``, plus any per-batch worker shards).
+    """
+    from repro.obs.aggregate import MergedRun, write_merged_artifacts
+
+    merged = MergedRun(tracer=tracer, registry=registry)
+    for path in write_merged_artifacts(merged, obs_dir).values():
+        log.info("wrote %s", path)
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
     """Generate RAMSIS policies (artifact: RAMSIS_gen.py).
 
@@ -109,8 +125,22 @@ def cmd_gen(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         fld_resolution=args.fld_resolution,
     )
-    generator = PolicyGenerator(config, cache=_cache_from_args(args))
+    obs_dir = getattr(args, "obs_dir", None)
+    tracer = registry = None
+    if obs_dir is not None:
+        from repro.obs import MetricsRegistry, RecordingTracer
+
+        tracer, registry = RecordingTracer(), MetricsRegistry()
+    generator = PolicyGenerator(
+        config,
+        cache=_cache_from_args(args),
+        tracer=tracer,
+        registry=registry,
+        run_dir=obs_dir,
+    )
     results = generator.generate_many(loads, max_workers=args.jobs)
+    if obs_dir is not None:
+        _write_obs_dir(tracer, registry, obs_dir)
     out_dir = Path(args.out) / f"RAMSIS_{args.workers}_{slo:g}"
     out_dir.mkdir(parents=True, exist_ok=True)
     for load, result in zip(loads, results):
@@ -254,9 +284,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 )
             )
 
+    obs_dir = getattr(args, "obs_dir", None)
+    tracer = registry = None
+    if obs_dir is not None:
+        from repro.obs import MetricsRegistry, RecordingTracer
+
+        tracer, registry = RecordingTracer(), MetricsRegistry()
     points = run_sweep(
-        cells, scale, jobs=args.jobs, cache=_cache_from_args(args)
+        cells,
+        scale,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        tracer=tracer,
+        registry=registry,
+        run_dir=obs_dir,
     )
+    if obs_dir is not None:
+        _write_obs_dir(tracer, registry, obs_dir)
     for point in points:
         where = (
             f"workers={point.num_workers}"
@@ -294,7 +338,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Summarize stored results (artifact: plot.py)."""
+    """Summarize stored results (artifact: plot.py).
+
+    With ``--run-dir`` the report instead consumes one observability run
+    directory (worker shards, merged trace/metrics, audit report) and
+    emits a single text or HTML summary — printed, and written alongside
+    the artifacts (or at ``--out``).
+    """
+    if getattr(args, "run_dir", None) is not None:
+        from repro.obs.report import render_run_report, write_run_report
+
+        fmt = "html" if args.html else "text"
+        try:
+            rendered = render_run_report(args.run_dir, fmt=fmt)
+        except FileNotFoundError as exc:
+            print(str(exc))
+            return 1
+        out_path = write_run_report(args.run_dir, out_path=args.out, fmt=fmt)
+        if fmt == "text":
+            print(rendered, end="")
+        log.info("run report written to %s", out_path)
+        return 0
+
     results_dir = Path(args.results_dir)
     points: List[MethodPoint] = []
     pattern = f"{args.task}_*_{args.trace}_*.json" if args.task else "*.json"
@@ -336,6 +401,41 @@ def cmd_report(args: argparse.Namespace) -> int:
     print()
     print(render_comparison(points, ["MS", "JF"]))
     return 0
+
+
+def cmd_bench_history(args: argparse.Namespace) -> int:
+    """Track benchmark results over time and gate on regressions.
+
+    Appends every ``<out-dir>/*.json`` benchmark result to the history
+    log (one JSON line per benchmark per invocation), then — with
+    ``--check`` — compares each benchmark's latest entry against its
+    previous one and exits non-zero when a tracked metric regressed
+    beyond ``--tolerance``.  ``--no-append`` checks the existing history
+    without recording a new generation.
+    """
+    from repro.obs.report import append_bench_history, check_bench_history
+
+    out_dir = Path(args.out_dir)
+    history = (
+        Path(args.history) if args.history else out_dir / "history.jsonl"
+    )
+    if not args.no_append:
+        entries = append_bench_history(out_dir, history_path=history)
+        print(f"recorded {len(entries)} benchmark result(s) in {history}")
+        for entry in entries:
+            log.debug("recorded %s", entry["bench"])
+    if not args.check:
+        return 0
+    regressions = check_bench_history(history, tolerance=args.tolerance)
+    if not regressions:
+        print(
+            f"no regressions beyond {args.tolerance * 100:g}% tolerance"
+        )
+        return 0
+    print(f"{len(regressions)} regression(s) beyond {args.tolerance * 100:g}%:")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 1
 
 
 def cmd_synth_trace(args: argparse.Namespace) -> int:
@@ -638,6 +738,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--fld-resolution", type=int, default=100)
     gen.add_argument("--out", default="policy_gen")
+    gen.add_argument(
+        "--obs-dir",
+        default=None,
+        help="trace the generation (serial and parallel) and write the "
+        "merged observability artifacts under this directory",
+    )
     gen.set_defaults(func=cmd_gen)
 
     cache = sub.add_parser("cache", help="inspect the persistent policy cache")
@@ -688,6 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the persistent policy cache",
     )
+    simulate.add_argument(
+        "--obs-dir",
+        default=None,
+        help="trace the sweep (serial and parallel) and write the merged "
+        "observability artifacts under this directory",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     figure = sub.add_parser(
@@ -716,11 +828,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.set_defaults(func=cmd_figure)
 
-    report = sub.add_parser("report", help="summarize stored results")
+    report = sub.add_parser(
+        "report", help="summarize stored results or an observability run dir"
+    )
     report.add_argument("--task", default=None)
     report.add_argument("--trace", default="real")
     report.add_argument("--results-dir", default="results")
+    report.add_argument(
+        "--run-dir",
+        default=None,
+        help="summarize this observability run directory (shards, merged "
+        "trace/metrics, audit report) instead of stored results",
+    )
+    report.add_argument(
+        "--html",
+        action="store_true",
+        help="with --run-dir: emit an HTML report instead of text",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        help="with --run-dir: report destination (default: "
+        "report.txt/report.html inside the run directory)",
+    )
     report.set_defaults(func=cmd_report)
+
+    bench_history = sub.add_parser(
+        "bench-history",
+        help="append benchmark results to the history log; gate regressions",
+    )
+    bench_history.add_argument(
+        "--out-dir",
+        default="benchmarks/out",
+        help="directory holding the bench *.json results",
+    )
+    bench_history.add_argument(
+        "--history",
+        default=None,
+        help="history log path (default: <out-dir>/history.jsonl)",
+    )
+    bench_history.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when a tracked metric regressed vs. the "
+        "previous recorded generation",
+    )
+    bench_history.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="fractional change tolerated before a regression is flagged",
+    )
+    bench_history.add_argument(
+        "--no-append",
+        action="store_true",
+        help="check the existing history without recording a new generation",
+    )
+    bench_history.set_defaults(func=cmd_bench_history)
 
     synth = sub.add_parser(
         "synth-trace", help="synthesize the Twitter-shaped trace"

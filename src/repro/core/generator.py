@@ -17,9 +17,11 @@ solved and annotated :class:`~repro.core.policy.Policy` out.
 
 from __future__ import annotations
 
+import shutil
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -28,6 +30,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
@@ -37,6 +40,13 @@ from repro.core.guarantees import PolicyGuarantees, evaluate_policy
 from repro.core.mdp import build_worker_mdp
 from repro.core.policy import Policy, PolicyMetadata
 from repro.core.solvers import value_iteration
+from repro.obs.aggregate import (
+    init_worker_obs,
+    merge_run_dir,
+    new_run_dir,
+    worker_obs,
+    write_merged_artifacts,
+)
 from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache uses results)
@@ -153,16 +163,30 @@ def _annotate(policy: Policy, guarantees: PolicyGuarantees) -> Policy:
 
 
 def _solve_cell(
-    payload: Tuple[WorkerMDPConfig, float, Optional[np.ndarray]]
+    payload: Tuple[int, WorkerMDPConfig, float, Optional[np.ndarray], bool]
 ) -> GenerationResult:
     """Process-pool entry point: solve one grid cell.
 
     Module-level so it pickles under every multiprocessing start method;
     runs the identical code path as the serial ``generate_policy`` call,
     which is what makes parallel banks byte-identical to serial ones.
+    With observability shipping on, the solve is traced into this
+    worker's shard (installed by :func:`repro.obs.aggregate.init_worker_obs`),
+    stamped with the cell's sequence number for in-order merging.
     """
-    config, tolerance, initial = payload
-    return generate_policy(config, tolerance=tolerance, initial=initial)
+    seq, config, tolerance, initial, ship = payload
+    obs = worker_obs() if ship else None
+    tracer: Optional[Tracer] = None
+    if obs is not None:
+        obs.tracer.set_sequence(seq)
+        tracer = obs.tracer
+    try:
+        return generate_policy(
+            config, tolerance=tolerance, tracer=tracer, initial=initial
+        )
+    finally:
+        if obs is not None:
+            obs.flush()
 
 
 class PolicyGenerator:
@@ -182,6 +206,7 @@ class PolicyGenerator:
         cache: Optional["PolicyCache"] = None,
         tracer: Optional[Tracer] = None,
         registry: Optional["MetricsRegistry"] = None,
+        run_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self._base = base_config
         self._tolerance = tolerance
@@ -189,6 +214,13 @@ class PolicyGenerator:
         self._disk = cache
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._registry = registry
+        #: Shard root for parallel solves.  Each parallel batch gets its
+        #: own ``batch-NNN`` subdirectory, so repeated ``generate_many``
+        #: calls (e.g. §6 refinement rounds) never mix or truncate
+        #: shards; without it a temp directory per batch is used and
+        #: removed after the merge.
+        self._run_dir = None if run_dir is None else Path(run_dir)
+        self._batch = 0
 
     @property
     def base_config(self) -> WorkerMDPConfig:
@@ -285,6 +317,14 @@ class PolicyGenerator:
         ``loads_qps`` and are bit-identical, because every cell runs the
         same :func:`generate_policy` code path.
 
+        An attached ``tracer``/``registry`` instruments both paths: the
+        parallel one ships each worker's records as shards (one
+        ``batch-NNN`` directory per call under ``run_dir`` when set, a
+        temp directory otherwise) and merges them back in cell order
+        after the pool drains — per-cell solver spans appear under
+        ``w<idx>/generator`` tracks instead of being silently dropped
+        (see :mod:`repro.obs.aggregate`).
+
         ``initials`` optionally maps a load to a warm-start value vector
         (see :meth:`generate`).
         """
@@ -345,8 +385,30 @@ class PolicyGenerator:
         results: List[Optional[GenerationResult]],
     ) -> None:
         """Fan pending cells out across processes; fill ``results`` in place."""
+        ship = (
+            self._tracer.enabled
+            or self._registry is not None
+            or self._run_dir is not None
+        )
+        owns_dir = False
+        shard_dir: Optional[Path] = None
+        if ship:
+            if self._run_dir is not None:
+                shard_dir = self._run_dir / f"batch-{self._batch:03d}"
+                shard_dir.mkdir(parents=True, exist_ok=True)
+            else:
+                shard_dir = new_run_dir(prefix="ramsis-bank-")
+                owns_dir = True
+            self._batch += 1
+
         pool_size = min(max_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        pool_kwargs = {}
+        if shard_dir is not None:
+            pool_kwargs = {
+                "initializer": init_worker_obs,
+                "initargs": (str(shard_dir),),
+            }
+        with ProcessPoolExecutor(max_workers=pool_size, **pool_kwargs) as pool:
             with self._tracer.span(
                 "policy_bank_submit",
                 track="policy_bank",
@@ -354,7 +416,7 @@ class PolicyGenerator:
             ):
                 futures = [
                     (i, q, config, pool.submit(
-                        _solve_cell, (config, self._tolerance, initial)
+                        _solve_cell, (i, config, self._tolerance, initial, ship)
                     ))
                     for i, q, config, initial in pending
                 ]
@@ -376,6 +438,16 @@ class PolicyGenerator:
                     self._count_cell("solve")
                     self._commit(self._key(q, workers), config, result)
                     results[i] = result
+        if shard_dir is not None:
+            merged = merge_run_dir(
+                shard_dir,
+                tracer=self._tracer if self._tracer.enabled else None,
+                registry=self._registry,
+            )
+            if owns_dir:
+                shutil.rmtree(shard_dir, ignore_errors=True)
+            else:
+                write_merged_artifacts(merged, shard_dir)
 
     def cache_size(self) -> int:
         """Number of distinct (load, workers) policies generated so far."""

@@ -66,7 +66,9 @@ def value_iteration(
     With ``record_residuals`` (or an enabled ``tracer``) the per-sweep
     residual history is kept on :attr:`SolveStats.residuals`; the tracer
     additionally receives one ``vi_sweep`` event per sweep on the
-    ``solver`` track (timestamped in wall-clock ms since solve start).
+    ``solver`` track (timestamped in wall-clock ms since solve start)
+    plus one ``bellman_sweep`` wall-clock span per backup — the phase
+    the profiler (:class:`repro.obs.profile.PhaseProfiler`) aggregates.
     """
     if tolerance <= 0:
         raise SolverError(f"tolerance must be > 0, got {tolerance}")
@@ -76,7 +78,17 @@ def value_iteration(
     start = time.perf_counter()
     residual = np.inf
     for iteration in range(1, max_iterations + 1):
-        new_values = mdp.backup(values).values
+        if tracing:
+            # One wall-clock phase per Bellman backup, nested under the
+            # generator's value_iteration span — the phase profiler's
+            # per-sweep hotspot unit.  Skipped entirely when untraced so
+            # the hot path stays free of context-manager overhead.
+            with tracer.span(
+                "bellman_sweep", track="solver", args={"iteration": iteration}
+            ):
+                new_values = mdp.backup(values).values
+        else:
+            new_values = mdp.backup(values).values
         residual = float(np.max(np.abs(new_values - values)))
         values = new_values
         if history is not None:

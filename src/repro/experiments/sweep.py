@@ -18,7 +18,11 @@ Every evaluation figure is a grid of independent ``run_method`` cells —
   re-solving.  Workers receive only the cache *directory* and rebuild the
   handle locally, so nothing unpicklable crosses the process boundary.
 - **Observability.**  Submit/collect progress and per-cell spans appear on
-  the tracer's ``sweep`` track, mirroring the ``policy_bank`` track.
+  the tracer's ``sweep`` track, mirroring the ``policy_bank`` track — and
+  with a tracer, registry, or ``run_dir`` present, the cells themselves
+  stay instrumented across the process boundary: workers record into
+  per-process shards that are merged back into the caller's tracer and
+  registry after the pool drains (see :mod:`repro.obs.aggregate`).
 
 :class:`SweepCell` is deliberately a plain frozen dataclass of picklable
 leaves (task spec, trace, scalars).  Stochastic execution latency is
@@ -29,21 +33,29 @@ process always constructs a fresh, deterministically-seeded RNG.
 
 from __future__ import annotations
 
+import shutil
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from repro.arrivals.traces import LoadTrace
 from repro.experiments.runner import MethodPoint, run_method
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.tasks import TaskSpec
+from repro.obs.aggregate import (
+    MergedRun,
+    init_worker_obs,
+    merge_run_dir,
+    new_run_dir,
+    worker_obs,
+    write_merged_artifacts,
+)
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.profiles.models import ModelSet
 from repro.sim.latency_model import StochasticLatency
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
-    from pathlib import Path
-
     from repro.cache import PolicyCache
     from repro.obs.metrics import MetricsRegistry
 
@@ -115,16 +127,33 @@ def _cell_label(cell: SweepCell) -> str:
 
 
 def _pool_cell(
-    payload: Tuple[SweepCell, ExperimentScale, Optional[str]]
+    payload: Tuple[int, SweepCell, ExperimentScale, Optional[str], bool]
 ) -> MethodPoint:
-    """Worker-process entry: rebuild the cache handle, run the cell."""
-    cell, scale, cache_dir = payload
+    """Worker-process entry: rebuild the cache handle, run the cell.
+
+    With observability shipping on, the cell runs against this worker's
+    shard tracer/registry (installed by the pool initializer), stamped
+    with the cell index so the parent can merge shards back into serial
+    order, and flushes the shard after the cell completes.
+    """
+    seq, cell, scale, cache_dir, ship = payload
+    obs = worker_obs() if ship else None
+    tracer: Optional[Tracer] = None
+    registry: Optional["MetricsRegistry"] = None
+    if obs is not None:
+        obs.tracer.set_sequence(seq)
+        tracer = obs.tracer
+        registry = obs.registry
     cache: Optional["PolicyCache"] = None
     if cache_dir is not None:
         from repro.cache import PolicyCache
 
-        cache = PolicyCache(directory=cache_dir)
-    return run_cell(cell, scale, cache=cache)
+        cache = PolicyCache(directory=cache_dir, registry=registry, tracer=tracer)
+    try:
+        return run_cell(cell, scale, cache=cache, tracer=tracer, registry=registry)
+    finally:
+        if obs is not None:
+            obs.flush()
 
 
 def run_sweep(
@@ -134,6 +163,7 @@ def run_sweep(
     cache: Optional[Union["PolicyCache", str, "Path"]] = None,
     tracer: Optional[Tracer] = None,
     registry: Optional["MetricsRegistry"] = None,
+    run_dir: Optional[Union[str, "Path"]] = None,
 ) -> List[MethodPoint]:
     """Run every cell; results come back in the order of ``cells``.
 
@@ -141,10 +171,21 @@ def run_sweep(
     otherwise they run serially in this process.  Both paths return
     identical points (see module docstring).  ``cache`` may be a
     :class:`repro.cache.PolicyCache` or a directory path; parallel workers
-    always receive the directory and open their own handle.  ``tracer``
-    and ``registry`` only instrument the serial path's inner simulations —
-    they cannot cross process boundaries — but the sweep-level ``sweep``
-    track (submit/collect/per-cell spans) is emitted either way.
+    always receive the directory and open their own handle.
+
+    ``tracer`` and ``registry`` instrument **both** paths.  Serially they
+    are threaded straight into every cell.  In parallel they cross the
+    process boundary by *shipping*: each pool worker records into a
+    JSONL shard + private registry under a per-run directory
+    (:mod:`repro.obs.aggregate`), and after the pool drains the shards
+    are merged back into the caller's ``tracer``/``registry`` in serial
+    cell order, with worker tracks renamed ``w<idx>/<track>`` —
+    ``reconstruct_metrics`` on a traced parallel sweep equals the serial
+    traced run exactly.  ``run_dir`` pins the shard directory (merged
+    artifacts are then written there for ``ramsis report``); without it a
+    temporary directory is used and removed after the merge.  One
+    ``run_dir`` serves one ``run_sweep`` call — reusing it across calls
+    would mix shards from different pools.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     cells = list(cells)
@@ -175,15 +216,32 @@ def run_sweep(
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
+    ship = tracer.enabled or registry is not None or run_dir is not None
+    owns_run_dir = False
+    shard_dir: Optional[Path] = None
+    if ship:
+        if run_dir is None:
+            shard_dir = new_run_dir()
+            owns_run_dir = True
+        else:
+            shard_dir = Path(run_dir)
+            shard_dir.mkdir(parents=True, exist_ok=True)
+
     pool_size = min(jobs, len(cells))
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+    pool_kwargs = {}
+    if shard_dir is not None:
+        pool_kwargs = {
+            "initializer": init_worker_obs,
+            "initargs": (str(shard_dir),),
+        }
+    with ProcessPoolExecutor(max_workers=pool_size, **pool_kwargs) as pool:
         with tracer.span(
             "sweep_submit",
             track="sweep",
             args={"cells": len(cells), "processes": pool_size},
         ):
             futures = [
-                (i, cell, pool.submit(_pool_cell, (cell, scale, cache_dir)))
+                (i, cell, pool.submit(_pool_cell, (i, cell, scale, cache_dir, ship)))
                 for i, cell in enumerate(cells)
             ]
         with tracer.span(
@@ -199,5 +257,15 @@ def run_sweep(
                     args={"index": i, "method": cell.method},
                 ):
                     results[i] = future.result()
+    if shard_dir is not None:
+        merged: MergedRun = merge_run_dir(
+            shard_dir,
+            tracer=tracer if tracer.enabled else None,
+            registry=registry,
+        )
+        if owns_run_dir:
+            shutil.rmtree(shard_dir, ignore_errors=True)
+        else:
+            write_merged_artifacts(merged, shard_dir)
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]

@@ -17,6 +17,14 @@ end-of-run :class:`~repro.sim.metrics.SimulationMetrics`:
 - :mod:`repro.obs.reconstruct` — recompute violation rate / accuracy /
   batch sizes from a trace alone (the instrumentation's correctness
   oracle);
+- :mod:`repro.obs.aggregate` — cross-process trace shipping: per-worker
+  JSONL shard tracers + registries installed by a pool initializer,
+  merged back into one multi-track tracer/registry in serial cell order;
+- :mod:`repro.obs.profile` — the phase profiler: nested wall-clock phase
+  timers on the tracer protocol, with hotspot tables and
+  flamegraph-folded output;
+- :mod:`repro.obs.report` — run-directory reports (text/HTML) and the
+  benchmark history log with regression checking;
 - :mod:`repro.obs.log` — package-wide logging setup for the CLI.
 
 Typical use::
@@ -31,6 +39,17 @@ Typical use::
 """
 
 from repro.obs import exporters
+from repro.obs.aggregate import (
+    MergedRun,
+    ShardInfo,
+    ShardTracer,
+    WorkerObs,
+    init_worker_obs,
+    merge_run_dir,
+    new_run_dir,
+    worker_obs,
+    write_merged_artifacts,
+)
 from repro.obs.audit import (
     AuditAlert,
     AuditBounds,
@@ -51,10 +70,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import PhaseProfiler, PhaseStats
 from repro.obs.reconstruct import (
     TraceSummary,
     reconstruct_from_jsonl,
     reconstruct_metrics,
+)
+from repro.obs.report import (
+    Regression,
+    append_bench_history,
+    check_bench_history,
+    render_run_report,
+    write_run_report,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -78,21 +105,37 @@ __all__ = [
     "Gauge",
     "GuaranteeAuditor",
     "Histogram",
+    "MergedRun",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "OccupancySummary",
     "PageHinkley",
+    "PhaseProfiler",
+    "PhaseStats",
     "RecordingTracer",
+    "Regression",
+    "ShardInfo",
+    "ShardTracer",
     "Span",
     "Tracer",
     "TraceSummary",
     "WindowVerdict",
+    "WorkerObs",
+    "append_bench_history",
+    "check_bench_history",
     "configure",
     "exporters",
     "get_logger",
     "hoeffding_interval",
+    "init_worker_obs",
+    "merge_run_dir",
+    "new_run_dir",
     "reconstruct_from_jsonl",
     "reconstruct_metrics",
+    "render_run_report",
     "wilson_interval",
+    "worker_obs",
+    "write_merged_artifacts",
+    "write_run_report",
 ]

@@ -85,48 +85,109 @@ def write_events_jsonl(tracer: RecordingTracer, path: Union[str, Path]) -> Path:
 # ----------------------------------------------------------------------
 # Chrome trace_event JSON
 # ----------------------------------------------------------------------
-def chrome_trace(tracer: RecordingTracer, process_name: str = "repro") -> Dict:
+_GROUP_INDEX_RE = re.compile(r"(\d+)$")
+
+
+def _track_group(track: str) -> str:
+    """The process-group prefix of a merged track (``""`` for the parent).
+
+    Merged worker tracks are named ``w<idx>/<track>`` by
+    :func:`repro.obs.aggregate.merge_run_dir`; everything without a
+    slash belongs to the parent process group.
+    """
+    return track.split("/", 1)[0] if "/" in track else ""
+
+
+def _group_sort_key(group: str):
+    # "" (parent) first, then w0 < w1 < ... < w10 numerically.
+    match = _GROUP_INDEX_RE.search(group)
+    return (group != "", int(match.group(1)) if match else -1, group)
+
+
+def chrome_trace(
+    tracer: RecordingTracer,
+    process_name: str = "repro",
+    split_processes: bool = False,
+) -> Dict:
     """The tracer's records as a Chrome ``trace_event`` JSON object.
 
     Timestamps/durations are microseconds as the format requires; track
     names become thread names, ordered so ``worker-*`` tracks sort first.
+    With ``split_processes``, tracks named ``<group>/<rest>`` (the merged
+    cross-process layout, e.g. ``w0/worker-1``) are emitted as separate
+    Chrome *processes* — one track group per worker — instead of extra
+    threads of the parent.
     """
     tracks = tracer.tracks()
 
     def sort_key(track: str):
-        return (0 if track.startswith("worker") else 1, track)
+        rest = track.split("/", 1)[1] if "/" in track else track
+        return (0 if rest.startswith("worker") else 1, track)
 
-    tids = {track: i + 1 for i, track in enumerate(sorted(tracks, key=sort_key))}
-    pid = 1
-    events: List[Dict[str, Any]] = [
-        {
-            "ph": "M",
-            "pid": pid,
-            "tid": 0,
-            "name": "process_name",
-            "args": {"name": process_name},
-        }
-    ]
-    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+    if split_processes:
+        groups = sorted({_track_group(t) for t in tracks}, key=_group_sort_key)
+    else:
+        groups = [""]
+    pids = {group: i + 1 for i, group in enumerate(groups)}
+
+    def track_location(track: str):
+        group = _track_group(track) if split_processes else ""
+        return pids[group], track
+
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for group in groups:
+        pid = pids[group]
+        label = process_name if not group else f"{process_name}/{group}"
         events.append(
             {
                 "ph": "M",
                 "pid": pid,
-                "tid": tid,
-                "name": "thread_name",
-                "args": {"name": track},
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": label},
             }
         )
         events.append(
             {
                 "ph": "M",
                 "pid": pid,
-                "tid": tid,
-                "name": "thread_sort_index",
-                "args": {"sort_index": tid},
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": pid},
             }
         )
+        members = sorted(
+            (
+                t
+                for t in tracks
+                if (_track_group(t) if split_processes else "") == group
+            ),
+            key=sort_key,
+        )
+        for i, track in enumerate(members):
+            tid = i + 1
+            tids[track] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": tid},
+                }
+            )
     for span in tracer.spans:
+        pid, _ = track_location(span.track)
         events.append(
             {
                 "ph": "X",
@@ -140,6 +201,7 @@ def chrome_trace(tracer: RecordingTracer, process_name: str = "repro") -> Dict:
             }
         )
     for event in tracer.events:
+        pid, _ = track_location(event.track)
         if event.is_counter:
             events.append(
                 {
@@ -168,11 +230,16 @@ def chrome_trace(tracer: RecordingTracer, process_name: str = "repro") -> Dict:
 
 
 def write_chrome_trace(
-    tracer: RecordingTracer, path: Union[str, Path], process_name: str = "repro"
+    tracer: RecordingTracer,
+    path: Union[str, Path],
+    process_name: str = "repro",
+    split_processes: bool = False,
 ) -> Path:
     """Write the Chrome trace JSON to ``path`` and return it."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer, process_name)))
+    path.write_text(
+        json.dumps(chrome_trace(tracer, process_name, split_processes))
+    )
     return path
 
 

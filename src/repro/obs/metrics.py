@@ -68,6 +68,14 @@ class Counter:
         """Current count."""
         return self._value
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (see :meth:`merge_state`)."""
+        return {"value": self._value}
+
+    def merge_state(self, state: Mapping) -> None:
+        """Fold another counter's snapshot in: counts **sum**."""
+        self.inc(float(state["value"]))
+
 
 class Gauge:
     """Last-write-wins value that also retains its sample time series."""
@@ -108,6 +116,32 @@ class Gauge:
         """
         self._value = math.nan
         self._series.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (see :meth:`merge_state`)."""
+        value = self._value
+        return {
+            "value": None if math.isnan(value) else value,
+            "series": [list(point) for point in self._series],
+        }
+
+    def merge_state(self, state: Mapping) -> None:
+        """Fold another gauge's snapshot in.
+
+        The time series is extended (capped at ``max_samples``); the
+        scalar value is last-write-wins, i.e. the merged-in snapshot
+        overwrites ours when it carries a value.  Cross-process merges
+        that must not lose per-worker values should merge each shard
+        into a gauge labelled with the worker index instead (see
+        :meth:`MetricsRegistry.merge_json_dict`).
+        """
+        for point in state.get("series", ()):
+            t_ms, value = point
+            if len(self._series) < self._max_samples:
+                self._series.append((float(t_ms), float(value)))
+        value = state.get("value")
+        if value is not None:
+            self._value = float(value)
 
 
 class Histogram:
@@ -207,6 +241,39 @@ class Histogram:
         frac = rank - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (see :meth:`merge_state`)."""
+        return {
+            "bounds": list(self._bounds),
+            "bucket_counts": list(self._bucket_counts),
+            "count": self._count,
+            "sum": self._sum,
+            "reservoir": list(self._reservoir),
+        }
+
+    def merge_state(self, state: Mapping) -> None:
+        """Fold another histogram's snapshot in.
+
+        Bucket counts, totals, and sums add; the reservoir is topped up
+        deterministically (first-come first-kept) until capacity, so
+        quantiles stay exact while the combined sample count fits.
+        Merging histograms with different bucket bounds raises.
+        """
+        bounds = tuple(float(b) for b in state["bounds"])
+        if bounds != self._bounds:
+            raise ValueError(
+                f"histogram {self.name!r} bucket bounds differ: "
+                f"{bounds} vs {self._bounds}"
+            )
+        for i, n in enumerate(state["bucket_counts"]):
+            self._bucket_counts[i] += int(n)
+        self._count += int(state["count"])
+        self._sum += float(state["sum"])
+        for value in state["reservoir"]:
+            if len(self._reservoir) >= self._capacity:
+                break
+            self._reservoir.append(float(value))
+
 
 class MetricsRegistry:
     """Get-or-create home for all metrics of one run.
@@ -295,3 +362,62 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Cross-process shipping (obs.aggregate)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Serialize the whole registry to a JSON-compatible dict.
+
+        The inverse is :meth:`merge_json_dict`, which folds a snapshot
+        into an existing registry — together they let worker processes
+        ship their metrics to the parent as plain JSON.
+        """
+        metrics = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            metrics.append(
+                {
+                    "name": name,
+                    "kind": self._kinds[name],
+                    "labels": [list(pair) for pair in labels],
+                    "state": metric.state_dict(),  # type: ignore[attr-defined]
+                }
+            )
+        return {
+            "help": dict(self._help),
+            "metrics": metrics,
+        }
+
+    def merge_json_dict(
+        self,
+        data: Mapping,
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold a :meth:`to_json_dict` snapshot into this registry.
+
+        Counters and histograms merge into the metric with the *same*
+        label set (counts sum, histograms combine).  Gauges are
+        last-write-wins by nature, so when ``extra_labels`` is given
+        (e.g. ``{"worker": "3"}``) each gauge is republished under its
+        original labels **plus** the extra ones — per-worker values stay
+        distinguishable instead of clobbering each other.
+        """
+        extra = dict(extra_labels or {})
+        for name, help_text in data.get("help", {}).items():
+            self._help.setdefault(name, help_text)
+        for entry in data["metrics"]:
+            name = entry["name"]
+            kind = entry["kind"]
+            labels = {str(k): str(v) for k, v in entry["labels"]}
+            if kind == "counter":
+                self.counter(name, labels=labels).merge_state(entry["state"])
+            elif kind == "histogram":
+                bounds = entry["state"]["bounds"]
+                hist = self.histogram(name, labels=labels, buckets=bounds)
+                hist.merge_state(entry["state"])
+            elif kind == "gauge":
+                if extra:
+                    labels.update(extra)
+                self.gauge(name, labels=labels).merge_state(entry["state"])
+            else:  # pragma: no cover - future-proofing
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")

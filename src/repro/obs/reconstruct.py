@@ -109,11 +109,18 @@ def reconstruct_metrics(tracer: RecordingTracer) -> TraceSummary:
     return _fold(records)
 
 
+def _iter_jsonl(path: Path) -> Iterable[Mapping]:
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
 def reconstruct_from_jsonl(path: Union[str, Path]) -> TraceSummary:
-    """Recompute the summary from a JSONL event log on disk."""
-    records = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
-            records.append(json.loads(line))
-    return _fold(records)
+    """Recompute the summary from a JSONL event log on disk.
+
+    The log is streamed line by line — shard files from large parallel
+    runs never need to fit in memory.
+    """
+    return _fold(_iter_jsonl(Path(path)))

@@ -1,0 +1,367 @@
+"""Run reports and benchmark history tracking.
+
+Two consumers of on-disk observability artifacts:
+
+- **Run reports** (:func:`render_run_report`, ``ramsis report
+  --run-dir``): fold one run directory — worker shards and merged
+  artifacts from :mod:`repro.obs.aggregate`, plus an ``audit.json`` from
+  the live guarantee auditor when present — into a single text or HTML
+  summary: shard inventory, reconstructed lifecycle aggregates, metric
+  highlights, audit verdicts.
+
+- **Bench history** (:func:`append_bench_history` /
+  :func:`check_bench_history`, ``ramsis bench-history``): append every
+  ``benchmarks/out/*.json`` result as one line of
+  ``benchmarks/out/history.jsonl``, then compare each benchmark's latest
+  entry against its previous one.  Directionality is inferred from the
+  metric-key suffix (``*_s``/``*_ms``/``*_seconds``/``*_bytes``/
+  ``*vs_off`` are lower-is-better; ``*_qps``/``*speedup*``/
+  ``*throughput*`` are higher-is-better; anything else is informational
+  and never flagged), and a change worse than the tolerance fraction is
+  a regression — the CI gate that turns one-off bench numbers into a
+  tracked series.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.reconstruct import TraceSummary, reconstruct_from_jsonl
+
+__all__ = [
+    "render_run_report",
+    "write_run_report",
+    "append_bench_history",
+    "check_bench_history",
+    "Regression",
+]
+
+#: Metric-key suffixes where smaller is better (runtimes, footprints).
+LOWER_IS_BETTER_SUFFIXES: Tuple[str, ...] = (
+    "_s",
+    "_ms",
+    "_seconds",
+    "_bytes",
+    "vs_off",
+)
+#: Metric-key markers where larger is better (rates of useful work).
+HIGHER_IS_BETTER_MARKERS: Tuple[str, ...] = ("_qps", "speedup", "throughput")
+
+
+# ----------------------------------------------------------------------
+# Run reports
+# ----------------------------------------------------------------------
+def _count_lines(path: Path) -> int:
+    count = 0
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                count += 1
+    return count
+
+
+def _find_merged_jsonl(run_dir: Path) -> Optional[Path]:
+    direct = run_dir / "merged.jsonl"
+    if direct.is_file():
+        return direct
+    batches = sorted(run_dir.glob("batch-*/merged.jsonl"))
+    return batches[-1] if batches else None
+
+
+def _summary_rows(summary: TraceSummary) -> List[Tuple[str, str]]:
+    return [
+        ("arrivals", str(summary.arrivals)),
+        ("completed queries", str(summary.total_queries)),
+        ("satisfied queries", str(summary.satisfied_queries)),
+        ("violation rate", f"{summary.violation_rate * 100:.3f}%"),
+        (
+            "accuracy (satisfied)",
+            f"{summary.accuracy_per_satisfied_query * 100:.2f}%",
+        ),
+        ("MS&S decisions", str(summary.decisions)),
+        ("mean batch size", f"{summary.mean_batch_size:.3f}"),
+    ]
+
+
+def _metric_rows(metrics_json: Path) -> List[Tuple[str, str]]:
+    data = json.loads(metrics_json.read_text())
+    rows: List[Tuple[str, str]] = []
+    for entry in data.get("metrics", []):
+        labels = ",".join(f"{k}={v}" for k, v in entry.get("labels", []))
+        label = entry["name"] + (f"{{{labels}}}" if labels else "")
+        state = entry.get("state", {})
+        kind = entry.get("kind")
+        if kind == "counter":
+            rows.append((label, f"{state.get('value', 0.0):g}"))
+        elif kind == "gauge":
+            value = state.get("value")
+            series = state.get("series", [])
+            shown = "-" if value is None else f"{value:g}"
+            rows.append((label, f"{shown} ({len(series)} samples)"))
+        elif kind == "histogram":
+            count = state.get("count", 0)
+            total = state.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            rows.append((label, f"count={count} mean={mean:.3f}"))
+    return rows
+
+
+def _audit_rows(audit_json: Path) -> List[Tuple[str, str]]:
+    data = json.loads(audit_json.read_text())
+    rows: List[Tuple[str, str]] = []
+    for key in ("ok", "windows", "breaches", "alerts"):
+        if key in data:
+            value = data[key]
+            rows.append((key, str(len(value) if isinstance(value, list) else value)))
+    if not rows:
+        rows.append(("keys", ", ".join(sorted(data)[:8])))
+    return rows
+
+
+def _gather_sections(run_dir: Path) -> List[Tuple[str, List[Tuple[str, str]]]]:
+    sections: List[Tuple[str, List[Tuple[str, str]]]] = []
+
+    shard_rows: List[Tuple[str, str]] = []
+    for path in sorted(run_dir.glob("shard-*.jsonl")) + sorted(
+        run_dir.glob("batch-*/shard-*.jsonl")
+    ):
+        shard_rows.append(
+            (str(path.relative_to(run_dir)), f"{_count_lines(path) - 1} records")
+        )
+    if shard_rows:
+        sections.append(("worker shards", shard_rows))
+
+    merged = _find_merged_jsonl(run_dir)
+    if merged is not None:
+        summary = reconstruct_from_jsonl(merged)
+        sections.append(
+            (
+                f"reconstructed from {merged.relative_to(run_dir)}",
+                _summary_rows(summary),
+            )
+        )
+
+    metrics_json = run_dir / "metrics.json"
+    if metrics_json.is_file():
+        sections.append(("merged metrics", _metric_rows(metrics_json)))
+
+    audit_json = run_dir / "audit.json"
+    if audit_json.is_file():
+        sections.append(("guarantee audit", _audit_rows(audit_json)))
+
+    artifact_rows = [
+        (name, f"{(run_dir / name).stat().st_size} bytes")
+        for name in ("merged.jsonl", "trace.json", "metrics.prom", "metrics.json")
+        if (run_dir / name).is_file()
+    ]
+    if artifact_rows:
+        sections.append(("merged artifacts", artifact_rows))
+    return sections
+
+
+def render_run_report(run_dir: Union[str, Path], fmt: str = "text") -> str:
+    """One summary (text or HTML) of a run directory's artifacts."""
+    directory = Path(run_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"run directory not found: {directory}")
+    sections = _gather_sections(directory)
+    title = f"ramsis run report — {directory}"
+    if fmt == "text":
+        lines = [title, "=" * len(title)]
+        if not sections:
+            lines.append("(no observability artifacts found)")
+        for heading, rows in sections:
+            lines.append("")
+            lines.append(heading)
+            lines.append("-" * len(heading))
+            width = max((len(k) for k, _ in rows), default=0)
+            for key, value in rows:
+                lines.append(f"  {key.ljust(width)}  {value}")
+        return "\n".join(lines) + "\n"
+    if fmt == "html":
+        parts = [
+            "<!doctype html>",
+            "<html><head><meta charset='utf-8'>",
+            f"<title>{html.escape(title)}</title>",
+            "<style>body{font-family:monospace;margin:2em}"
+            "table{border-collapse:collapse;margin-bottom:1.5em}"
+            "td,th{border:1px solid #999;padding:2px 8px;text-align:left}"
+            "</style></head><body>",
+            f"<h1>{html.escape(title)}</h1>",
+        ]
+        if not sections:
+            parts.append("<p>(no observability artifacts found)</p>")
+        for heading, rows in sections:
+            parts.append(f"<h2>{html.escape(heading)}</h2>")
+            parts.append("<table>")
+            for key, value in rows:
+                parts.append(
+                    f"<tr><td>{html.escape(key)}</td>"
+                    f"<td>{html.escape(value)}</td></tr>"
+                )
+            parts.append("</table>")
+        parts.append("</body></html>")
+        return "\n".join(parts) + "\n"
+    raise ValueError(f"unknown report format {fmt!r} (expected 'text' or 'html')")
+
+
+def write_run_report(
+    run_dir: Union[str, Path],
+    out_path: Optional[Union[str, Path]] = None,
+    fmt: str = "text",
+) -> Path:
+    """Render the run report and write it under (or at) ``out_path``."""
+    directory = Path(run_dir)
+    if out_path is None:
+        out_path = directory / ("report.html" if fmt == "html" else "report.txt")
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(render_run_report(directory, fmt=fmt))
+    return out_path
+
+
+# ----------------------------------------------------------------------
+# Bench history
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Regression:
+    """One tracked benchmark metric that got worse beyond tolerance."""
+
+    bench: str
+    key: str
+    previous: float
+    latest: float
+    #: "lower" or "higher" — which direction is better for this key.
+    better: str
+
+    @property
+    def change(self) -> float:
+        """Fractional change from previous to latest (signed)."""
+        if self.previous == 0:
+            return math.inf
+        return (self.latest - self.previous) / abs(self.previous)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI/CI output."""
+        return (
+            f"{self.bench}:{self.key} {self.previous:g} -> {self.latest:g} "
+            f"({self.change * 100:+.1f}%, {self.better} is better)"
+        )
+
+
+def _flatten(data: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested JSON value, dot-keyed; bools excluded."""
+    out: Dict[str, float] = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_flatten(value, path))
+    elif isinstance(data, (int, float)) and not isinstance(data, bool):
+        value = float(data)
+        if math.isfinite(value):
+            out[prefix] = value
+    return out
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """"lower"/"higher" when ``key`` is a tracked metric, else ``None``."""
+    leaf = key.rsplit(".", 1)[-1]
+    for marker in HIGHER_IS_BETTER_MARKERS:
+        if marker in leaf:
+            return "higher"
+    for suffix in LOWER_IS_BETTER_SUFFIXES:
+        if leaf.endswith(suffix):
+            return "lower"
+    return None
+
+
+def append_bench_history(
+    out_dir: Union[str, Path],
+    history_path: Optional[Union[str, Path]] = None,
+    timestamp: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Append every ``<out_dir>/*.json`` bench result to the history log.
+
+    Each appended line is ``{"bench", "recorded_unix", "data"}``; the
+    history file itself (``history.jsonl``) is skipped.  Returns the
+    entries appended, in bench-name order.
+    """
+    directory = Path(out_dir)
+    history = (
+        directory / "history.jsonl" if history_path is None else Path(history_path)
+    )
+    recorded = time.time() if timestamp is None else float(timestamp)
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob("*.json")):
+        if path.resolve() == history.resolve():
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        entries.append(
+            {"bench": path.stem, "recorded_unix": recorded, "data": data}
+        )
+    if entries:
+        history.parent.mkdir(parents=True, exist_ok=True)
+        with history.open("a", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entries
+
+
+def check_bench_history(
+    history_path: Union[str, Path], tolerance: float = 0.25
+) -> List[Regression]:
+    """Compare each benchmark's latest history entry against its previous.
+
+    A tracked metric (see :func:`metric_direction`) that moved in the
+    worse direction by more than ``tolerance`` (fractional) is reported.
+    Benchmarks with fewer than two entries, and keys present in only one
+    entry, are skipped — the first recorded run can never regress.
+    """
+    history = Path(history_path)
+    if not history.is_file():
+        return []
+    by_bench: Dict[str, List[Dict[str, Any]]] = {}
+    with history.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            by_bench.setdefault(entry["bench"], []).append(entry)
+
+    regressions: List[Regression] = []
+    for bench in sorted(by_bench):
+        entries = by_bench[bench]
+        if len(entries) < 2:
+            continue
+        previous = _flatten(entries[-2].get("data", {}))
+        latest = _flatten(entries[-1].get("data", {}))
+        for key in sorted(previous.keys() & latest.keys()):
+            better = metric_direction(key)
+            if better is None:
+                continue
+            old, new = previous[key], latest[key]
+            if old == 0:
+                continue
+            change = (new - old) / abs(old)
+            worse = change > tolerance if better == "lower" else change < -tolerance
+            if worse:
+                regressions.append(
+                    Regression(
+                        bench=bench,
+                        key=key,
+                        previous=old,
+                        latest=new,
+                        better=better,
+                    )
+                )
+    return regressions

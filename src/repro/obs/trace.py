@@ -201,6 +201,10 @@ class RecordingTracer(Tracer):
         self._spans: List[Span] = []
         self._events: List[Event] = []
         self._epoch = time.perf_counter()
+        #: Wall-clock instant (Unix epoch, ms) paired with the
+        #: ``perf_counter`` epoch above.  Cross-process aggregation uses
+        #: it to anchor each process's t=0 on a shared timeline.
+        self.anchor_unix_ms: float = time.time() * 1000.0
         self._next_id = 1
         #: Open context-manager spans per track (for parent links).
         self._open: Dict[str, List[int]] = {}

@@ -205,13 +205,26 @@ class Simulation:
                 cfg.tracer is not None and cfg.tracer.enabled
             ) or cfg.registry is not None
             engine = "reference" if observed else "fast"
+        if engine not in ("fast", "reference"):
+            raise SimulationError(
+                f"unknown engine {engine!r} (expected 'auto', 'fast', 'reference')"
+            )
+        tracer = cfg.tracer
+        if tracer is not None and tracer.enabled:
+            # Wall-clock phase around the whole event loop — the phase
+            # profiler's per-run unit for engine time.  Untraced runs
+            # (both engines) skip it entirely.
+            with tracer.span(
+                "event_loop",
+                track="engine",
+                args={"engine": engine, "queries": int(arrivals.size)},
+            ):
+                if engine == "fast":
+                    return self._event_loop_fast(selectors, arrivals, discipline)
+                return self.reference_event_loop(selectors, arrivals, discipline)
         if engine == "fast":
             return self._event_loop_fast(selectors, arrivals, discipline)
-        if engine == "reference":
-            return self.reference_event_loop(selectors, arrivals, discipline)
-        raise SimulationError(
-            f"unknown engine {engine!r} (expected 'auto', 'fast', 'reference')"
-        )
+        return self.reference_event_loop(selectors, arrivals, discipline)
 
     # ------------------------------------------------------------------
     # Reference event loop (also the traced path)

@@ -111,7 +111,7 @@ class TestTraceContents:
             LoadTrace.constant(100.0, 5_000.0),
             workers=2,
         )
-        assert tracer.tracks() == ["balancer", "worker-0", "worker-1"]
+        assert tracer.tracks() == ["balancer", "engine", "worker-0", "worker-1"]
 
     def test_serve_span_args(self, tiny_models):
         _, tracer, _ = traced_run(

@@ -1,0 +1,219 @@
+"""Run reports and bench-history regression tracking."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.aggregate import ShardTracer, merge_run_dir, write_merged_artifacts
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    Regression,
+    append_bench_history,
+    check_bench_history,
+    metric_direction,
+    render_run_report,
+    write_run_report,
+)
+from repro.obs.report import _flatten
+
+
+def populate_run_dir(run_dir):
+    """One worker shard plus merged artifacts plus an audit report."""
+    run_dir.mkdir(parents=True, exist_ok=True)
+    shard = ShardTracer(run_dir / "shard-11.jsonl", pid=11)
+    shard.instant("arrival", "balancer", 0.5)
+    shard.complete("serve", "worker-0", 1.0, 4.0, args={"batch": 2})
+    shard.instant(
+        "completion",
+        "worker-0",
+        5.0,
+        args={"satisfied": True, "accuracy": 0.75},
+    )
+    shard.instant(
+        "completion",
+        "worker-0",
+        9.0,
+        args={"satisfied": False, "accuracy": 0.75},
+    )
+    shard.counter("queue_depth", "worker-0", 2.0, 3.0)
+    shard.close()
+
+    registry = MetricsRegistry()
+    registry.counter("queries_total", "Completed queries").inc(2)
+    (run_dir / "metrics-11.json").write_text(json.dumps(registry.to_json_dict()))
+
+    merged = merge_run_dir(run_dir)
+    write_merged_artifacts(merged, run_dir)
+    (run_dir / "audit.json").write_text(
+        json.dumps({"ok": True, "windows": 4, "breaches": 0})
+    )
+    return run_dir
+
+
+class TestRunReport:
+    def test_text_report_sections(self, tmp_path):
+        report = render_run_report(populate_run_dir(tmp_path / "run"))
+        assert "ramsis run report" in report
+        assert "worker shards" in report
+        assert "shard-11.jsonl" in report
+        assert "reconstructed from merged.jsonl" in report
+        assert "completed queries" in report
+        # 1 of 2 completions satisfied.
+        assert "violation rate" in report and "50.000%" in report
+        assert "merged metrics" in report
+        assert "queries_total" in report
+        assert "guarantee audit" in report
+        assert "merged artifacts" in report
+
+    def test_html_report_escapes_and_tabulates(self, tmp_path):
+        report = render_run_report(populate_run_dir(tmp_path / "run"), fmt="html")
+        assert report.startswith("<!doctype html>")
+        assert "<table>" in report
+        assert "<h2>worker shards</h2>" in report
+
+    def test_empty_dir_reports_no_artifacts(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert "(no observability artifacts found)" in render_run_report(empty)
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            render_run_report(tmp_path / "nope")
+
+    def test_unknown_format_raises(self, tmp_path):
+        populate_run_dir(tmp_path / "run")
+        with pytest.raises(ValueError):
+            render_run_report(tmp_path / "run", fmt="pdf")
+
+    def test_batch_subdir_merged_jsonl_found(self, tmp_path):
+        run_dir = tmp_path / "bank"
+        populate_run_dir(run_dir / "batch-000")
+        report = render_run_report(run_dir)
+        assert "batch-000/merged.jsonl" in report.replace("\\", "/")
+
+    def test_write_run_report_default_and_explicit_path(self, tmp_path):
+        run_dir = populate_run_dir(tmp_path / "run")
+        default = write_run_report(run_dir)
+        assert default == run_dir / "report.txt"
+        assert "worker shards" in default.read_text()
+        explicit = write_run_report(
+            run_dir, out_path=tmp_path / "deep" / "r.html", fmt="html"
+        )
+        assert explicit.is_file()
+        assert explicit.read_text().startswith("<!doctype html>")
+
+    def test_cli_report_run_dir(self, tmp_path, capsys):
+        run_dir = populate_run_dir(tmp_path / "run")
+        assert main(["report", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "worker shards" in out
+        assert (run_dir / "report.txt").is_file()
+
+    def test_cli_report_missing_run_dir_fails(self, tmp_path, capsys):
+        assert main(["report", "--run-dir", str(tmp_path / "gone")]) == 1
+        assert "not found" in capsys.readouterr().out
+
+
+class TestFlattenAndDirection:
+    def test_flatten_nested_numeric_leaves(self):
+        flat = _flatten(
+            {
+                "a": {"solve_s": 1.5, "name": "x", "flag": True},
+                "rows": [1, 2],
+                "n": 3,
+            }
+        )
+        assert flat == {"a.solve_s": 1.5, "n": 3.0}
+
+    def test_direction_from_leaf_suffix(self):
+        assert metric_direction("timings.value_iteration_s") == "lower"
+        assert metric_direction("variants.tracer.vs_off") == "lower"
+        assert metric_direction("engine_speedup") == "higher"
+        assert metric_direction("sim.queries_per_s_qps") == "higher"
+        assert metric_direction("accuracy") is None
+
+
+class TestBenchHistory:
+    def _record(self, out_dir, value, history=None):
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "micro.json").write_text(json.dumps({"solve_s": value}))
+        return append_bench_history(out_dir, history_path=history)
+
+    def test_append_skips_history_and_invalid_json(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "good.json").write_text(json.dumps({"x_s": 1.0}))
+        (out / "bad.json").write_text("{not json")
+        (out / "history.jsonl").write_text('{"bench": "stale"}\n')
+        entries = append_bench_history(out)
+        assert [e["bench"] for e in entries] == ["good"]
+        lines = (out / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 2  # stale line + the one new record
+
+    def test_regression_flagged_beyond_tolerance(self, tmp_path):
+        out = tmp_path / "out"
+        self._record(out, 1.0)
+        self._record(out, 1.5)  # 50% slower
+        (regression,) = check_bench_history(out / "history.jsonl")
+        assert regression.bench == "micro"
+        assert regression.key == "solve_s"
+        assert regression.better == "lower"
+        assert regression.change == pytest.approx(0.5)
+        assert "micro:solve_s" in regression.describe()
+
+    def test_improvement_and_within_tolerance_pass(self, tmp_path):
+        out = tmp_path / "out"
+        self._record(out, 1.0)
+        self._record(out, 1.2)  # within the default 25%
+        assert check_bench_history(out / "history.jsonl") == []
+        self._record(out, 0.5)  # big improvement: never flagged
+        assert check_bench_history(out / "history.jsonl") == []
+
+    def test_higher_is_better_direction(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        for qps in (100.0, 50.0):
+            (out / "sim.json").write_text(json.dumps({"load_qps": qps}))
+            append_bench_history(out)
+        (regression,) = check_bench_history(out / "history.jsonl")
+        assert regression.better == "higher"
+        assert regression.latest == 50.0
+
+    def test_only_latest_pair_compared(self, tmp_path):
+        out = tmp_path / "out"
+        for value in (5.0, 1.0, 1.1):  # old spike, then stable
+            self._record(out, value)
+        assert check_bench_history(out / "history.jsonl") == []
+
+    def test_single_entry_and_zero_baseline_skipped(self, tmp_path):
+        out = tmp_path / "out"
+        self._record(out, 0.0)
+        assert check_bench_history(out / "history.jsonl") == []
+        self._record(out, 3.0)  # previous was exactly 0 → skipped
+        assert check_bench_history(out / "history.jsonl") == []
+
+    def test_missing_history_is_clean(self, tmp_path):
+        assert check_bench_history(tmp_path / "none.jsonl") == []
+
+    def test_untracked_keys_never_flagged(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        for acc in (0.9, 0.1):
+            (out / "fig.json").write_text(json.dumps({"accuracy": acc}))
+            append_bench_history(out)
+        assert check_bench_history(out / "history.jsonl") == []
+
+    def test_cli_append_then_check_gates(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        self._record(out, 1.0)
+        (out / "micro.json").write_text(json.dumps({"solve_s": 2.0}))
+        args = ["bench-history", "--out-dir", str(out), "--check"]
+        assert main(args) == 1
+        assert "regression(s)" in capsys.readouterr().out
+        # Looser tolerance passes without recording a new generation.
+        assert (
+            main(args + ["--no-append", "--tolerance", "2.0"]) == 0
+        )
+        lines = (out / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 2

@@ -17,6 +17,7 @@ from repro.experiments.runner import clear_caches
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.sweep import SweepCell, run_cell, run_sweep
 from repro.experiments.tasks import image_task
+from repro.obs.reconstruct import reconstruct_metrics
 from repro.obs.trace import RecordingTracer
 
 
@@ -138,3 +139,28 @@ class TestObservability:
         assert "sweep_submit" in names
         assert "sweep_collect" in names
         assert sum(n.startswith("cell ") for n in names) == len(cells)
+
+    def test_single_cell_falls_back_to_serial_instrumentation(self, tmp_path):
+        """jobs>1 with one cell must not fork a pool or write shards."""
+        cells, scale = smoke_cells(methods=("JF",), loads=(20.0,))
+        assert len(cells) == 1
+        tracer = RecordingTracer()
+        run_dir = tmp_path / "run"
+        run_sweep(cells, scale, jobs=4, tracer=tracer, run_dir=run_dir)
+        names = [s.name for s in tracer.spans if s.track == "sweep"]
+        assert "sweep_submit" not in names
+        # Cell spans record directly in-process — no shipped worker tracks.
+        assert not any(t.startswith("w0/") for t in tracer.tracks())
+        assert not run_dir.exists() or not list(run_dir.glob("shard-*"))
+
+    def test_jobs_one_matches_traced_serial(self):
+        cells, scale = smoke_cells(methods=("JF",), loads=(20.0, 50.0))
+        serial_tracer = RecordingTracer()
+        serial = run_sweep(cells, scale, tracer=serial_tracer)
+        clear_caches()
+        one_tracer = RecordingTracer()
+        one = run_sweep(cells, scale, jobs=1, tracer=one_tracer)
+        assert one == serial
+        assert reconstruct_metrics(one_tracer) == reconstruct_metrics(
+            serial_tracer
+        )
