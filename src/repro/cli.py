@@ -16,6 +16,8 @@ plot.py            ``ramsis report --trace real ...``
 (live audit)       ``ramsis audit --load 40 --workers 2 --out-dir audit``
 (run reports)      ``ramsis report --run-dir run0 [--html]``
 (bench history)    ``ramsis bench-history --check``
+(tail attribution) ``ramsis explain --run-dir run0 [--json]``
+(live view)        ``ramsis top --run-dir run0 [--once]``
 =================  ====================================================
 
 Results are written as JSON under ``--results-dir`` with the artifact's
@@ -436,6 +438,149 @@ def cmd_bench_history(args: argparse.Namespace) -> int:
     for regression in regressions:
         print(f"  {regression.describe()}")
     return 1
+
+
+def _explain_attributor(run_dir: Path, slo: Optional[float]):
+    """The run's attribution, preferring the merged artifact's tracer fold.
+
+    Returns ``(snapshot_dict, attributor_or_None)``: an existing
+    ``attribution.json`` is authoritative (it was folded from the merged
+    tracer in serial cell order); otherwise the event log is refolded.
+    """
+    direct = run_dir / "attribution.json"
+    if direct.is_file():
+        return json.loads(direct.read_text()), None
+    batches = sorted(run_dir.glob("batch-*/attribution.json"))
+    if batches:
+        return json.loads(batches[-1].read_text()), None
+    from repro.obs.attribution import attribution_from_jsonl
+
+    for name in ("merged.jsonl", "events.jsonl"):
+        candidates = [run_dir / name] + sorted(run_dir.glob(f"batch-*/{name}"))
+        for path in candidates:
+            if path.is_file():
+                attributor = attribution_from_jsonl(path, slo_ms=slo)
+                return attributor.to_json_dict(), attributor
+    return None, None
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Attribute a run's tail latency (phases, blame, burn, exemplars).
+
+    Reads a run directory's ``attribution.json`` (written by traced
+    sweeps and ``write_merged_artifacts``) or, absent that, folds the
+    run's ``merged.jsonl``/``events.jsonl`` event log through the
+    attribution engine.  Prints the per-(model, worker) phase table with
+    model-choice blame, the SLO burn-rate windows, and the retained tail
+    exemplars — or the full JSON snapshot with ``--json``.
+    """
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"run directory not found: {run_dir}")
+        return 1
+    snapshot, attributor = _explain_attributor(run_dir, args.slo)
+    if snapshot is None:
+        print(
+            f"no attribution source in {run_dir} "
+            "(expected attribution.json, merged.jsonl, or events.jsonl)"
+        )
+        return 1
+    if args.json:
+        rendered = json.dumps(snapshot, indent=1, sort_keys=True)
+    elif attributor is not None:
+        rendered = attributor.render_text(limit=args.top)
+    else:
+        rendered = _render_attribution_snapshot(snapshot, limit=args.top)
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(rendered + "\n")
+        log.info("attribution written to %s", out_path)
+    print(rendered)
+    return 0
+
+
+def _render_attribution_snapshot(snapshot: dict, limit: Optional[int]) -> str:
+    """Text tables from a stored attribution.json (no live attributor)."""
+    rows = sorted(snapshot.get("rows", []), key=lambda r: -r["response_ms"])
+    if limit is not None:
+        rows = rows[:limit]
+    body = []
+    for r in rows:
+        n = max(r["queries"], 1)
+        body.append(
+            [
+                r["slo"],
+                r["model"],
+                str(r["worker"]),
+                str(r["queries"]),
+                f"{r['queue_wait_ms'] / n:.2f}",
+                f"{r['service_ms'] / n:.2f}",
+                f"{r['drop_ms'] / n:.2f}",
+                f"{r.get('blame_per_query_ms', 0.0):.2f}",
+                f"{r['violations'] / n:.1%}",
+                str(r["dropped"]),
+            ]
+        )
+    table = format_table(
+        [
+            "slo", "model", "worker", "queries", "wait ms", "service ms",
+            "drop ms", "blame/q ms", "viol %", "drops",
+        ],
+        body,
+        title="Latency attribution (per-query phase means)",
+    )
+    lines = [table, "", "SLO burn rate:"]
+    for w in snapshot.get("burn", {}).get("windows", []):
+        lines.append(
+            "  window {:>6}  rate {:.4f}  burn {:.3f}  alerts {}".format(
+                w["size"], w["rate"], w["burn"], w["alerts"]
+            )
+        )
+    chains = snapshot.get("exemplars", {}).get("chains", [])
+    lines.append("")
+    lines.append(f"Tail exemplars ({len(chains)} retained):")
+    for chain in chains[:5]:
+        lines.append(
+            "  q{query} worker {worker} {model}: {response_ms:.1f} ms "
+            "(wait {queue_wait_ms:.1f}, service {service_ms:.1f}, "
+            "drop {drop_ms:.1f})".format(**chain)
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live streaming view of an in-flight (or finished) run directory.
+
+    Polls the run directory's snapshot feeds — ``metrics-<pid>.json`` /
+    ``attribution-<pid>.json`` written periodically by the runtime
+    controller and by ``run_sweep`` pool workers, plus merged artifacts —
+    and redraws one frame per ``--interval``.  ``--once`` prints a single
+    frame and exits (CI-friendly); interactive mode stops on Ctrl-C.
+    """
+    import time as _time
+
+    from repro.obs.report import render_top_frame
+
+    run_dir = Path(args.run_dir)
+    try:
+        frame = render_top_frame(run_dir, limit=args.limit)
+    except FileNotFoundError as exc:
+        print(str(exc))
+        return 1
+    if args.once:
+        print(frame, end="")
+        return 0
+    try:
+        while True:
+            # ANSI clear + home, then the frame: a minimal live TUI.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+            frame = render_top_frame(run_dir, limit=args.limit)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def cmd_synth_trace(args: argparse.Namespace) -> int:
@@ -885,6 +1030,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the existing history without recording a new generation",
     )
     bench_history.set_defaults(func=cmd_bench_history)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute a run's tail latency: phases, blame, burn, exemplars",
+    )
+    explain.add_argument(
+        "--run-dir",
+        required=True,
+        help="observability run directory (attribution.json or an event log)",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full JSON snapshot instead of text tables",
+    )
+    explain.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="SLO label for violation-excess tracking when refolding an "
+        "event log (ignored when attribution.json already exists)",
+    )
+    explain.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="show only the N highest-latency attribution rows",
+    )
+    explain.add_argument(
+        "--out", default=None, help="also write the rendering to this file"
+    )
+    explain.set_defaults(func=cmd_explain)
+
+    top = sub.add_parser(
+        "top", help="live streaming view of a run directory's snapshot feeds"
+    )
+    top.add_argument(
+        "--run-dir",
+        required=True,
+        help="run directory receiving metrics-*/attribution-* snapshots",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no ANSI redraw loop)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between frame redraws",
+    )
+    top.add_argument(
+        "--limit",
+        type=int,
+        default=12,
+        help="max metric rows shown per feed file",
+    )
+    top.set_defaults(func=cmd_top)
 
     synth = sub.add_parser(
         "synth-trace", help="synthesize the Twitter-shaped trace"

@@ -46,6 +46,7 @@ from repro.sim.simulator import Simulation, SimulationConfig
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.cache import PolicyCache
     from repro.core.generator import GenerationResult
+    from repro.obs.attribution import LatencyAttributor
 
 __all__ = [
     "MethodPoint",
@@ -403,6 +404,7 @@ def run_method(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     cache: Optional["PolicyCache"] = None,
+    attributor: Optional["LatencyAttributor"] = None,
 ) -> MethodPoint:
     """Execute one evaluation cell and collect its metrics.
 
@@ -411,9 +413,12 @@ def run_method(
     monitor is used.  Constant (single-interval) traces pin RAMSIS to the
     policy for that exact load, like the artifact does.  ``tracer`` and
     ``registry`` (see :mod:`repro.obs`) opt the underlying simulation into
-    per-query tracing and time-series metrics.  ``cache`` layers a
-    persistent :class:`repro.cache.PolicyCache` under policy construction
-    so concurrent sweep processes share solved policies.
+    per-query tracing and time-series metrics; ``attributor`` attaches
+    streaming tail-latency attribution
+    (:class:`repro.obs.attribution.LatencyAttributor`) on either engine
+    without forcing the reference path.  ``cache`` layers a persistent
+    :class:`repro.cache.PolicyCache` under policy construction so
+    concurrent sweep processes share solved policies.
     """
     models = model_set if model_set is not None else task.model_set
     pinned = trace.qps[0] if len(trace.qps) == 1 else None
@@ -444,6 +449,7 @@ def run_method(
             track_responses=False,
             tracer=tracer,
             registry=registry,
+            attributor=attributor,
         )
     )
     metrics = sim.run(selector, trace, arrival_times=shared_arrivals(trace, seed))

@@ -57,6 +57,7 @@ from repro.sim.latency_model import StochasticLatency
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.cache import PolicyCache
+    from repro.obs.attribution import LatencyAttributor
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["SweepCell", "run_cell", "run_sweep"]
@@ -92,6 +93,7 @@ def run_cell(
     cache: Optional["PolicyCache"] = None,
     tracer: Optional[Tracer] = None,
     registry: Optional["MetricsRegistry"] = None,
+    attributor: Optional["LatencyAttributor"] = None,
 ) -> MethodPoint:
     """Execute one cell — the single code path serial and parallel share."""
     latency_model = (
@@ -113,6 +115,7 @@ def run_cell(
         tracer=tracer,
         registry=registry,
         cache=cache,
+        attributor=attributor,
     )
 
 
@@ -142,7 +145,10 @@ def _pool_cell(
     registry: Optional["MetricsRegistry"] = None
     if obs is not None:
         obs.tracer.set_sequence(seq)
-        tracer = obs.tracer
+        # The attributor tap forwards every record to the shard verbatim
+        # while folding a live per-worker attribution view; flush() at the
+        # end of the task publishes it for ``ramsis top``.
+        tracer = obs.attributor if obs.attributor is not None else obs.tracer
         registry = obs.registry
     cache: Optional["PolicyCache"] = None
     if cache_dir is not None:
@@ -164,6 +170,7 @@ def run_sweep(
     tracer: Optional[Tracer] = None,
     registry: Optional["MetricsRegistry"] = None,
     run_dir: Optional[Union[str, "Path"]] = None,
+    attributor: Optional["LatencyAttributor"] = None,
 ) -> List[MethodPoint]:
     """Run every cell; results come back in the order of ``cells``.
 
@@ -186,6 +193,13 @@ def run_sweep(
     temporary directory is used and removed after the merge.  One
     ``run_dir`` serves one ``run_sweep`` call — reusing it across calls
     would mix shards from different pools.
+
+    ``attributor`` streams tail-latency attribution
+    (:mod:`repro.obs.attribution`).  Serially it is attached to every
+    cell's engine directly; in parallel it is folded from the merged
+    shard records after the pool drains — the merge replays in serial
+    ``(seq, worker, n)`` cell order, so both paths produce exactly equal
+    attribution tables (asserted in the test suite).
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     cells = list(cells)
@@ -211,12 +225,22 @@ def run_sweep(
                 args={"index": i, "method": cell.method},
             ):
                 results[i] = run_cell(
-                    cell, scale, cache=cache_obj, tracer=tracer, registry=registry
+                    cell,
+                    scale,
+                    cache=cache_obj,
+                    tracer=tracer,
+                    registry=registry,
+                    attributor=attributor,
                 )
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
-    ship = tracer.enabled or registry is not None or run_dir is not None
+    ship = (
+        tracer.enabled
+        or registry is not None
+        or run_dir is not None
+        or attributor is not None
+    )
     owns_run_dir = False
     shard_dir: Optional[Path] = None
     if ship:
@@ -263,6 +287,11 @@ def run_sweep(
             tracer=tracer if tracer.enabled else None,
             registry=registry,
         )
+        if attributor is not None:
+            # The merged tracer replays in serial cell order, so folding
+            # it here produces tables exactly equal to a serial run with
+            # the attributor attached to every cell.
+            attributor.replay_tracer(merged.tracer)
         if owns_run_dir:
             shutil.rmtree(shard_dir, ignore_errors=True)
         else:

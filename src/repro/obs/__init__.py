@@ -22,7 +22,12 @@ end-of-run :class:`~repro.sim.metrics.SimulationMetrics`:
   merged back into one multi-track tracer/registry in serial cell order;
 - :mod:`repro.obs.profile` — the phase profiler: nested wall-clock phase
   timers on the tracer protocol, with hotspot tables and
-  flamegraph-folded output;
+  flamegraph-folded output (online, or rebuilt offline from recorded
+  spans);
+- :mod:`repro.obs.attribution` — tail-latency attribution: exact
+  per-query phase decomposition, model-choice blame, multi-window SLO
+  burn-rate alerting, and tail exemplar retention, feeding ``ramsis
+  explain`` and the live ``ramsis top`` view;
 - :mod:`repro.obs.report` — run-directory reports (text/HTML) and the
   benchmark history log with regression checking;
 - :mod:`repro.obs.log` — package-wide logging setup for the CLI.
@@ -48,7 +53,17 @@ from repro.obs.aggregate import (
     merge_run_dir,
     new_run_dir,
     worker_obs,
+    write_live_snapshot,
     write_merged_artifacts,
+)
+from repro.obs.attribution import (
+    AttributionRow,
+    BurnWindow,
+    LatencyAttributor,
+    PhaseBreakdown,
+    attribution_from_jsonl,
+    attribution_from_tracer,
+    exact_phase_split,
 )
 from repro.obs.audit import (
     AuditAlert,
@@ -70,7 +85,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.profile import PhaseProfiler, PhaseStats
+from repro.obs.profile import (
+    PhaseProfiler,
+    PhaseStats,
+    folded_lines,
+    render_hotspots,
+    stats_from_spans,
+)
 from repro.obs.reconstruct import (
     TraceSummary,
     reconstruct_from_jsonl,
@@ -81,6 +102,7 @@ from repro.obs.report import (
     append_bench_history,
     check_bench_history,
     render_run_report,
+    render_top_frame,
     write_run_report,
 )
 from repro.obs.trace import (
@@ -94,10 +116,12 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AttributionRow",
     "AuditAlert",
     "AuditBounds",
     "AuditConfig",
     "AuditReport",
+    "BurnWindow",
     "Counter",
     "DriftEvent",
     "Event",
@@ -105,12 +129,14 @@ __all__ = [
     "Gauge",
     "GuaranteeAuditor",
     "Histogram",
+    "LatencyAttributor",
     "MergedRun",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "OccupancySummary",
     "PageHinkley",
+    "PhaseBreakdown",
     "PhaseProfiler",
     "PhaseStats",
     "RecordingTracer",
@@ -123,9 +149,13 @@ __all__ = [
     "WindowVerdict",
     "WorkerObs",
     "append_bench_history",
+    "attribution_from_jsonl",
+    "attribution_from_tracer",
     "check_bench_history",
     "configure",
+    "exact_phase_split",
     "exporters",
+    "folded_lines",
     "get_logger",
     "hoeffding_interval",
     "init_worker_obs",
@@ -133,9 +163,13 @@ __all__ = [
     "new_run_dir",
     "reconstruct_from_jsonl",
     "reconstruct_metrics",
+    "render_hotspots",
     "render_run_report",
+    "render_top_frame",
+    "stats_from_spans",
     "wilson_interval",
     "worker_obs",
+    "write_live_snapshot",
     "write_merged_artifacts",
     "write_run_report",
 ]

@@ -65,6 +65,7 @@ __all__ = [
     "MergedRun",
     "merge_run_dir",
     "write_merged_artifacts",
+    "write_live_snapshot",
 ]
 
 #: Bump when the shard record layout changes incompatibly.
@@ -257,13 +258,17 @@ class WorkerObs:
     registry: MetricsRegistry
     run_dir: Path
     metrics_path: Path
+    #: Forwarding-tracer tap around ``tracer``; pool tasks attach this so
+    #: the worker accumulates a live attribution view across its cells.
+    attributor: Optional[Any] = None
 
     def flush(self) -> None:
-        """Persist the shard tail and a fresh registry snapshot.
+        """Persist the shard tail and fresh registry/attribution snapshots.
 
         Called at the end of every pool task (and again at interpreter
         exit as a backstop), so the on-disk state is always the state
-        after the worker's most recent completed task.
+        after the worker's most recent completed task — this is the
+        ``ramsis top`` feed for in-flight parallel sweeps.
         """
         self.tracer.flush()
         self.metrics_path.write_text(
@@ -273,6 +278,15 @@ class WorkerObs:
                 default=_json_default,
             )
         )
+        if (
+            self.attributor is not None
+            and self.attributor.to_json_dict()["totals"]["queries"]
+        ):
+            write_live_snapshot(
+                self.run_dir,
+                attributor=self.attributor,
+                pid=self.tracer.pid,
+            )
 
 
 _WORKER_OBS: Optional[WorkerObs] = None
@@ -285,15 +299,19 @@ def init_worker_obs(run_dir: str) -> None:
     the worker pid, so concurrent workers never collide; the merge
     assigns stable worker indices by sorting pids.
     """
+    from repro.obs.attribution import LatencyAttributor
+
     global _WORKER_OBS
     directory = Path(run_dir)
     directory.mkdir(parents=True, exist_ok=True)
     pid = os.getpid()
+    tracer = ShardTracer(directory / f"shard-{pid}.jsonl", pid=pid)
     obs = WorkerObs(
-        tracer=ShardTracer(directory / f"shard-{pid}.jsonl", pid=pid),
+        tracer=tracer,
         registry=MetricsRegistry(),
         run_dir=directory,
         metrics_path=directory / f"metrics-{pid}.json",
+        attributor=LatencyAttributor(inner=tracer),
     )
     _WORKER_OBS = obs
     atexit.register(obs.flush)
@@ -338,11 +356,28 @@ class MergedRun:
 
 
 def _iter_jsonl(path: Path) -> Iterator[Dict[str, Any]]:
+    """Yield one record per parseable line, skipping truncated tails.
+
+    A worker killed mid-write leaves a final line that is not valid
+    JSON; merging must degrade to a warning (the remaining records are
+    intact) instead of losing the whole run.
+    """
     with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError:
+                from repro.obs.log import get_logger
+
+                get_logger("obs.aggregate").warning(
+                    "%s:%d: skipping unparseable shard record "
+                    "(worker crashed mid-write?)",
+                    path,
+                    lineno,
+                )
 
 
 def _shard_pid(path: Path) -> int:
@@ -466,10 +501,15 @@ def write_merged_artifacts(
 
     Produces ``merged.jsonl`` (reconstruction input), ``trace.json``
     (Chrome/Perfetto, one process group per worker), ``metrics.prom``,
-    and ``metrics.json`` (the re-mergeable registry snapshot).  Returns
+    ``metrics.json`` (the re-mergeable registry snapshot), and
+    ``attribution.json`` — the tail-latency attribution tables folded
+    from the merged tracer, whose ``(seq, worker, n)`` replay order is
+    serial cell order, so the tables equal a serially attached
+    attributor's exactly (see :mod:`repro.obs.attribution`).  Returns
     the artifact paths by name.
     """
     from repro.obs import exporters
+    from repro.obs.attribution import attribution_from_tracer
 
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -491,4 +531,47 @@ def write_merged_artifacts(
         )
     )
     paths["metrics"] = metrics_json
+    # Only written when the trace carries the lifecycle schema the
+    # attributor understands — older shards fold to zero queries.
+    snapshot = attribution_from_tracer(merged.tracer).to_json_dict()
+    if snapshot["totals"]["queries"]:
+        attribution_json = directory / "attribution.json"
+        attribution_json.write_text(
+            json.dumps(snapshot, sort_keys=True, default=_json_default)
+        )
+        paths["attribution"] = attribution_json
     return paths
+
+
+def write_live_snapshot(
+    run_dir: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+    attributor: Optional[Any] = None,
+    pid: Optional[int] = None,
+) -> List[Path]:
+    """Atomically publish ``metrics-<pid>.json`` / ``attribution-<pid>.json``.
+
+    The periodic snapshot feed for ``ramsis top``: the runtime controller
+    (and anything else that wants a live view) calls this on a timer;
+    sweep workers get the metrics half for free from
+    :meth:`WorkerObs.flush`.  Writes go through a temp file + ``rename``
+    so a concurrently polling reader never sees a torn snapshot.
+    """
+    directory = Path(run_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    pid = os.getpid() if pid is None else pid
+    written: List[Path] = []
+    payloads = []
+    if registry is not None:
+        payloads.append((f"metrics-{pid}.json", registry.to_json_dict()))
+    if attributor is not None:
+        payloads.append((f"attribution-{pid}.json", attributor.to_json_dict()))
+    for name, payload in payloads:
+        target = directory / name
+        tmp = directory / f".{name}.tmp"
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, default=_json_default)
+        )
+        tmp.replace(target)
+        written.append(target)
+    return written

@@ -625,6 +625,16 @@ class GuaranteeAuditor(ForwardingTracer):
         """Register an alert-rule callback (called synchronously)."""
         self._alert_callbacks.append(callback)
 
+    def emit_alert(self, alert: AuditAlert) -> None:
+        """Inject an externally produced alert into this auditor's stream.
+
+        Lets sibling monitors — e.g.
+        :class:`repro.obs.attribution.LatencyAttributor`'s SLO burn-rate
+        tracker (``alert_sink=auditor.emit_alert``) — fan their alerts
+        through the same registered callbacks as native audit alerts.
+        """
+        self._alert(alert)
+
     def note_policy(self, policy: Policy, now_ms: float) -> None:
         """Selector hook: the effective policy changed at ``now_ms``.
 

@@ -39,7 +39,13 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.trace import ForwardingTracer, Tracer
 
-__all__ = ["PhaseStats", "PhaseProfiler"]
+__all__ = [
+    "PhaseStats",
+    "PhaseProfiler",
+    "stats_from_spans",
+    "render_hotspots",
+    "folded_lines",
+]
 
 PhasePath = Tuple[str, ...]
 
@@ -170,24 +176,7 @@ class PhaseProfiler(ForwardingTracer):
 
     def hotspots(self, n: int = 10) -> str:
         """Top-``n`` phases by self-time as an aligned text table."""
-        rows = [("phase", "count", "total_ms", "self_ms", "mean_ms")]
-        for stat in self.stats()[:n]:
-            rows.append(
-                (
-                    ";".join(stat.path),
-                    str(stat.count),
-                    f"{stat.total_ms:.3f}",
-                    f"{stat.self_ms:.3f}",
-                    f"{stat.mean_ms:.3f}",
-                )
-            )
-        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
-        lines = []
-        for row in rows:
-            cells = [row[0].ljust(widths[0])]
-            cells += [row[i].rjust(widths[i]) for i in range(1, len(row))]
-            lines.append("  ".join(cells).rstrip())
-        return "\n".join(lines)
+        return render_hotspots(self.stats(), n)
 
     def folded(self) -> List[str]:
         """Flamegraph-folded lines: ``track;phase;subphase <self µs>``.
@@ -195,12 +184,7 @@ class PhaseProfiler(ForwardingTracer):
         Paths whose integer-microsecond self-time rounds to zero are
         dropped, matching what collapsed-stack tooling expects.
         """
-        lines = []
-        for stat in sorted(self.stats(), key=lambda s: s.path):
-            micros = int(round(stat.self_ms * 1000.0))
-            if micros > 0:
-                lines.append("{} {}".format(";".join(stat.path), micros))
-        return lines
+        return folded_lines(self.stats())
 
     def reset(self) -> None:
         """Drop all aggregates (open phases keep profiling into fresh state)."""
@@ -209,3 +193,127 @@ class PhaseProfiler(ForwardingTracer):
         self._total.clear()
         self._min.clear()
         self._max.clear()
+
+
+# ----------------------------------------------------------------------
+# Offline: rebuild phase statistics from recorded span records
+# ----------------------------------------------------------------------
+def stats_from_spans(records: Any) -> List[PhaseStats]:
+    """Aggregate recorded span dicts into :class:`PhaseStats`.
+
+    ``records`` is an iterable of JSONL-style record dicts as produced by
+    :func:`repro.obs.exporters.events_jsonl` (and found in a run
+    directory's ``merged.jsonl``); non-span records are ignored.  Phase
+    nesting is rebuilt from each span's ``parent`` id rather than a live
+    stack, so the same hotspot table and flamegraph-folded output the
+    in-process :class:`PhaseProfiler` gives are available after the fact
+    from a shipped trace — no re-run required.
+    """
+    spans: List[Dict[str, Any]] = [
+        r for r in records if r.get("type") == "span" and "name" in r
+    ]
+    by_id: Dict[Any, Dict[str, Any]] = {
+        s["id"]: s for s in spans if s.get("id") is not None
+    }
+    path_cache: Dict[Any, PhasePath] = {}
+
+    def path_of(span: Dict[str, Any]) -> PhasePath:
+        span_id = span.get("id")
+        if span_id is not None and span_id in path_cache:
+            return path_cache[span_id]
+        # Walk up the parent chain iteratively (no recursion limit risk),
+        # then fold the names under the track root.
+        chain: List[Dict[str, Any]] = []
+        cur: Optional[Dict[str, Any]] = span
+        seen_ids = set()
+        while cur is not None:
+            chain.append(cur)
+            parent_id = cur.get("parent")
+            if parent_id is None or parent_id in seen_ids:
+                break
+            seen_ids.add(parent_id)
+            nxt = by_id.get(parent_id)
+            if nxt is not None and nxt.get("id") in path_cache:
+                chain.append(nxt)
+                cur = None
+                break
+            cur = nxt
+        chain.reverse()
+        if chain and chain[0].get("id") in path_cache:
+            path: PhasePath = path_cache[chain[0]["id"]]
+            chain = chain[1:]
+        else:
+            path = (str(span.get("track", "offline")),)
+        for node in chain:
+            path = (*path, str(node["name"]))
+            node_id = node.get("id")
+            if node_id is not None:
+                path_cache[node_id] = path
+        return path
+
+    seen: Dict[PhasePath, int] = {}
+    total: Dict[PhasePath, float] = {}
+    lo: Dict[PhasePath, float] = {}
+    hi: Dict[PhasePath, float] = {}
+    for span in spans:
+        path = path_of(span)
+        dur = float(span.get("dur_ms", 0.0))
+        seen[path] = seen.get(path, 0) + 1
+        total[path] = total.get(path, 0.0) + dur
+        if path not in lo or dur < lo[path]:
+            lo[path] = dur
+        if path not in hi or dur > hi[path]:
+            hi[path] = dur
+
+    out = []
+    for path, count in seen.items():
+        children_ms = sum(
+            t
+            for other, t in total.items()
+            if len(other) == len(path) + 1 and other[: len(path)] == path
+        )
+        out.append(
+            PhaseStats(
+                path=path,
+                count=count,
+                measured=count,
+                total_ms=total[path],
+                self_ms=max(0.0, total[path] - children_ms),
+                min_ms=lo[path],
+                max_ms=hi[path],
+            )
+        )
+    out.sort(key=lambda s: (-s.self_ms, s.path))
+    return out
+
+
+def render_hotspots(stats: List[PhaseStats], n: int = 10) -> str:
+    """Top-``n`` phases by self-time as an aligned text table."""
+    rows = [("phase", "count", "total_ms", "self_ms", "mean_ms")]
+    for stat in stats[:n]:
+        rows.append(
+            (
+                ";".join(stat.path),
+                str(stat.count),
+                f"{stat.total_ms:.3f}",
+                f"{stat.self_ms:.3f}",
+                f"{stat.mean_ms:.3f}",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for row in rows:
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def folded_lines(stats: List[PhaseStats]) -> List[str]:
+    """Flamegraph-folded lines from a stats list (zero-µs paths dropped)."""
+    lines = []
+    for stat in sorted(stats, key=lambda s: s.path):
+        micros = int(round(stat.self_ms * 1000.0))
+        if micros > 0:
+            lines.append("{} {}".format(";".join(stat.path), micros))
+    return lines

@@ -110,11 +110,27 @@ def reconstruct_metrics(tracer: RecordingTracer) -> TraceSummary:
 
 
 def _iter_jsonl(path: Path) -> Iterable[Mapping]:
+    """Stream records, skipping unparseable lines with a warning.
+
+    A crashed worker truncates its shard mid-line; every record before
+    the tear is still good, so reconstruction degrades gracefully
+    instead of raising on the torn line.
+    """
     with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError:
+                from repro.obs.log import get_logger
+
+                get_logger("obs.reconstruct").warning(
+                    "%s:%d: skipping unparseable record (truncated write?)",
+                    path,
+                    lineno,
+                )
 
 
 def reconstruct_from_jsonl(path: Union[str, Path]) -> TraceSummary:

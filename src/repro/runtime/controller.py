@@ -63,6 +63,8 @@ class CentralController:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_interval_s: float = 0.5,
     ) -> None:
         if num_workers < 1:
             raise SimulationError(f"num_workers must be >= 1, got {num_workers}")
@@ -76,6 +78,13 @@ class CentralController:
         self._seed = seed
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._registry = registry
+        #: With a ``snapshot_dir``, :meth:`serve` publishes periodic
+        #: atomic registry (and, when the tracer chain starts with a
+        #: :class:`~repro.obs.attribution.LatencyAttributor`,
+        #: attribution) snapshots there — the live feed ``ramsis top``
+        #: polls while the run is in flight.
+        self._snapshot_dir = snapshot_dir
+        self._snapshot_interval_s = snapshot_interval_s
 
     def serve(
         self,
@@ -175,6 +184,31 @@ class CentralController:
         for worker in workers:
             worker.start()
 
+        # Live snapshot publisher: while the run is in flight, atomically
+        # refresh metrics/attribution JSON files in ``snapshot_dir`` so a
+        # concurrent ``ramsis top`` can watch the run converge.
+        snapshot_stop: Optional[threading.Event] = None
+        snapshot_thread: Optional[threading.Thread] = None
+        if self._snapshot_dir is not None:
+            from repro.obs.attribution import LatencyAttributor
+            from repro.obs.aggregate import write_live_snapshot
+
+            attributor = tracer if isinstance(tracer, LatencyAttributor) else None
+            snapshot_stop = threading.Event()
+
+            def _publish() -> None:
+                while not snapshot_stop.wait(self._snapshot_interval_s):
+                    write_live_snapshot(
+                        self._snapshot_dir,
+                        registry=self._registry,
+                        attributor=attributor,
+                    )
+
+            snapshot_thread = threading.Thread(
+                target=_publish, name="runtime-snapshot", daemon=True
+            )
+            snapshot_thread.start()
+
         start_wall = _time.monotonic()
         generator = WorkloadGenerator(trace, self._slo_ms, pattern, seed=self._seed)
         submitted = generator.run(clock, submit, arrivals=arrivals)
@@ -190,6 +224,19 @@ class CentralController:
             worker.stop()
         for worker in workers:
             worker.join()
+        if snapshot_stop is not None:
+            snapshot_stop.set()
+            if snapshot_thread is not None:
+                snapshot_thread.join(timeout=5.0)
+            # Final snapshot reflecting the fully drained run.
+            from repro.obs.attribution import LatencyAttributor
+            from repro.obs.aggregate import write_live_snapshot
+
+            write_live_snapshot(
+                self._snapshot_dir,
+                registry=self._registry,
+                attributor=tracer if isinstance(tracer, LatencyAttributor) else None,
+            )
         wall = _time.monotonic() - start_wall
         return RuntimeReport(
             metrics=metrics.finalize(), wall_seconds=wall, submitted=submitted

@@ -127,9 +127,10 @@ class InferenceWorker:
             self._clock.sleep_ms(exec_ms)
             done = self._clock.now_ms()
             if self._tracer.enabled:
+                track = f"worker-{self._id}"
                 self._tracer.complete(
                     "serve",
-                    f"worker-{self._id}",
+                    track,
                     now,
                     done - now,
                     args={
@@ -140,4 +141,19 @@ class InferenceWorker:
                         "anticipated_qps": anticipated,
                     },
                 )
+                # Per-query dispatch instants, same schema as the
+                # simulator's: the attribution engine reads ``wait_ms``
+                # here to split queue wait from service time.
+                for query in served:
+                    self._tracer.instant(
+                        "service_start",
+                        track,
+                        now,
+                        args={
+                            "query": query.query_id,
+                            "model": model.name,
+                            "batch": len(served),
+                            "wait_ms": now - query.arrival_ms,
+                        },
+                    )
             self._on_complete(self._id, model.name, served, done)

@@ -49,6 +49,7 @@ from repro.arrivals.processes import sample_arrival_times
 from repro.arrivals.traces import LoadTrace
 from repro.balancers import LoadBalancer, RoundRobinBalancer
 from repro.errors import SimulationError
+from repro.obs.attribution import LatencyAttributor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.profiles.models import ModelSet
@@ -96,6 +97,12 @@ class SimulationConfig:
     #: load, batch sizes, per-model dispatch counts).  Both default off.
     tracer: Optional[Tracer] = None
     registry: Optional[MetricsRegistry] = None
+    #: Streaming tail-latency attribution (repro.obs.attribution).  Both
+    #: engines feed its ``observe_*`` hooks with the same float
+    #: expressions, so fast and reference runs attribute identically —
+    #: attaching an attributor alone does *not* force the reference
+    #: engine the way a tracer/registry does.
+    attributor: Optional["LatencyAttributor"] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -259,6 +266,8 @@ class Simulation:
         # default run pays only a boolean check per event.
         tracer = cfg.tracer if cfg.tracer is not None else NULL_TRACER
         tracing = tracer.enabled
+        attributor = cfg.attributor
+        attributing = attributor is not None
         if registry is not None:
             gauge_anticipated = registry.gauge(
                 "sim_anticipated_load_qps",
@@ -333,6 +342,16 @@ class Simulation:
                         response_ms=now - dropped.arrival_ms,
                         satisfied=False,
                     )
+                    if attributing:
+                        attributor.observe_completion(
+                            dropped.query_id,
+                            worker,
+                            "<dropped>",
+                            now - dropped.arrival_ms,
+                            False,
+                            t_ms=now,
+                            dropped=True,
+                        )
                     if tracing:
                         tracer.instant(
                             "completion",
@@ -365,6 +384,16 @@ class Simulation:
             heapq.heappush(
                 completions, (now + exec_ms, sequence, worker, model.name, served)
             )
+            if attributing:
+                attributor.observe_decision(worker, model.name, batch, exec_ms)
+                for query in served:
+                    attributor.observe_service_start(
+                        query.query_id,
+                        worker,
+                        model.name,
+                        batch,
+                        now - query.arrival_ms,
+                    )
             if tracing:
                 track = f"worker-{worker}"
                 tracer.complete(
@@ -474,6 +503,15 @@ class Simulation:
                         response_ms=now - query.arrival_ms,
                         satisfied=satisfied,
                     )
+                    if attributing:
+                        attributor.observe_completion(
+                            query.query_id,
+                            worker,
+                            model_name,
+                            now - query.arrival_ms,
+                            satisfied,
+                            t_ms=now,
+                        )
                     if tracing:
                         tracer.instant(
                             "completion",
@@ -534,6 +572,11 @@ class Simulation:
         slo_ms = cfg.slo_ms
         drop_late = cfg.drop_late
         track_responses = cfg.track_responses
+        # Attribution hooks are guarded by one bool: the detached path
+        # pays a single falsy check per event (gated <=1% by
+        # benchmarks/bench_attribution.py).
+        attributor = cfg.attributor
+        attributing = attributor is not None
         speed = (
             cfg.worker_speed_factors
             if cfg.worker_speed_factors is not None
@@ -656,6 +699,16 @@ class Simulation:
                         if now <= deadline_list[query]:
                             m_satisfied += 1
                             m_accuracy_sum += accuracy
+                            if attributing:
+                                attributor.observe_completion(
+                                    query, worker, model_name,
+                                    response_ms, True, t_ms=now,
+                                )
+                        elif attributing:
+                            attributor.observe_completion(
+                                query, worker, model_name,
+                                response_ms, False, t_ms=now,
+                            )
                     m_model_counts[model_name] = count
                     busy[worker] = False
                     queue = queues[worker]
@@ -701,6 +754,12 @@ class Simulation:
                         m_response_sum += now - arrival_list[dropped]
                         if track_responses:
                             m_responses.append(now - arrival_list[dropped])
+                        if attributing:
+                            attributor.observe_completion(
+                                dropped, worker, "<dropped>",
+                                now - arrival_list[dropped], False,
+                                t_ms=now, dropped=True,
+                            )
                     m_model_counts["<dropped>"] = (
                         m_model_counts.get("<dropped>", 0) + queue_len
                     )
@@ -741,6 +800,15 @@ class Simulation:
                         served,
                     ),
                 )
+                if attributing:
+                    attributor.observe_decision(
+                        worker, model_name, batch, exec_ms
+                    )
+                    for query in served:
+                        attributor.observe_service_start(
+                            query, worker, model_name, batch,
+                            now - arrival_list[query],
+                        )
 
             metrics = MetricsCollector(track_responses=track_responses)
             metrics.absorb(
@@ -809,6 +877,16 @@ class Simulation:
                     if now <= deadline_list[query]:
                         m_satisfied += 1
                         m_accuracy_sum += accuracy
+                        if attributing:
+                            attributor.observe_completion(
+                                query, worker, model_name,
+                                response_ms, True, t_ms=now,
+                            )
+                    elif attributing:
+                        attributor.observe_completion(
+                            query, worker, model_name,
+                            response_ms, False, t_ms=now,
+                        )
                 m_model_counts[model_name] = count
                 busy[worker] = False
                 if per_worker:
@@ -864,6 +942,12 @@ class Simulation:
                     m_response_sum += now - arrival_list[dropped]
                     if track_responses:
                         m_responses.append(now - arrival_list[dropped])
+                    if attributing:
+                        attributor.observe_completion(
+                            dropped, worker, "<dropped>",
+                            now - arrival_list[dropped], False,
+                            t_ms=now, dropped=True,
+                        )
                 m_model_counts["<dropped>"] = (
                     m_model_counts.get("<dropped>", 0) + queue_len
                 )
@@ -907,6 +991,13 @@ class Simulation:
                     served,
                 ),
             )
+            if attributing:
+                attributor.observe_decision(worker, model_name, batch, exec_ms)
+                for query in served:
+                    attributor.observe_service_start(
+                        query, worker, model_name, batch,
+                        now - arrival_list[query],
+                    )
 
         metrics = MetricsCollector(track_responses=track_responses)
         metrics.absorb(

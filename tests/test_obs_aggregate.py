@@ -299,3 +299,89 @@ class TestGenerateManyShipping:
         batches = sorted(run_dir.glob("batch-*"))
         assert batches
         assert (batches[0] / "merged.jsonl").is_file()
+
+
+class TestTruncatedShards:
+    """A crashed worker tears its shard mid-line; merging must degrade
+    gracefully: every record before the tear survives, the torn line is
+    skipped with a warning, nothing raises."""
+
+    def _torn_shard(self, tmp_path):
+        from repro.obs.aggregate import ShardTracer
+
+        path = tmp_path / "shard-7.jsonl"
+        tracer = ShardTracer(path, pid=7)
+        tracer.set_sequence(0)
+        for i in range(5):
+            tracer.instant(
+                "completion",
+                "worker-0",
+                float(i),
+                args={
+                    "query": i, "worker": 0, "model": "m",
+                    "satisfied": True, "response_ms": 1.0,
+                },
+            )
+        tracer.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"type": "instant", "name": "comp')  # torn mid-write
+        return path
+
+    def test_merge_run_dir_skips_torn_line(self, tmp_path, caplog):
+        self._torn_shard(tmp_path)
+        with caplog.at_level("WARNING", logger="repro.obs.aggregate"):
+            merged = merge_run_dir(tmp_path)
+        assert any("unparseable" in r.message for r in caplog.records)
+        assert len(merged.tracer.events) == 5
+
+    def test_reconstruct_from_jsonl_skips_torn_line(self, tmp_path, caplog):
+        path = self._torn_shard(tmp_path)
+        with caplog.at_level("WARNING", logger="repro.obs.reconstruct"):
+            summary = reconstruct_from_jsonl(path)
+        assert any("unparseable" in r.message for r in caplog.records)
+        assert summary.total_queries == 5
+
+    def test_attribution_fold_skips_torn_line(self, tmp_path, caplog):
+        from repro.obs.attribution import attribution_from_jsonl
+
+        path = self._torn_shard(tmp_path)
+        with caplog.at_level("WARNING", logger="repro.obs.attribution"):
+            attributor = attribution_from_jsonl(path)
+        assert any("unparseable" in r.message for r in caplog.records)
+        assert attributor.to_json_dict()["totals"]["queries"] == 5
+
+
+class TestLiveSnapshots:
+    def test_write_live_snapshot_atomic_files(self, tmp_path):
+        from repro.obs.aggregate import write_live_snapshot
+        from repro.obs.attribution import LatencyAttributor
+
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        attributor = LatencyAttributor(slo_ms=100.0)
+        attributor.observe_completion(1, 0, "m", 9.0, True)
+        paths = write_live_snapshot(
+            tmp_path, registry=registry, attributor=attributor, pid=42
+        )
+        names = sorted(p.name for p in paths)
+        assert names == ["attribution-42.json", "metrics-42.json"]
+        snap = json.loads((tmp_path / "attribution-42.json").read_text())
+        assert snap["totals"]["queries"] == 1
+        metrics = json.loads((tmp_path / "metrics-42.json").read_text())
+        assert any(
+            m["name"] == "queries_total" for m in metrics["metrics"]
+        )
+        # No temp files left behind.
+        assert not list(tmp_path.glob(".*tmp"))
+
+    def test_snapshot_feeds_render_top_frame(self, tmp_path):
+        from repro.obs.aggregate import write_live_snapshot
+        from repro.obs.attribution import LatencyAttributor
+        from repro.obs.report import render_top_frame
+
+        attributor = LatencyAttributor(slo_ms=100.0)
+        attributor.observe_completion(1, 0, "m", 9.0, True)
+        write_live_snapshot(tmp_path, attributor=attributor, pid=7)
+        frame = render_top_frame(tmp_path)
+        assert "attribution-7.json" in frame
+        assert "m @ worker 0" in frame

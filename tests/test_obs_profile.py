@@ -201,3 +201,84 @@ class TestForwarding:
         assert "value_iteration" in names
         deepest = max(s.depth for s in profiler.stats())
         assert deepest >= 1
+
+
+class TestOfflineStats:
+    """Phase stats rebuilt from recorded span dicts (``merged.jsonl``)."""
+
+    def _record_nested(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer", track="t"):
+            with tracer.span("inner", track="t"):
+                pass
+            with tracer.span("inner", track="t"):
+                pass
+        with tracer.span("other", track="u"):
+            pass
+        return tracer
+
+    def _records(self, tracer):
+        import json
+
+        from repro.obs.exporters import events_jsonl
+
+        return [json.loads(line) for line in events_jsonl(tracer)]
+
+    def test_paths_rebuilt_from_parent_ids(self):
+        from repro.obs.profile import stats_from_spans
+
+        stats = stats_from_spans(self._records(self._record_nested()))
+        paths = {s.path: s for s in stats}
+        assert ("t", "outer") in paths
+        assert ("t", "outer", "inner") in paths
+        assert ("u", "other") in paths
+        assert paths[("t", "outer", "inner")].count == 2
+
+    def test_self_time_excludes_children_offline(self):
+        from repro.obs.profile import stats_from_spans
+
+        stats = stats_from_spans(self._records(self._record_nested()))
+        by_path = {s.path: s for s in stats}
+        outer = by_path[("t", "outer")]
+        inner = by_path[("t", "outer", "inner")]
+        assert outer.self_ms == pytest.approx(
+            max(0.0, outer.total_ms - inner.total_ms)
+        )
+
+    def test_offline_render_shared_with_profiler(self):
+        from repro.obs.profile import (
+            folded_lines,
+            render_hotspots,
+            stats_from_spans,
+        )
+
+        stats = stats_from_spans(self._records(self._record_nested()))
+        table = render_hotspots(stats, n=5)
+        assert table.splitlines()[0].split() == [
+            "phase", "count", "total_ms", "self_ms", "mean_ms",
+        ]
+        for line in folded_lines(stats):
+            path, micros = line.rsplit(" ", 1)
+            assert int(micros) > 0
+            assert ";" in path
+
+    def test_non_span_records_ignored(self):
+        from repro.obs.profile import stats_from_spans
+
+        records = [
+            {"type": "instant", "name": "tick", "track": "t", "ts_ms": 0.0},
+            {"type": "counter", "name": "q", "track": "t", "value": 1.0},
+        ]
+        assert stats_from_spans(records) == []
+
+    def test_orphan_parent_treated_as_root(self):
+        from repro.obs.profile import stats_from_spans
+
+        records = [
+            {
+                "type": "span", "name": "child", "track": "t",
+                "ts_ms": 0.0, "dur_ms": 5.0, "id": 2, "parent": 99,
+            }
+        ]
+        stats = stats_from_spans(records)
+        assert [s.path for s in stats] == [("t", "child")]

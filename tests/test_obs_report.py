@@ -13,6 +13,7 @@ from repro.obs.report import (
     check_bench_history,
     metric_direction,
     render_run_report,
+    render_top_frame,
     write_run_report,
 )
 from repro.obs.report import _flatten
@@ -112,6 +113,129 @@ class TestRunReport:
 
     def test_cli_report_missing_run_dir_fails(self, tmp_path, capsys):
         assert main(["report", "--run-dir", str(tmp_path / "gone")]) == 1
+        assert "not found" in capsys.readouterr().out
+
+
+def populate_attributed_run_dir(run_dir):
+    """A shard carrying the lifecycle schema the attribution engine folds."""
+    run_dir.mkdir(parents=True, exist_ok=True)
+    shard = ShardTracer(run_dir / "shard-3.jsonl", pid=3)
+    for q, (response, ok) in enumerate(
+        [(40.0, True), (90.0, True), (130.0, False)]
+    ):
+        t0 = q * 200.0
+        shard.instant("arrival", "balancer", t0)
+        shard.complete(
+            "serve",
+            "worker-0",
+            t0 + 5.0,
+            response - 5.0,
+            args={"worker": 0, "model": "m", "batch": 1},
+        )
+        shard.instant(
+            "service_start",
+            "worker-0",
+            t0 + 5.0,
+            args={"query": q, "model": "m", "batch": 1, "wait_ms": 5.0},
+        )
+        shard.instant(
+            "completion",
+            "worker-0",
+            t0 + response,
+            args={
+                "query": q,
+                "worker": 0,
+                "model": "m",
+                "satisfied": ok,
+                "response_ms": response,
+            },
+        )
+    shard.close()
+    write_merged_artifacts(merge_run_dir(run_dir), run_dir)
+    return run_dir
+
+
+class TestAttributionReport:
+    def test_merged_artifacts_include_attribution(self, tmp_path):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        snap = json.loads((run_dir / "attribution.json").read_text())
+        assert snap["totals"]["queries"] == 3
+
+    def test_legacy_schema_run_has_no_attribution_artifact(self, tmp_path):
+        run_dir = populate_run_dir(tmp_path / "run")
+        assert not (run_dir / "attribution.json").exists()
+
+    def test_report_attribution_and_hotspot_sections(self, tmp_path):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        report = render_run_report(run_dir)
+        assert "latency attribution" in report
+        assert "m @ worker 0" in report
+        assert "3 queries" in report
+        assert "phase hotspots (self-time)" in report
+        assert "serve" in report
+
+    def test_report_without_attribution_omits_section(self, tmp_path):
+        report = render_run_report(populate_run_dir(tmp_path / "run"))
+        assert "latency attribution" not in report
+        # The legacy fixture still records serve spans → hotspots appear.
+        assert "phase hotspots (self-time)" in report
+
+    def test_write_run_report_emits_profile_folded(self, tmp_path):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        write_run_report(run_dir)
+        folded = (run_dir / "profile.folded").read_text()
+        assert "worker-0;serve" in folded
+
+    def test_render_top_frame_reads_merged_artifacts(self, tmp_path):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        frame = render_top_frame(run_dir)
+        assert frame.startswith("ramsis top")
+        assert "latency attribution [attribution.json]" in frame
+        assert "m @ worker 0" in frame
+
+    def test_cli_explain_text_and_json(self, tmp_path, capsys):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        assert main(["explain", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Latency attribution" in out
+        assert "SLO burn rate" in out
+        assert main(["explain", "--run-dir", str(run_dir), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["totals"]["queries"] == 3
+
+    def test_cli_explain_refolds_event_log(self, tmp_path, capsys):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        (run_dir / "attribution.json").unlink()
+        assert (
+            main(["explain", "--run-dir", str(run_dir), "--slo", "100"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "worker" in out
+
+    def test_cli_explain_out_writes_file(self, tmp_path, capsys):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        out_path = tmp_path / "deep" / "explain.txt"
+        args = ["explain", "--run-dir", str(run_dir), "--out", str(out_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert "Latency attribution" in out_path.read_text()
+
+    def test_cli_explain_missing_source_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["explain", "--run-dir", str(empty)]) == 1
+        assert "no attribution source" in capsys.readouterr().out
+
+    def test_cli_top_once(self, tmp_path, capsys):
+        run_dir = populate_attributed_run_dir(tmp_path / "run")
+        assert main(["top", "--run-dir", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ramsis top")
+        assert "m @ worker 0" in out
+
+    def test_cli_top_missing_dir_fails(self, tmp_path, capsys):
+        gone = tmp_path / "gone"
+        assert main(["top", "--run-dir", str(gone), "--once"]) == 1
         assert "not found" in capsys.readouterr().out
 
 
