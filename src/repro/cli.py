@@ -139,6 +139,7 @@ def cmd_gen(args: argparse.Namespace) -> int:
         tracer=tracer,
         registry=registry,
         run_dir=obs_dir,
+        solver=getattr(args, "solver", "auto"),
     )
     results = generator.generate_many(loads, max_workers=args.jobs)
     if obs_dir is not None:
@@ -882,6 +883,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the persistent policy cache",
     )
     gen.add_argument("--fld-resolution", type=int, default=100)
+    gen.add_argument(
+        "--solver",
+        choices=["auto", "tensor", "loop"],
+        default="auto",
+        help="Bellman-sweep backend: tensorized (fast), reference loop "
+        "(oracle), or auto (tensor; backends are value-identical)",
+    )
     gen.add_argument("--out", default="policy_gen")
     gen.add_argument(
         "--obs-dir",

@@ -22,7 +22,8 @@ from repro.core.config import BatchingMode, Discretization, TransitionView, Work
 from repro.core.discretization import TimeGrid
 from repro.core.generator import PolicyGenerator, generate_policy
 from repro.core.guarantees import PolicyGuarantees, evaluate_policy
-from repro.core.mdp import WorkerMDP, build_worker_mdp
+from repro.core.mdp import WorkerMDP, build_worker_mdp, resolve_solver
+from repro.core.tensor import TensorizedWorkerMDP
 from repro.core.naive import NaiveWorkerMDP
 from repro.core.policy import Action, Policy
 from repro.core.policy_set import PolicySet
@@ -36,7 +37,9 @@ __all__ = [
     "WorkerMDPConfig",
     "TimeGrid",
     "WorkerMDP",
+    "TensorizedWorkerMDP",
     "build_worker_mdp",
+    "resolve_solver",
     "Action",
     "Policy",
     "PolicySet",

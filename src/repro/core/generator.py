@@ -83,6 +83,7 @@ def generate_policy(
     tracer: Optional[Tracer] = None,
     record_residuals: bool = False,
     initial: Optional[np.ndarray] = None,
+    solver: str = "auto",
 ) -> GenerationResult:
     """Build the worker MDP, solve it, and package the optimal MS policy.
 
@@ -94,6 +95,13 @@ def generate_policy(
     value vector (e.g. an adjacent load's), cutting sweep counts without
     changing the fixed point.
 
+    ``solver`` selects the Bellman-sweep backend
+    (``"auto"``/``"tensor"``/``"loop"``, see
+    :func:`repro.core.mdp.resolve_solver`).  Backends are value-identical
+    — the equivalence suite asserts float-``==`` value functions and
+    byte-identical saved policies — so results (and cache artifacts) are
+    interchangeable across backends.
+
     An enabled ``tracer`` records the three offline phases (kernel/MDP
     construction, value iteration, guarantee evaluation) as nested spans
     on the ``generator`` track plus one event per solver sweep;
@@ -104,7 +112,7 @@ def generate_policy(
     start = time.perf_counter()
     with tracer.span("generate_policy", track="generator"):
         with tracer.span("build_worker_mdp", track="generator"):
-            mdp = build_worker_mdp(config)
+            mdp = build_worker_mdp(config, solver=solver)
         with tracer.span("value_iteration", track="generator"):
             stats = value_iteration(
                 mdp,
@@ -163,7 +171,7 @@ def _annotate(policy: Policy, guarantees: PolicyGuarantees) -> Policy:
 
 
 def _solve_cell(
-    payload: Tuple[int, WorkerMDPConfig, float, Optional[np.ndarray], bool]
+    payload: Tuple[int, WorkerMDPConfig, float, Optional[np.ndarray], bool, str]
 ) -> GenerationResult:
     """Process-pool entry point: solve one grid cell.
 
@@ -174,7 +182,7 @@ def _solve_cell(
     worker's shard (installed by :func:`repro.obs.aggregate.init_worker_obs`),
     stamped with the cell's sequence number for in-order merging.
     """
-    seq, config, tolerance, initial, ship = payload
+    seq, config, tolerance, initial, ship, solver = payload
     obs = worker_obs() if ship else None
     tracer: Optional[Tracer] = None
     if obs is not None:
@@ -182,7 +190,11 @@ def _solve_cell(
         tracer = obs.tracer
     try:
         return generate_policy(
-            config, tolerance=tolerance, tracer=tracer, initial=initial
+            config,
+            tolerance=tolerance,
+            tracer=tracer,
+            initial=initial,
+            solver=solver,
         )
     finally:
         if obs is not None:
@@ -207,9 +219,14 @@ class PolicyGenerator:
         tracer: Optional[Tracer] = None,
         registry: Optional["MetricsRegistry"] = None,
         run_dir: Optional[Union[str, Path]] = None,
+        solver: str = "auto",
     ) -> None:
         self._base = base_config
         self._tolerance = tolerance
+        #: Bellman-sweep backend for every cell this generator solves.
+        #: Not part of the cache keys: backends are value-identical (the
+        #: equivalence suite gates this), so artifacts are shared.
+        self._solver = solver
         self._cache: Dict[Tuple[float, int, float], GenerationResult] = {}
         self._disk = cache
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -231,6 +248,11 @@ class PolicyGenerator:
     def disk_cache(self) -> Optional["PolicyCache"]:
         """The persistent cache layer, if one is attached."""
         return self._disk
+
+    @property
+    def solver(self) -> str:
+        """The Bellman-sweep backend cells solve with (``auto`` default)."""
+        return self._solver
 
     def _count_cell(self, source: str) -> None:
         if self._registry is not None:
@@ -295,6 +317,7 @@ class PolicyGenerator:
                 tolerance=self._tolerance,
                 tracer=self._tracer,
                 initial=initial,
+                solver=self._solver,
             )
         self._count_cell("solve")
         self._commit(key, config, result)
@@ -370,6 +393,7 @@ class PolicyGenerator:
                             tolerance=self._tolerance,
                             tracer=self._tracer,
                             initial=initial,
+                            solver=self._solver,
                         )
                     self._count_cell("solve")
                     self._commit(self._key(q, workers), config, result)
@@ -416,7 +440,9 @@ class PolicyGenerator:
             ):
                 futures = [
                     (i, q, config, pool.submit(
-                        _solve_cell, (i, config, self._tolerance, initial, ship)
+                        _solve_cell,
+                        (i, config, self._tolerance, initial, ship,
+                         self._solver),
                     ))
                     for i, q, config, initial in pending
                 ]

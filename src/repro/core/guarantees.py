@@ -92,37 +92,13 @@ def stationary_distribution(
     the chain fails to mix within ``max_iterations`` steps.
     """
     table = _policy_action_table(mdp, policy)
-    space = mdp.space
-    size = space.size
+    size = mdp.space.size
 
-    # Pre-assemble rows once.  Full-drain actions under a split-family view
-    # share the precomputed (M, N, S) row bank, so those states gather in
-    # one fancy-indexed copy; everything else (partial drains, drop-mode
-    # fallbacks, the exact view's phase mixtures) goes through
-    # ``transition_row`` as before.
-    rows = np.zeros((size, size), dtype=np.float64)
-    rows[space.EMPTY, space.index(1, mdp.grid.slo_index)] = 1.0
-    gather_ids: list = []
-    gather_m: list = []
-    gather_n: list = []
-    split_rows = getattr(mdp, "_rows", None) if mdp._split is not None else None
-    for state_id in range(size):
-        if state_id == space.EMPTY:
-            continue
-        n, _ = space.decode(state_id)
-        action = table.get(state_id, (_FALLBACK, n))
-        if split_rows is not None:
-            m, b = action
-            if m == _FALLBACK and not mdp.config.drop_late:
-                m, b = 0, n
-            if m != _FALLBACK and b == n:
-                gather_ids.append(state_id)
-                gather_m.append(m)
-                gather_n.append(n - 1)
-                continue
-        rows[state_id] = mdp.transition_row(state_id, action)
-    if gather_ids:
-        rows[gather_ids] = split_rows[gather_m, gather_n]
+    # Pre-assemble the induced chain once; the tensor backend serves this
+    # from its policy-evaluation cache, so stationary analysis and policy
+    # evaluation share one array.  Power iteration below is then a pure
+    # matrix-vector loop regardless of backend.
+    rows = mdp.policy_rows(table)
 
     dist = np.full(size, 1.0 / size)
     for _ in range(max_iterations):

@@ -46,10 +46,37 @@ from repro.core.transitions import (
 )
 from repro.errors import ConfigurationError
 
-__all__ = ["WorkerMDP", "build_worker_mdp", "BackupResult"]
+__all__ = [
+    "WorkerMDP",
+    "build_worker_mdp",
+    "resolve_solver",
+    "BackupResult",
+    "SOLVER_BACKENDS",
+]
 
 #: Encoded "no action possible other than the forced fallback".
 _FALLBACK = -1
+
+#: Recognized solver backends (see :func:`resolve_solver`).
+SOLVER_BACKENDS = ("auto", "tensor", "loop")
+
+
+def resolve_solver(solver: str) -> str:
+    """Resolve a ``solver=`` knob to a concrete backend.
+
+    ``"loop"`` is the reference implementation (per-action / per-state
+    Python iteration in the fold and policy-evaluation paths);
+    ``"tensor"`` is the stacked-contraction backend
+    (:class:`repro.core.tensor.TensorizedWorkerMDP`), float-identical on
+    the value-iteration path and ≥3x faster at bench scale (gated by
+    ``benchmarks/bench_state_space.py``).  ``"auto"`` picks the tensor
+    backend — the equivalence suite keeps that substitution honest.
+    """
+    if solver not in SOLVER_BACKENDS:
+        raise ConfigurationError(
+            f"unknown solver {solver!r}; expected one of {SOLVER_BACKENDS}"
+        )
+    return "tensor" if solver == "auto" else solver
 
 
 @dataclass
@@ -161,6 +188,11 @@ class WorkerMDP:
     def config(self) -> WorkerMDPConfig:
         """The offline inputs this MDP was built from."""
         return self._config
+
+    @property
+    def solver(self) -> str:
+        """The solve backend this instance implements (``"loop"`` here)."""
+        return "loop"
 
     @property
     def grid(self) -> TimeGrid:
@@ -559,6 +591,47 @@ class WorkerMDP:
         row[space.FULL] = max(0.0, 1.0 - row.sum())
         return row
 
+    def policy_rows(
+        self, table: Dict[int, Tuple[int, int]]
+    ) -> np.ndarray:
+        """The ``(S, S)`` transition matrix of the chain ``table`` induces.
+
+        Full-drain actions under a split-family view share the
+        precomputed ``(M, N, S)`` row bank, so those states gather in one
+        fancy-indexed copy; everything else (partial drains, drop-mode
+        fallbacks, the exact view's phase mixtures) goes through
+        :meth:`transition_row`.  Both solver backends assemble through
+        this method, which is what makes the §5.1 stationary analysis
+        bit-identical across them (power iteration is a matrix-vector
+        loop on the returned array).
+        """
+        space = self._space
+        size = space.size
+        rows = np.zeros((size, size), dtype=np.float64)
+        rows[space.EMPTY, space.index(1, self._grid.slo_index)] = 1.0
+        gather_ids: List[int] = []
+        gather_m: List[int] = []
+        gather_n: List[int] = []
+        split_rows = self._rows if self._split is not None else None
+        for state_id in range(size):
+            if state_id == space.EMPTY:
+                continue
+            n, _ = space.decode(state_id)
+            action = table.get(state_id, (_FALLBACK, n))
+            if split_rows is not None:
+                m, b = action
+                if m == _FALLBACK and not self._config.drop_late:
+                    m, b = 0, n
+                if m != _FALLBACK and b == n:
+                    gather_ids.append(state_id)
+                    gather_m.append(m)
+                    gather_n.append(n - 1)
+                    continue
+            rows[state_id] = self.transition_row(state_id, action)
+        if gather_ids:
+            rows[gather_ids] = split_rows[gather_m, gather_n]
+        return rows
+
     # ------------------------------------------------------------------
     # Policy extraction
     # ------------------------------------------------------------------
@@ -602,6 +675,19 @@ class WorkerMDP:
         return np.zeros(self._space.size, dtype=np.float64)
 
 
-def build_worker_mdp(config: WorkerMDPConfig) -> WorkerMDP:
-    """Construct a worker MDP from its offline inputs."""
+def build_worker_mdp(
+    config: WorkerMDPConfig, solver: str = "auto"
+) -> WorkerMDP:
+    """Construct a worker MDP from its offline inputs.
+
+    ``solver`` selects the solve backend: ``"loop"`` keeps the reference
+    per-action/per-state implementation, ``"tensor"`` builds the
+    stacked-contraction backend, and ``"auto"`` (default) resolves to
+    tensor — see :func:`resolve_solver`.
+    """
+    if resolve_solver(solver) == "tensor":
+        # Local import: tensor subclasses WorkerMDP from this module.
+        from repro.core.tensor import TensorizedWorkerMDP
+
+        return TensorizedWorkerMDP(config)
     return WorkerMDP(config)

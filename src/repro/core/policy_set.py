@@ -72,6 +72,12 @@ class PolicySet:
         ``warm_start`` each midpoint's value iteration is seeded from the
         lower neighbour's converged values — fewer sweeps, same fixed
         point.
+
+        Every cell (initial grid and refinement midpoints alike) solves
+        with the generator's ``solver=`` backend
+        (``PolicyGenerator(..., solver="auto"|"tensor"|"loop")``); since
+        backends are value-identical, refined sets are byte-identical
+        regardless of which backend produced them.
         """
         if not load_grid_qps:
             raise PolicyError("load grid must be non-empty")

@@ -9,6 +9,17 @@ exposing the :class:`WorkerMDP` backup protocol::
     mdp.backup_policy(values, action_table) -> np.ndarray  (policy iteration)
 
 so small dense MDPs used in the test suite can exercise the same solvers.
+
+The *implementation* of those backups is selected when the MDP is built:
+``build_worker_mdp(config, solver="auto"|"tensor"|"loop")`` returns either
+the reference loop backend or the tensorized one
+(:mod:`repro.core.tensor`), and the solvers here are backend-agnostic —
+value iteration is float-identical across backends (asserted by
+``tests/test_solver_equivalence.py``), policy iteration agrees at the
+greedy-table level.  Both raise :class:`~repro.errors.SolverError` with
+residual diagnostics when their iteration ceilings are hit, so a
+non-converging solve at a too-tight tolerance fails loudly instead of
+spinning.
 """
 
 from __future__ import annotations
@@ -72,6 +83,10 @@ def value_iteration(
     """
     if tolerance <= 0:
         raise SolverError(f"tolerance must be > 0, got {tolerance}")
+    if max_iterations < 1:
+        raise SolverError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
     tracing = tracer is not None and tracer.enabled
     history: Optional[list] = [] if (record_residuals or tracing) else None
     values = mdp.initial_values() if initial is None else initial.copy()
@@ -111,9 +126,17 @@ def value_iteration(
                 residuals=None if history is None else tuple(history),
                 warm_started=initial is not None,
             )
+    # Non-convergence ceiling: surface enough residual diagnostics to tell
+    # a too-tight tolerance (residual plateaued near float noise) from a
+    # genuinely diverging model (residual flat or growing).
+    tail = (
+        ""
+        if history is None
+        else f"; last residuals {[f'{r:.3e}' for r in history[-3:]]}"
+    )
     raise SolverError(
         f"value iteration did not converge after {max_iterations} sweeps "
-        f"(residual {residual:.3e} > tolerance {tolerance:.3e})"
+        f"(residual {residual:.3e} > tolerance {tolerance:.3e}{tail})"
     )
 
 
@@ -132,18 +155,28 @@ def policy_iteration(
     when the greedy action table stops changing.  An enabled ``tracer``
     receives one ``pi_round`` event per improvement round.
     """
+    if max_iterations < 1:
+        raise SolverError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    if evaluation_sweeps < 1:
+        raise SolverError(
+            f"evaluation_sweeps must be >= 1, got {evaluation_sweeps}"
+        )
     tracing = tracer is not None and tracer.enabled
     values = mdp.initial_values()
     start = time.perf_counter()
     action_table: Dict[int, Tuple[int, int]] = {}
+    changed = -1
+    delta = float("inf")
     for iteration in range(1, max_iterations + 1):
         result = mdp.backup(values, want_greedy=True)
         new_table = result.greedy
         values = result.values
+        changed = sum(
+            1 for s, a in new_table.items() if action_table.get(s) != a
+        )
         if tracing:
-            changed = sum(
-                1 for s, a in new_table.items() if action_table.get(s) != a
-            )
             tracer.instant(
                 "pi_round",
                 "solver",
@@ -169,6 +202,11 @@ def policy_iteration(
             values = new_values
             if delta < evaluation_tolerance:
                 break
+    # Non-stabilization ceiling with residual diagnostics: how far the last
+    # evaluation was from its fixed point and how many greedy actions were
+    # still flipping when the budget ran out.
     raise SolverError(
-        f"policy iteration did not stabilize after {max_iterations} rounds"
+        f"policy iteration did not stabilize after {max_iterations} rounds "
+        f"(last evaluation delta {delta:.3e}, "
+        f"{changed} greedy action(s) still changing)"
     )

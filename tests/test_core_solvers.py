@@ -170,3 +170,50 @@ class TestSolversOnWorkerMDP:
         a = value_iteration(mdp).values
         b = value_iteration(mdp).values
         assert np.array_equal(a, b)
+
+
+class TestIterationCeilings:
+    """Both solvers fail loudly — and informatively — at their ceilings."""
+
+    def test_vi_cap_message_includes_residual_tail(self):
+        with pytest.raises(SolverError, match="last residuals"):
+            value_iteration(
+                DenseMDP(),
+                tolerance=1e-12,
+                max_iterations=3,
+                record_residuals=True,
+            )
+
+    def test_vi_cap_message_reports_residual_without_history(self):
+        with pytest.raises(
+            SolverError, match=r"did not converge after 3 sweeps"
+        ) as excinfo:
+            value_iteration(DenseMDP(), tolerance=1e-12, max_iterations=3)
+        assert "residual" in str(excinfo.value)
+        assert "last residuals" not in str(excinfo.value)
+
+    def test_pi_cap_message_reports_delta_and_flips(self):
+        with pytest.raises(
+            SolverError, match=r"greedy action\(s\) still changing"
+        ) as excinfo:
+            policy_iteration(DenseMDP(), max_iterations=1)
+        assert "delta" in str(excinfo.value)
+
+    def test_vi_rejects_nonpositive_max_iterations(self):
+        with pytest.raises(SolverError, match="max_iterations"):
+            value_iteration(DenseMDP(), max_iterations=0)
+
+    def test_pi_rejects_nonpositive_max_iterations(self):
+        with pytest.raises(SolverError, match="max_iterations"):
+            policy_iteration(DenseMDP(), max_iterations=0)
+
+    def test_pi_rejects_nonpositive_evaluation_sweeps(self):
+        with pytest.raises(SolverError, match="evaluation_sweeps"):
+            policy_iteration(DenseMDP(), evaluation_sweeps=0)
+
+    def test_vi_cap_on_worker_mdp_backends(self, tiny_config):
+        """The ceiling fires identically on both solver backends."""
+        for solver in ("loop", "tensor"):
+            mdp = build_worker_mdp(tiny_config, solver=solver)
+            with pytest.raises(SolverError, match="did not converge"):
+                value_iteration(mdp, tolerance=1e-13, max_iterations=2)

@@ -1,0 +1,279 @@
+"""Exactness contract between the ``loop`` and ``tensor`` solver backends.
+
+The tensorized backend (:class:`repro.core.tensor.TensorizedWorkerMDP`) is
+not "numerically close" to the reference loop — it is required to be
+*float-identical* on the value-iteration path and byte-identical in every
+serialized artifact.  This suite is the contract:
+
+- a golden matrix across transition views, batching modes, and the
+  drop-late / semi-MDP / per-query-reward extensions asserts ``==``
+  (never ``allclose``) value functions, equal sweep counts, byte-equal
+  ``Policy.save`` output, identical chain rows, and identical §5.1
+  guarantees;
+- policy iteration agrees at the greedy-table level (its evaluation
+  sweeps use a fused matrix-vector product, which reassociates sums);
+- hypothesis draws random small MDPs and checks the same agreement plus
+  the simplex invariants of the policy-induced chain.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.distributions import PoissonArrivals
+from repro.core.config import BatchingMode, TransitionView, WorkerMDPConfig
+from repro.core.generator import generate_policy
+from repro.core.guarantees import (
+    evaluate_policy,
+    stationary_distribution,
+    stationary_occupancy,
+)
+from repro.core.mdp import WorkerMDP, build_worker_mdp, resolve_solver
+from repro.core.solvers import policy_iteration, value_iteration
+from repro.core.tensor import TensorizedWorkerMDP
+from repro.errors import ConfigurationError
+from repro.profiles.latency import LinearLatencyModel
+from repro.profiles.models import ModelProfile, ModelSet
+from tests.conftest import make_tiny_model_set
+
+
+def _ladder(num_models: int) -> ModelSet:
+    return ModelSet(
+        [
+            ModelProfile(
+                name=f"m{i}",
+                accuracy=0.6 + 0.3 * i / max(num_models - 1, 1),
+                latency=LinearLatencyModel(
+                    2.0 + 0.7 * i, 5.0 + 4.0 * i, std_ms=0.0
+                ),
+                family="eq",
+            )
+            for i in range(num_models)
+        ],
+        task="eq",
+    )
+
+
+def _config(**overrides) -> WorkerMDPConfig:
+    base = dict(
+        model_set=make_tiny_model_set(),
+        slo_ms=80.0,
+        arrivals=PoissonArrivals(30.0),
+        num_workers=2,
+        max_batch_size=4,
+        max_queue=5,
+        fld_resolution=8,
+        pareto_prune=False,
+    )
+    base.update(overrides)
+    return WorkerMDPConfig(**base)
+
+
+class TestBackendDispatch:
+    def test_resolve_solver(self):
+        assert resolve_solver("auto") == "tensor"
+        assert resolve_solver("tensor") == "tensor"
+        assert resolve_solver("loop") == "loop"
+
+    def test_resolve_solver_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            resolve_solver("gpu")
+
+    def test_build_worker_mdp_dispatch(self):
+        config = _config()
+        auto = build_worker_mdp(config)
+        assert isinstance(auto, TensorizedWorkerMDP)
+        assert auto.solver == "tensor"
+        loop = build_worker_mdp(config, solver="loop")
+        assert isinstance(loop, WorkerMDP)
+        assert not isinstance(loop, TensorizedWorkerMDP)
+        assert loop.solver == "loop"
+
+
+GOLDEN_CASES = [
+    pytest.param(
+        dict(view=view, batching=batching),
+        id=f"{view.value}-{batching.value}",
+    )
+    for view in TransitionView
+    for batching in (BatchingMode.MAXIMAL, BatchingMode.VARIABLE)
+] + [
+    pytest.param(
+        dict(batching=BatchingMode.VARIABLE, drop_late=True),
+        id="drop-late",
+    ),
+    pytest.param(
+        dict(batching=BatchingMode.VARIABLE, duration_aware_discount=True),
+        id="semi-mdp",
+    ),
+    pytest.param(
+        dict(batching=BatchingMode.VARIABLE, reward_per_query=0.3),
+        id="per-query-reward",
+    ),
+    pytest.param(
+        dict(
+            batching=BatchingMode.VARIABLE,
+            drop_late=True,
+            duration_aware_discount=True,
+            reward_per_query=0.3,
+        ),
+        id="all-extensions",
+    ),
+]
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("overrides", GOLDEN_CASES)
+    def test_backends_agree_exactly(self, overrides, tmp_path):
+        config = _config(**overrides)
+        loop = build_worker_mdp(config, solver="loop")
+        tensor = build_worker_mdp(config, solver="tensor")
+
+        # Value iteration: bitwise-identical trajectories.
+        vi_loop = value_iteration(loop, tolerance=1e-7)
+        vi_tensor = value_iteration(tensor, tolerance=1e-7)
+        assert np.array_equal(vi_loop.values, vi_tensor.values)
+        assert vi_loop.iterations == vi_tensor.iterations
+
+        # Serialized policies: byte-identical files.
+        policy_loop = loop.extract_policy(vi_loop.values)
+        policy_tensor = tensor.extract_policy(vi_tensor.values)
+        path_loop = tmp_path / "loop.json"
+        path_tensor = tmp_path / "tensor.json"
+        policy_loop.save(path_loop)
+        policy_tensor.save(path_tensor)
+        assert path_loop.read_bytes() == path_tensor.read_bytes()
+
+        # Stationary analysis: identical chains, identical §5.1 numbers.
+        dist_loop = stationary_distribution(loop, policy_loop)
+        dist_tensor = stationary_distribution(tensor, policy_tensor)
+        assert np.array_equal(dist_loop, dist_tensor)
+        assert evaluate_policy(loop, policy_loop) == (
+            evaluate_policy(tensor, policy_tensor)
+        )
+
+        # Policy iteration: identical greedy tables and round counts.
+        pi_loop, table_loop = policy_iteration(loop, evaluation_sweeps=60)
+        pi_tensor, table_tensor = policy_iteration(tensor, evaluation_sweeps=60)
+        assert table_loop == table_tensor
+        assert pi_loop.iterations == pi_tensor.iterations
+
+    def test_generate_policy_backend_interchangeable(self, tmp_path):
+        config = _config(batching=BatchingMode.VARIABLE)
+        result_loop = generate_policy(config, solver="loop")
+        result_tensor = generate_policy(config, solver="tensor")
+        path_loop = tmp_path / "loop.json"
+        path_tensor = tmp_path / "tensor.json"
+        result_loop.policy.save(path_loop)
+        result_tensor.policy.save(path_tensor)
+        assert path_loop.read_bytes() == path_tensor.read_bytes()
+        assert result_loop.guarantees == result_tensor.guarantees
+
+
+class TestChainRows:
+    def test_policy_rows_identical_and_stochastic(self):
+        config = _config(batching=BatchingMode.VARIABLE)
+        loop = build_worker_mdp(config, solver="loop")
+        tensor = build_worker_mdp(config, solver="tensor")
+        stats = value_iteration(tensor, tolerance=1e-7)
+        table = tensor.backup(stats.values, want_greedy=True).greedy
+        rows_loop = loop.policy_rows(table)
+        rows_tensor = tensor.policy_rows(table)
+        assert np.array_equal(rows_loop, rows_tensor)
+        assert rows_tensor.min() >= -1e-12
+        np.testing.assert_allclose(
+            rows_tensor.sum(axis=1), 1.0, atol=1e-8
+        )
+
+    def test_policy_rows_operator_matches_dense(self):
+        config = _config(batching=BatchingMode.VARIABLE, fld_resolution=12)
+        tensor = build_worker_mdp(config, solver="tensor")
+        stats = value_iteration(tensor, tolerance=1e-7)
+        table = tensor.backup(stats.values, want_greedy=True).greedy
+        dense = tensor.policy_rows(table)
+        operator = tensor.policy_rows_operator(table)
+        probe = np.linspace(-1.0, 1.0, dense.shape[0])
+        np.testing.assert_allclose(operator @ probe, dense @ probe, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Property tests: random small MDPs
+# ----------------------------------------------------------------------
+views = st.sampled_from(
+    [TransitionView.POISSON_SPLIT, TransitionView.ROUND_ROBIN_MARGINAL]
+)
+
+
+class TestRandomEquivalence:
+    @given(
+        num_models=st.integers(2, 4),
+        max_queue=st.integers(2, 5),
+        resolution=st.integers(3, 7),
+        load=st.floats(5.0, 80.0),
+        slo=st.floats(40.0, 160.0),
+        view=views,
+        variable=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_value_iteration_bitwise_on_random_mdps(
+        self, num_models, max_queue, resolution, load, slo, view, variable
+    ):
+        config = WorkerMDPConfig(
+            model_set=_ladder(num_models),
+            slo_ms=slo,
+            arrivals=PoissonArrivals(load),
+            num_workers=1,
+            max_batch_size=max_queue,
+            max_queue=max_queue,
+            fld_resolution=resolution,
+            view=view,
+            batching=(
+                BatchingMode.VARIABLE if variable else BatchingMode.MAXIMAL
+            ),
+            pareto_prune=False,
+        )
+        loop = build_worker_mdp(config, solver="loop")
+        tensor = build_worker_mdp(config, solver="tensor")
+        vi_loop = value_iteration(loop, tolerance=1e-6)
+        vi_tensor = value_iteration(tensor, tolerance=1e-6)
+        assert np.array_equal(vi_loop.values, vi_tensor.values)
+        assert vi_loop.iterations == vi_tensor.iterations
+
+    @given(
+        num_models=st.integers(2, 3),
+        max_queue=st.integers(2, 4),
+        resolution=st.integers(3, 6),
+        load=st.floats(5.0, 60.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_occupancy_simplex_and_agreement(
+        self, num_models, max_queue, resolution, load
+    ):
+        config = WorkerMDPConfig(
+            model_set=_ladder(num_models),
+            slo_ms=90.0,
+            arrivals=PoissonArrivals(load),
+            num_workers=1,
+            max_batch_size=max_queue,
+            max_queue=max_queue,
+            fld_resolution=resolution,
+            batching=BatchingMode.VARIABLE,
+            pareto_prune=False,
+        )
+        loop = build_worker_mdp(config, solver="loop")
+        tensor = build_worker_mdp(config, solver="tensor")
+        stats = value_iteration(tensor, tolerance=1e-6)
+        policy = tensor.extract_policy(stats.values)
+        occ_loop = stationary_occupancy(loop, policy)
+        occ_tensor = stationary_occupancy(tensor, policy)
+        assert occ_loop == occ_tensor
+        total = (
+            occ_tensor.empty_probability
+            + occ_tensor.full_probability
+            + sum(occ_tensor.probs.values())
+        )
+        assert total == pytest.approx(1.0, abs=1e-7)
+        assert occ_tensor.empty_probability >= 0.0
+        assert occ_tensor.full_probability >= 0.0
+        assert all(p >= -1e-12 for p in occ_tensor.probs.values())
