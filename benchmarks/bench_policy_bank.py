@@ -1,25 +1,33 @@
-"""Offline policy-bank generation: serial vs. parallel vs. warm cache.
+"""Offline policy-bank generation: serial vs. pool vs. stacked bank.
 
-Times three passes over the same 8-cell load grid and checks the tentpole
+Times four passes over the same 32-cell load grid and gates the tentpole
 invariants of the pipeline:
 
-- **cold serial**: every cell solved in-process, persisting into a fresh
-  cache directory;
+- **cold serial**: every cell solved in-process by the per-load tensor
+  backend, persisting into a fresh cache directory;
 - **cold parallel**: the same cells fanned across ``--workers`` processes
-  into a second fresh directory;
-- **warm cache**: the serial path again, resolving every cell from the
-  first pass's disk artifacts.
+  (the PR 3 process-pool path) into a second fresh directory;
+- **cold stacked**: the whole grid solved as *one* batched tensor program
+  by :class:`repro.core.bank.StackedBankMDP`;
+- **warm cross-backend**: the stacked generator pointed at the serial
+  pass's cache directory, resolving every cell from disk — proving the
+  backends share per-load cache keys.
 
-All three banks must be byte-identical, and the warm pass must beat the
-cold serial pass.  The parallel speedup is reported but only asserted to be
-a valid run — on single-core CI runners process fan-out cannot win.
+All banks must be byte-identical (the stacked sweep is float-``==`` to
+independent per-load solves), a subset of loads is additionally checked
+against the reference ``loop`` backend, and the stacked pass must beat
+the process-pool pass by ``RAMSIS_BENCH_MIN_SPEEDUP`` (default 2x at
+bench scale, 1.2x at ``RAMSIS_BENCH_SCALE=smoke``).
 
-Results land in ``benchmarks/out/policy_bank.{txt,json}``.
+Headline numbers land in ``benchmarks/out/policy_bank.{txt,json}`` and
+``BENCH_policy_bank.json`` at the repo root, regression-gated in CI via
+``ramsis bench-history --check``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import pytest
@@ -30,8 +38,23 @@ from repro.core.config import WorkerMDPConfig
 from repro.core.generator import PolicyGenerator
 from repro.experiments.tasks import image_task
 
-#: Load grid (QPS) — 8 cells, the acceptance benchmark's shape.
-LOADS = [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]
+#: Load grid (QPS) — 32 cells, the acceptance benchmark's shape.
+LOADS = [20.0 + 2.5 * i for i in range(32)]
+
+#: Subset cross-checked against the reference loop backend (exact but
+#: far too slow to run on all 32 cells every benchmark run).
+LOOP_CHECK_LOADS = LOADS[::8]
+
+
+def _smoke() -> bool:
+    return os.environ.get("RAMSIS_BENCH_SCALE", "bench") == "smoke"
+
+
+def _min_speedup() -> float:
+    env = os.environ.get("RAMSIS_BENCH_MIN_SPEEDUP")
+    if env:
+        return float(env)
+    return 1.2 if _smoke() else 2.0
 
 
 def _bank_config() -> WorkerMDPConfig:
@@ -63,26 +86,55 @@ def test_policy_bank_speedups(tmp_path):
 
     start = time.perf_counter()
     serial = PolicyGenerator(
-        config, cache=PolicyCache(directory=dir_serial) if use_cache else None
+        config,
+        solver="tensor",
+        cache=PolicyCache(directory=dir_serial) if use_cache else None,
     ).generate_many(LOADS)
     cold_serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
     parallel = PolicyGenerator(
         config,
+        solver="tensor",
         cache=PolicyCache(directory=dir_parallel) if use_cache else None,
     ).generate_many(LOADS, max_workers=workers)
     cold_parallel_s = time.perf_counter() - start
 
+    start = time.perf_counter()
+    stacked = PolicyGenerator(config, solver="stacked").generate_many(LOADS)
+    stacked_s = time.perf_counter() - start
+
     assert _bank_bytes(serial) == _bank_bytes(parallel), (
         "parallel bank differs from serial bank"
     )
+    assert _bank_bytes(serial) == _bank_bytes(stacked), (
+        "stacked bank differs from serial bank"
+    )
+    assert all(
+        a.guarantees == b.guarantees for a, b in zip(serial, stacked)
+    ), "stacked guarantees differ from serial guarantees"
+
+    # Spot-check the stack against the reference loop backend: exact
+    # agreement on a subset ties the whole chain back to PR 1's solver.
+    loop_gen = PolicyGenerator(config, solver="loop")
+    for load in LOOP_CHECK_LOADS:
+        reference = stacked[LOADS.index(load)]
+        looped = loop_gen.generate(load)
+        assert json.dumps(
+            looped.policy.to_json_dict(), sort_keys=True
+        ) == json.dumps(reference.policy.to_json_dict(), sort_keys=True), (
+            f"stacked policy at {load} qps differs from loop backend"
+        )
 
     warm_s = None
     if use_cache:
+        # Cross-backend cache sharing: the stacked generator resolves the
+        # serial pass's artifacts — per-load keys are backend-agnostic.
         warm_cache = PolicyCache(directory=dir_serial)
         start = time.perf_counter()
-        warm = PolicyGenerator(config, cache=warm_cache).generate_many(LOADS)
+        warm = PolicyGenerator(
+            config, solver="stacked", cache=warm_cache
+        ).generate_many(LOADS)
         warm_s = time.perf_counter() - start
         assert warm_cache.hits == len(LOADS), (
             f"expected {len(LOADS)} warm hits, got {warm_cache.hits}"
@@ -96,14 +148,26 @@ def test_policy_bank_speedups(tmp_path):
             f"({cold_serial_s:.3f}s)"
         )
 
+    floor = _min_speedup()
+    stacked_speedup_vs_pool = cold_parallel_s / stacked_s
+    stacked_speedup_vs_serial = cold_serial_s / stacked_s
     parallel_speedup = cold_serial_s / cold_parallel_s
     warm_speedup = None if warm_s is None else cold_serial_s / warm_s
+    assert stacked_speedup_vs_pool >= floor, (
+        f"stacked bank solve {stacked_s:.3f}s vs pool {cold_parallel_s:.3f}s "
+        f"= {stacked_speedup_vs_pool:.2f}x, below the {floor:.1f}x floor"
+    )
+
     lines = [
-        "policy bank: 8-cell grid, "
+        f"policy bank: {len(LOADS)}-cell grid, "
         f"fld_resolution={config.fld_resolution}, workers={workers}",
         f"cold serial:   {cold_serial_s:8.3f} s",
         f"cold parallel: {cold_parallel_s:8.3f} s "
         f"({parallel_speedup:.2f}x)",
+        f"cold stacked:  {stacked_s:8.3f} s "
+        f"({stacked_speedup_vs_pool:.2f}x vs pool, "
+        f"{stacked_speedup_vs_serial:.2f}x vs serial, "
+        f"floor {floor:.1f}x vs pool)",
     ]
     if warm_s is not None:
         lines.append(
@@ -116,12 +180,18 @@ def test_policy_bank_speedups(tmp_path):
             "loads_qps": LOADS,
             "fld_resolution": config.fld_resolution,
             "workers": workers,
+            "scale": "smoke" if _smoke() else "bench",
+            "min_speedup": floor,
             "cold_serial_s": cold_serial_s,
             "cold_parallel_s": cold_parallel_s,
+            "cold_stacked_s": stacked_s,
             "warm_cache_s": warm_s,
             "parallel_speedup": parallel_speedup,
+            "stacked_speedup_vs_pool": stacked_speedup_vs_pool,
+            "stacked_speedup_vs_serial": stacked_speedup_vs_serial,
             "warm_cache_speedup": warm_speedup,
         },
+        root=True,
     )
 
 

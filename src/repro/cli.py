@@ -120,6 +120,14 @@ def cmd_gen(args: argparse.Namespace) -> int:
     task = _task_by_name(args.task)
     slo = args.slo if args.slo is not None else task.slos_ms[0]
     loads = [float(q) for q in (args.loads or [args.load])]
+    if getattr(args, "solver", "auto") == "stacked" and (
+        args.jobs is not None and args.jobs > 1
+    ):
+        raise SystemExit(
+            "--solver stacked solves the whole load grid in-process as one "
+            "batched tensor program; drop --jobs, or use --solver auto to "
+            "let grid size pick the backend"
+        )
     config = WorkerMDPConfig.default_poisson(
         task.model_set,
         slo_ms=slo,
@@ -885,10 +893,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--fld-resolution", type=int, default=100)
     gen.add_argument(
         "--solver",
-        choices=["auto", "tensor", "loop"],
+        choices=["auto", "tensor", "loop", "stacked"],
         default="auto",
         help="Bellman-sweep backend: tensorized (fast), reference loop "
-        "(oracle), or auto (tensor; backends are value-identical)",
+        "(oracle), stacked (one batched solve for the whole load grid), "
+        "or auto (stacked for serial multi-load grids, tensor otherwise; "
+        "backends are value-identical)",
     )
     gen.add_argument("--out", default="policy_gen")
     gen.add_argument(

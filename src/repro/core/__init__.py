@@ -16,8 +16,11 @@ This package implements the paper's primary contribution (§3-§5):
 - :mod:`repro.core.policy_set` — load-indexed policy sets with the 1 %
   adjacent-accuracy refinement rule (§6 "Query Load Adaptation").
 - :mod:`repro.core.generator` — the high-level offline entry point.
+- :mod:`repro.core.bank` — the stacked policy-bank solver: one batched
+  tensor program for a whole load grid, bitwise-equal to per-load solves.
 """
 
+from repro.core.bank import StackedBankMDP, solve_stacked_bank
 from repro.core.config import BatchingMode, Discretization, TransitionView, WorkerMDPConfig
 from repro.core.discretization import TimeGrid
 from repro.core.generator import PolicyGenerator, generate_policy
@@ -45,6 +48,8 @@ __all__ = [
     "PolicySet",
     "PolicyGenerator",
     "generate_policy",
+    "StackedBankMDP",
+    "solve_stacked_bank",
     "PolicyGuarantees",
     "evaluate_policy",
     "SolveStats",

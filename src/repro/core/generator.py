@@ -40,6 +40,7 @@ from repro.core.guarantees import PolicyGuarantees, evaluate_policy
 from repro.core.mdp import build_worker_mdp
 from repro.core.policy import Policy, PolicyMetadata
 from repro.core.solvers import value_iteration
+from repro.errors import ConfigurationError
 from repro.obs.aggregate import (
     init_worker_obs,
     merge_run_dir,
@@ -350,7 +351,29 @@ class PolicyGenerator:
 
         ``initials`` optionally maps a load to a warm-start value vector
         (see :meth:`generate`).
+
+        Backend routing for the misses: ``solver="stacked"`` solves them
+        all in-process as one batched tensor program
+        (:func:`repro.core.bank.solve_stacked_bank`, byte-identical to
+        the serial per-load path) and is mutually exclusive with a
+        ``max_workers > 1`` fan-out; ``solver="auto"`` picks the stacked
+        bank for serial calls with at least
+        :data:`~repro.core.bank.STACKED_AUTO_MIN_CELLS` misses — an
+        explicit ``max_workers > 1`` takes precedence and keeps the
+        process pool.
         """
+        if (
+            self._solver == "stacked"
+            and max_workers is not None
+            and max_workers > 1
+        ):
+            raise ConfigurationError(
+                "solver='stacked' solves the whole load grid in-process as "
+                "one batched tensor program and cannot be combined with a "
+                f"max_workers={max_workers} process-pool fan-out; drop "
+                "max_workers, or use solver='auto' to let grid size pick "
+                "the backend"
+            )
         workers = num_workers if num_workers is not None else self._base.num_workers
         loads = [float(q) for q in loads_qps]
         results: List[Optional[GenerationResult]] = [None] * len(loads)
@@ -379,7 +402,17 @@ class PolicyGenerator:
             parallel = (
                 max_workers is not None and max_workers > 1 and len(pending) > 1
             )
-            if parallel:
+            stacked = False
+            if not parallel and len(pending) > 1:
+                from repro.core.bank import STACKED_AUTO_MIN_CELLS
+
+                stacked = self._solver == "stacked" or (
+                    self._solver == "auto"
+                    and len(pending) >= STACKED_AUTO_MIN_CELLS
+                )
+            if stacked:
+                self._solve_stacked(pending, workers, results)
+            elif parallel:
                 self._solve_parallel(pending, max_workers, workers, results)
             else:
                 for i, q, config, initial in pending:
@@ -400,6 +433,38 @@ class PolicyGenerator:
                     results[i] = result
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    def _solve_stacked(
+        self,
+        pending: List[Tuple[int, float, WorkerMDPConfig, Optional[np.ndarray]]],
+        workers: int,
+        results: List[Optional[GenerationResult]],
+    ) -> None:
+        """Solve pending cells as one stacked bank; fill ``results`` in place.
+
+        Each cell's result is byte-identical to the serial per-load path
+        (asserted by the equivalence suite), so results commit to the
+        in-memory and disk caches under the *same* per-load keys —
+        artifacts stay shared across the serial, process-pool, and
+        stacked backends.
+        """
+        from repro.core.bank import solve_stacked_bank
+
+        with self._tracer.span(
+            "policy_bank_stacked",
+            track="policy_bank",
+            args={"cells": len(pending), "workers": workers},
+        ):
+            solved = solve_stacked_bank(
+                [config for _, _, config, _ in pending],
+                tolerance=self._tolerance,
+                initials=[initial for _, _, _, initial in pending],
+                tracer=self._tracer,
+            )
+        for (i, q, config, _), result in zip(pending, solved):
+            self._count_cell("solve")
+            self._commit(self._key(q, workers), config, result)
+            results[i] = result
 
     def _solve_parallel(
         self,

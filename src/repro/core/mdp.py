@@ -58,7 +58,7 @@ __all__ = [
 _FALLBACK = -1
 
 #: Recognized solver backends (see :func:`resolve_solver`).
-SOLVER_BACKENDS = ("auto", "tensor", "loop")
+SOLVER_BACKENDS = ("auto", "tensor", "loop", "stacked")
 
 
 def resolve_solver(solver: str) -> str:
@@ -71,12 +71,18 @@ def resolve_solver(solver: str) -> str:
     the value-iteration path and ≥3x faster at bench scale (gated by
     ``benchmarks/bench_state_space.py``).  ``"auto"`` picks the tensor
     backend — the equivalence suite keeps that substitution honest.
+
+    ``"stacked"`` is a *bank-level* backend: whole load grids solve as
+    one batched tensor program (:mod:`repro.core.bank`), dispatched in
+    :meth:`PolicyGenerator.generate_many`.  A single-MDP construction
+    under it resolves to the tensor backend — one load's stacked solve
+    *is* the tensor solve.
     """
     if solver not in SOLVER_BACKENDS:
         raise ConfigurationError(
             f"unknown solver {solver!r}; expected one of {SOLVER_BACKENDS}"
         )
-    return "tensor" if solver == "auto" else solver
+    return "tensor" if solver in ("auto", "stacked") else solver
 
 
 @dataclass

@@ -75,9 +75,14 @@ class PolicySet:
 
         Every cell (initial grid and refinement midpoints alike) solves
         with the generator's ``solver=`` backend
-        (``PolicyGenerator(..., solver="auto"|"tensor"|"loop")``); since
-        backends are value-identical, refined sets are byte-identical
-        regardless of which backend produced them.
+        (``PolicyGenerator(..., solver="auto"|"tensor"|"loop"|"stacked")``);
+        since backends are value-identical, refined sets are byte-identical
+        regardless of which backend produced them.  With the ``stacked``
+        backend (or ``auto`` on a large enough serial grid) each round —
+        the initial grid, then every round's midpoints — solves as *one*
+        batched :class:`repro.core.bank.StackedBankMDP` program, with the
+        round's warm starts threaded through as the stacked solve's
+        per-cell ``initials``.
         """
         if not load_grid_qps:
             raise PolicyError("load grid must be non-empty")

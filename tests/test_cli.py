@@ -74,6 +74,57 @@ class TestGen:
         payload = json.loads(policy_file.read_text())
         assert payload["metadata"]["load_qps"] == 40.0
 
+    def test_stacked_solver_generates_grid(self, tmp_path, capsys):
+        code = main(
+            [
+                "gen",
+                "--task",
+                "image",
+                "--slo",
+                "150",
+                "--workers",
+                "2",
+                "--loads",
+                "30",
+                "40",
+                "50",
+                "60",
+                "--solver",
+                "stacked",
+                "--no-cache",
+                "--fld-resolution",
+                "12",
+                "--out",
+                str(tmp_path / "pol"),
+            ]
+        )
+        assert code == 0
+        assert "script complete!" in capsys.readouterr().err
+        out_dir = tmp_path / "pol" / "RAMSIS_2_150"
+        assert sorted(p.name for p in out_dir.glob("*.json")) == [
+            "30.json", "40.json", "50.json", "60.json",
+        ]
+
+    def test_stacked_solver_rejects_jobs(self, tmp_path):
+        with pytest.raises(SystemExit, match="stacked"):
+            main(
+                [
+                    "gen",
+                    "--task",
+                    "image",
+                    "--loads",
+                    "30",
+                    "40",
+                    "--solver",
+                    "stacked",
+                    "--jobs",
+                    "2",
+                    "--no-cache",
+                    "--out",
+                    str(tmp_path / "pol"),
+                ]
+            )
+
 
 class TestSimulateAndReport:
     def test_constant_roundtrip(self, tmp_path, capsys):

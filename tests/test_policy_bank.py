@@ -5,9 +5,11 @@ from __future__ import annotations
 import json
 
 import numpy as np
+import pytest
 
 from repro.cache import PolicyCache
 from repro.core.generator import PolicyGenerator, generate_policy
+from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import RecordingTracer
 
@@ -111,6 +113,83 @@ def test_tolerance_partitions_the_cache(tiny_config, tmp_path):
     )
     assert not result.from_cache
     assert fresh.misses == 1
+
+
+# ----------------------------------------------------------------------
+# Stacked bank backend
+# ----------------------------------------------------------------------
+def test_stacked_bank_matches_serial(tiny_config):
+    serial = PolicyGenerator(
+        tiny_config, tolerance=TOL, solver="tensor"
+    ).generate_many(LOADS)
+    stacked = PolicyGenerator(
+        tiny_config, tolerance=TOL, solver="stacked"
+    ).generate_many(LOADS)
+    assert _bank_bytes(serial) == _bank_bytes(stacked)
+    for s, p in zip(serial, stacked):
+        assert s.guarantees == p.guarantees
+        assert s.iterations == p.iterations
+
+
+def test_stacked_rejects_process_fanout(tiny_config):
+    generator = PolicyGenerator(tiny_config, tolerance=TOL, solver="stacked")
+    with pytest.raises(ConfigurationError, match="max_workers"):
+        generator.generate_many(LOADS, max_workers=2)
+
+
+def test_auto_routes_serial_grids_to_stacked(tiny_config):
+    tracer = RecordingTracer()
+    generator = PolicyGenerator(tiny_config, tolerance=TOL, tracer=tracer)
+    generator.generate_many(LOADS)  # 4 cells >= STACKED_AUTO_MIN_CELLS
+    spans = [s.name for s in tracer.spans if s.track == "policy_bank"]
+    assert "policy_bank_stacked" in spans
+
+
+def test_auto_keeps_small_grids_serial(tiny_config):
+    tracer = RecordingTracer()
+    PolicyGenerator(tiny_config, tolerance=TOL, tracer=tracer).generate_many(
+        LOADS[:2]
+    )
+    spans = [s.name for s in tracer.spans if s.track == "policy_bank"]
+    assert "policy_bank_stacked" not in spans
+
+
+def test_explicit_workers_keep_the_pool_under_auto(tiny_config):
+    tracer = RecordingTracer()
+    PolicyGenerator(tiny_config, tolerance=TOL, tracer=tracer).generate_many(
+        LOADS, max_workers=2
+    )
+    spans = [s.name for s in tracer.spans if s.track == "policy_bank"]
+    assert "policy_bank_stacked" not in spans
+    assert "policy_bank_submit" in spans
+
+
+def test_stacked_shares_cache_keys_with_serial(tiny_config, tmp_path):
+    cache_a = PolicyCache(directory=tmp_path)
+    bank = PolicyGenerator(
+        tiny_config, tolerance=TOL, solver="tensor", cache=cache_a
+    ).generate_many(LOADS)
+    assert cache_a.stores == len(LOADS)
+
+    cache_b = PolicyCache(directory=tmp_path)
+    restored = PolicyGenerator(
+        tiny_config, tolerance=TOL, solver="stacked", cache=cache_b
+    ).generate_many(LOADS)
+    assert cache_b.hits == len(LOADS)
+    assert all(r.from_cache for r in restored)
+    assert _bank_bytes(restored) == _bank_bytes(bank)
+
+
+def test_stacked_threads_initials(tiny_config):
+    seed = PolicyGenerator(tiny_config, tolerance=TOL).generate(20.0)
+    cold = PolicyGenerator(
+        tiny_config, tolerance=TOL, solver="tensor"
+    ).generate_many(LOADS)
+    warm = PolicyGenerator(
+        tiny_config, tolerance=TOL, solver="stacked"
+    ).generate_many(LOADS, initials={q: seed.values for q in LOADS})
+    assert _bank_bytes(warm) == _bank_bytes(cold)
+    assert all(w.iterations <= c.iterations for w, c in zip(warm, cold))
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arrivals.distributions import PoissonArrivals
+from repro.arrivals.distributions import (
+    DeterministicArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+)
+from repro.core.bank import StackedBankMDP, solve_stacked_bank
 from repro.core.config import BatchingMode, TransitionView, WorkerMDPConfig
 from repro.core.generator import generate_policy
 from repro.core.guarantees import (
@@ -75,6 +80,9 @@ class TestBackendDispatch:
         assert resolve_solver("auto") == "tensor"
         assert resolve_solver("tensor") == "tensor"
         assert resolve_solver("loop") == "loop"
+        # "stacked" is a bank-level routing choice; a single-MDP build
+        # resolves to the per-load tensor backend it is bitwise-equal to.
+        assert resolve_solver("stacked") == "tensor"
 
     def test_resolve_solver_rejects_unknown(self):
         with pytest.raises(ConfigurationError):
@@ -196,6 +204,124 @@ class TestChainRows:
         probe = np.linspace(-1.0, 1.0, dense.shape[0])
         np.testing.assert_allclose(operator @ probe, dense @ probe, atol=1e-12)
 
+    def test_sparse_operator_stationary_matches_dense(self):
+        """The opt-in CSR chain operator agrees with the dense power
+        iteration to allclose (sparse matvecs reassociate sums)."""
+        pytest.importorskip("scipy")
+        config = _config(batching=BatchingMode.VARIABLE, fld_resolution=12)
+        tensor = build_worker_mdp(config, solver="tensor")
+        stats = value_iteration(tensor, tolerance=1e-7)
+        policy = tensor.extract_policy(stats.values)
+        dense = stationary_distribution(tensor, policy)
+        sparse = stationary_distribution(tensor, policy, operator="sparse")
+        np.testing.assert_allclose(sparse, dense, atol=1e-9)
+        occ_dense = stationary_occupancy(tensor, policy)
+        occ_sparse = stationary_occupancy(tensor, policy, operator="auto")
+        assert occ_sparse.probs.keys() == occ_dense.probs.keys()
+        for key, p in occ_dense.probs.items():
+            assert occ_sparse.probs[key] == pytest.approx(p, abs=1e-9)
+
+    def test_auto_operator_falls_back_on_loop_backend(self):
+        config = _config(batching=BatchingMode.VARIABLE)
+        loop = build_worker_mdp(config, solver="loop")
+        tensor = build_worker_mdp(config, solver="tensor")
+        stats = value_iteration(tensor, tolerance=1e-7)
+        policy = tensor.extract_policy(stats.values)
+        # "auto" on a backend without a CSR operator is the dense path,
+        # bitwise: the loop backend exposes no policy_rows_operator.
+        dense = stationary_distribution(loop, policy)
+        auto = stationary_distribution(loop, policy, operator="auto")
+        assert np.array_equal(auto, dense)
+        with pytest.raises(ConfigurationError):
+            stationary_distribution(loop, policy, operator="sparse")
+        with pytest.raises(ConfigurationError):
+            stationary_distribution(tensor, policy, operator="csr")
+
+
+# ----------------------------------------------------------------------
+# Stacked bank: one batched solve == per-load tensor solves, bitwise
+# ----------------------------------------------------------------------
+BANK_LOADS = [18.0, 27.0, 36.0, 45.0]
+
+STACKED_CASES = GOLDEN_CASES + [
+    pytest.param(
+        dict(arrivals=GammaArrivals(30.0, shape=2.0)),
+        id="gamma-arrivals",
+    ),
+    pytest.param(
+        dict(arrivals=DeterministicArrivals(30.0)),
+        id="deterministic-arrivals",
+    ),
+]
+
+
+class TestStackedBank:
+    @pytest.mark.parametrize("overrides", STACKED_CASES)
+    def test_stacked_matches_per_load_tensor(self, overrides):
+        base = _config(**overrides)
+        configs = [base.with_load(q) for q in BANK_LOADS]
+        stats = StackedBankMDP(configs).solve(tolerance=1e-7)
+        for config, s in zip(configs, stats):
+            ref = value_iteration(
+                build_worker_mdp(config, solver="tensor"), tolerance=1e-7
+            )
+            assert np.array_equal(s.values, ref.values)
+            assert s.iterations == ref.iterations
+            assert s.converged
+
+    def test_solve_stacked_bank_end_to_end(self, tmp_path):
+        base = _config(batching=BatchingMode.VARIABLE)
+        configs = [base.with_load(q) for q in BANK_LOADS]
+        results = solve_stacked_bank(configs)
+        for config, result in zip(configs, results):
+            ref = generate_policy(config, solver="tensor")
+            stacked_path = tmp_path / "stacked.json"
+            ref_path = tmp_path / "ref.json"
+            result.policy.save(stacked_path)
+            ref.policy.save(ref_path)
+            assert stacked_path.read_bytes() == ref_path.read_bytes()
+            assert result.guarantees == ref.guarantees
+            assert result.iterations == ref.iterations
+
+    def test_stacked_stationary_matches_per_load(self):
+        base = _config(batching=BatchingMode.VARIABLE)
+        configs = [base.with_load(q) for q in BANK_LOADS]
+        bank = StackedBankMDP(configs)
+        stats = bank.solve(tolerance=1e-7)
+        policies = [
+            cell.extract_policy(s.values)
+            for cell, s in zip(bank.cells, stats)
+        ]
+        dists = bank.stationary_distributions(policies)
+        for cell, policy, dist in zip(bank.cells, policies, dists):
+            assert np.array_equal(dist, stationary_distribution(cell, policy))
+
+    def test_stacked_warm_start_reaches_same_fixed_point(self):
+        base = _config()
+        configs = [base.with_load(q) for q in BANK_LOADS]
+        cold = StackedBankMDP(configs).solve(tolerance=1e-7)
+        initials = [cold[0].values] + [None] * (len(configs) - 1)
+        warm = StackedBankMDP(configs).solve(
+            tolerance=1e-7, initials=initials
+        )
+        assert warm[0].warm_started and not warm[1].warm_started
+        for c, w in zip(cold, warm):
+            np.testing.assert_allclose(w.values, c.values, atol=1e-6)
+        assert warm[0].iterations <= cold[0].iterations
+
+    def test_stacked_rejects_mismatched_cells(self):
+        base = _config()
+        configs = [base.with_load(q) for q in BANK_LOADS[:2]]
+        configs[1] = _config(slo_ms=120.0).with_load(BANK_LOADS[1])
+        with pytest.raises(ConfigurationError):
+            StackedBankMDP(configs)
+
+    def test_stacked_validates_solve_arguments(self):
+        base = _config()
+        bank = StackedBankMDP([base.with_load(q) for q in BANK_LOADS[:2]])
+        with pytest.raises(ConfigurationError):
+            bank.solve(initials=[None])
+
 
 # ----------------------------------------------------------------------
 # Property tests: random small MDPs
@@ -277,3 +403,52 @@ class TestRandomEquivalence:
         assert occ_tensor.empty_probability >= 0.0
         assert occ_tensor.full_probability >= 0.0
         assert all(p >= -1e-12 for p in occ_tensor.probs.values())
+
+    @given(
+        num_models=st.integers(2, 3),
+        max_queue=st.integers(2, 4),
+        resolution=st.integers(3, 6),
+        base_load=st.floats(5.0, 40.0),
+        step=st.floats(2.0, 15.0),
+        cells=st.integers(2, 4),
+        view=views,
+        variable=st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_stacked_bitwise_on_random_load_grids(
+        self,
+        num_models,
+        max_queue,
+        resolution,
+        base_load,
+        step,
+        cells,
+        view,
+        variable,
+    ):
+        """Random load grids x views x batching: the stacked solve must be
+        bitwise-equal to independent per-load tensor solves, and frozen-load
+        masking must preserve every load's independent sweep count."""
+        loads = [base_load + i * step for i in range(cells)]
+        base = WorkerMDPConfig(
+            model_set=_ladder(num_models),
+            slo_ms=90.0,
+            arrivals=PoissonArrivals(max(loads)),
+            num_workers=1,
+            max_batch_size=max_queue,
+            max_queue=max_queue,
+            fld_resolution=resolution,
+            view=view,
+            batching=(
+                BatchingMode.VARIABLE if variable else BatchingMode.MAXIMAL
+            ),
+            pareto_prune=False,
+        )
+        configs = [base.with_load(q) for q in loads]
+        stats = StackedBankMDP(configs).solve(tolerance=1e-6)
+        for config, s in zip(configs, stats):
+            ref = value_iteration(
+                build_worker_mdp(config, solver="tensor"), tolerance=1e-6
+            )
+            assert np.array_equal(s.values, ref.values)
+            assert s.iterations == ref.iterations
