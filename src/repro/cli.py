@@ -768,6 +768,127 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if run.report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a trace on the sharded asyncio runtime.
+
+    Replays a constant or Twitter-shaped trace across ``--shards``
+    controller shards of ``--workers`` workers each, with optional
+    admission control (``--max-queue-depth`` / ``--min-slack-ms``),
+    drop-late semantics, per-shard §5.1 auditors (``--audit``), and a
+    ``--run-dir`` holding the per-worker event feeds, live snapshots and
+    — merged on exit — the artifacts ``ramsis report`` / ``ramsis
+    explain`` / ``ramsis top`` consume.  ``--policy-dir`` loads a saved
+    RAMSIS policy set (``ramsis gen --out-dir``); without one, ``--audit``
+    pins a RAMSIS policy for the trace load and a plain run uses the
+    greedy selector.  Exit code 1 on any audited guarantee breach.
+    """
+    from repro.runtime import AdmissionControl, ShardedController
+    from repro.selectors import GreedyDeadlineSelector, RamsisSelector
+
+    task = _task_by_name(args.task)
+    scale = _scale_by_name(args.scale)
+    slo = args.slo if args.slo is not None else task.slos_ms[0]
+    if args.trace == "twitter":
+        # Keep the 30-interval diurnal shape at any duration (a single
+        # interval would degenerate in the min/max normalization).
+        trace = synthesize_twitter_trace(
+            duration_s=args.duration, interval_s=args.duration / 30.0
+        )
+        if args.load_scale != 1.0:
+            trace = trace.scaled(args.load_scale)
+    else:
+        trace = LoadTrace.constant(
+            args.load * args.load_scale,
+            args.duration * 1000.0,
+            name=f"const-{args.load:g}",
+        )
+
+    total_workers = args.shards * args.workers
+    factory = lambda shard_index: GreedyDeadlineSelector()  # noqa: E731
+    if args.policy_dir is not None:
+        from repro.core.policy_set import PolicySet
+
+        policy_set = PolicySet.load(args.policy_dir)
+        factory = lambda shard_index: RamsisSelector(policy_set)  # noqa: E731
+
+    auditors = None
+    if args.audit:
+        from repro.experiments.runner import build_audit_references
+        from repro.obs.audit import GuaranteeAuditor
+
+        ref_load = trace.mean_qps
+        policy, guarantees, occupancy = build_audit_references(
+            task.model_set, slo, ref_load, total_workers, scale
+        )
+        auditors = [
+            GuaranteeAuditor(
+                guarantees, policy=policy, expected_occupancy=occupancy
+            )
+            for _ in range(args.shards)
+        ]
+        if args.policy_dir is None:
+            factory = lambda shard_index: RamsisSelector(policy)  # noqa: E731
+
+    admission = None
+    if args.max_queue_depth is not None or args.min_slack_ms is not None:
+        admission = AdmissionControl(
+            max_queue_depth=args.max_queue_depth,
+            min_slack_ms=args.min_slack_ms,
+        )
+
+    log.info(
+        "serving %s: %d shards x %d workers, SLO %g ms, time scale %g",
+        trace.name, args.shards, args.workers, slo, args.time_scale,
+    )
+    controller = ShardedController(
+        task.model_set,
+        slo_ms=slo,
+        num_shards=args.shards,
+        workers_per_shard=args.workers,
+        time_scale=args.time_scale,
+        seed=args.seed,
+        admission=admission,
+        drop_late=args.drop_late,
+        paced=not args.unpaced,
+        run_dir=args.run_dir,
+        snapshot_interval_s=args.snapshot_interval,
+    )
+    report = controller.serve(factory, trace, auditors=auditors)
+
+    m = report.metrics
+    print(
+        f"{trace.name}: {report.num_shards} shards x "
+        f"{report.workers_per_shard} workers, {report.submitted} queries "
+        f"in {report.wall_seconds:.2f}s wall ({report.qps:,.0f} q/s)"
+    )
+    print(
+        f"  served={report.served} rejected={report.rejected} "
+        f"dropped={report.dropped}"
+    )
+    print(f"  {m.summary()}")
+    if not args.unpaced:
+        print(f"  p99 added latency: {report.p99_added_latency_ms:.3f} ms wall")
+
+    if args.run_dir is not None:
+        from repro.obs.aggregate import merge_run_dir, write_merged_artifacts
+
+        merged = merge_run_dir(args.run_dir)
+        for path in write_merged_artifacts(merged, args.run_dir).values():
+            log.info("wrote %s", path)
+
+    breaches = 0
+    if auditors is not None:
+        for shard_index, auditor in enumerate(auditors):
+            audit = auditor.finalize()
+            breaches += audit.violation_breaches + audit.accuracy_breaches
+            print(
+                f"  shard {shard_index} audit: "
+                f"violation_breaches={audit.violation_breaches} "
+                f"accuracy_breaches={audit.accuracy_breaches}"
+            )
+    return 1 if breaches else 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     """Regenerate one evaluation figure (optionally in parallel).
 
@@ -1159,6 +1280,79 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--seed", type=int, default=11)
     audit.add_argument("--out-dir", default="audit_out")
     audit.set_defaults(func=cmd_audit)
+
+    serve = sub.add_parser(
+        "serve", help="serve a trace on the sharded asyncio runtime"
+    )
+    serve.add_argument("--task", default="image", choices=["image", "text"])
+    serve.add_argument("--slo", type=float, default=None)
+    serve.add_argument(
+        "--trace", default="constant", choices=["constant", "twitter"]
+    )
+    serve.add_argument("--load", type=float, default=40.0, help="constant QPS")
+    serve.add_argument(
+        "--load-scale",
+        type=float,
+        default=1.0,
+        help="multiply the trace's QPS (scales the Twitter trace down "
+        "to demo-sized worker counts)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=10.0, help="trace length (s)"
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="workers per shard"
+    )
+    serve.add_argument(
+        "--policy-dir",
+        default=None,
+        help="serve with a saved RAMSIS policy set (ramsis gen --out-dir)",
+    )
+    serve.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach one §5.1 guarantee auditor per shard "
+        "(exit 1 on any bound breach)",
+    )
+    serve.add_argument(
+        "--run-dir",
+        default=None,
+        help="write per-worker event feeds, live snapshots, and merged "
+        "artifacts (ramsis report/explain/top all consume this)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="admission control: reject when the worker queue is this deep",
+    )
+    serve.add_argument(
+        "--min-slack-ms",
+        type=float,
+        default=None,
+        help="admission control: reject queries whose slack at the "
+        "estimated service start falls below this",
+    )
+    serve.add_argument(
+        "--drop-late",
+        action="store_true",
+        help="drop the worker queue when the selected action is late",
+    )
+    serve.add_argument(
+        "--unpaced",
+        action="store_true",
+        help="replay flat out instead of pacing arrivals on the wall "
+        "clock (throughput stress mode)",
+    )
+    serve.add_argument("--time-scale", type=float, default=0.05)
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=0.5,
+        help="seconds between live snapshot publishes under --run-dir",
+    )
+    serve.add_argument("--scale", default="smoke")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.set_defaults(func=cmd_serve)
 
     zoo = sub.add_parser("zoo", help="print model profiles (Fig. 3 / Fig. 9)")
     zoo.add_argument("--task", default="image", choices=["image", "text"])

@@ -11,22 +11,37 @@ wall-clock time:
 - :class:`~repro.runtime.controller.CentralController` — central queue,
   load balancer, per-worker selector threads, and the load monitor;
 - :class:`~repro.runtime.workload.WorkloadGenerator` — produces the query
-  stream from a trace + inter-arrival pattern in wall-clock time.
+  stream from a trace + inter-arrival pattern in wall-clock time;
+- :class:`~repro.runtime.shard.ShardedController` — the scaled serving
+  tier: N controller shards with event-driven asyncio dispatch loops,
+  consistent round-robin, admission control / drop-late under overload,
+  live policy hot-swap, and per-shard auditor + snapshot feeds.
 
 A ``time_scale`` compresses wall-clock time uniformly (e.g. 0.1 makes a
 150 ms inference sleep 15 ms) so demonstrations finish quickly while every
 relative timing — deadlines, arrivals, service — is preserved.  The
 discrete-event simulator remains the tool for large experiments; this
-runtime exists to exercise the same MS&S code under real concurrency.
+runtime exists to exercise the same MS&S code under real concurrency, and
+the sharded tier to prove the serving loop sustains production-scale
+throughput without giving up the per-worker determinism the guarantees
+rest on.
 """
 
 from repro.runtime.controller import CentralController, RuntimeReport
+from repro.runtime.shard import (
+    AdmissionControl,
+    ShardedController,
+    ShardedReport,
+)
 from repro.runtime.worker import InferenceWorker
 from repro.runtime.workload import WorkloadGenerator
 
 __all__ = [
     "CentralController",
     "RuntimeReport",
+    "AdmissionControl",
+    "ShardedController",
+    "ShardedReport",
     "InferenceWorker",
     "WorkloadGenerator",
 ]

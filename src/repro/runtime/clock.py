@@ -27,9 +27,23 @@ class VirtualClock:
         """Wall seconds per virtual second."""
         return self._scale
 
+    def restart(self) -> None:
+        """Re-zero the clock (``now_ms`` starts counting from here).
+
+        The sharded controller restarts the shared clock once every
+        shard loop is up, so thread-spawn latency is never charged to
+        the first arrivals.
+        """
+        self._start = time.monotonic()
+
     def now_ms(self) -> float:
         """Current virtual time in milliseconds since clock creation."""
         return (time.monotonic() - self._start) * 1000.0 / self._scale
+
+    def wall_s_until(self, virtual_deadline_ms: float) -> float:
+        """Wall seconds until the clock reaches ``virtual_deadline_ms``
+        (negative when the deadline has already passed)."""
+        return (virtual_deadline_ms - self.now_ms()) * self._scale / 1000.0
 
     def sleep_ms(self, virtual_ms: float) -> None:
         """Block for ``virtual_ms`` of virtual time."""
@@ -37,5 +51,14 @@ class VirtualClock:
             time.sleep(virtual_ms / 1000.0 * self._scale)
 
     def sleep_until_ms(self, virtual_deadline_ms: float) -> None:
-        """Block until the virtual clock reaches ``virtual_deadline_ms``."""
-        self.sleep_ms(virtual_deadline_ms - self.now_ms())
+        """Block until the virtual clock reaches ``virtual_deadline_ms``.
+
+        Loops on the *absolute* deadline instead of issuing one relative
+        sleep: ``time.sleep`` may wake early (signals) and a single shot
+        would accumulate the shortfall into pacing drift.
+        """
+        while True:
+            remaining_s = self.wall_s_until(virtual_deadline_ms)
+            if remaining_s <= 0:
+                return
+            time.sleep(remaining_s)

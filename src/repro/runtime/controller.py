@@ -109,6 +109,9 @@ class CentralController:
         monitor.attach_registry(self._registry)
         metrics = MetricsCollector(registry=self._registry)
         metrics_lock = threading.Lock()
+        # Event-driven drain: every completion notifies, and the drain
+        # loop below waits on this condition instead of polling.
+        drained = threading.Condition(metrics_lock)
         per_worker = selector.queue_scope is QueueScope.PER_WORKER
         tracer = self._tracer
         tracing = tracer.enabled
@@ -137,9 +140,11 @@ class CentralController:
                                 "worker": worker_id,
                                 "model": model_name,
                                 "satisfied": satisfied,
+                                "accuracy": model.accuracy,
                                 "response_ms": now_ms - query.arrival_ms,
                             },
                         )
+                drained.notify_all()
 
         workers = [
             InferenceWorker(
@@ -213,13 +218,13 @@ class CentralController:
         generator = WorkloadGenerator(trace, self._slo_ms, pattern, seed=self._seed)
         submitted = generator.run(clock, submit, arrivals=arrivals)
 
-        # Drain: wait until every submitted query has been completed.
-        while True:
-            with metrics_lock:
-                done = metrics.total >= submitted
-            if done:
-                break
-            _time.sleep(0.005)
+        # Drain: block until every submitted query has completed.  Pure
+        # condition waits — a zero-query run falls straight through, and
+        # each completion's notify wakes this loop immediately (no
+        # polling interval anywhere in the control path).
+        with drained:
+            while metrics.total < submitted:
+                drained.wait()
         for worker in workers:
             worker.stop()
         for worker in workers:

@@ -105,17 +105,20 @@ class InferenceWorker:
     def _serve_loop(self) -> None:
         while True:
             with self._work_ready:
+                # Pure notify-driven wait: enqueue() and stop() both
+                # notify, so there is no polling timeout to burn.
                 while not self._queue and not self._stopping:
-                    self._work_ready.wait(timeout=0.05)
+                    self._work_ready.wait()
                 if not self._queue and self._stopping:
                     return
                 now = self._clock.now_ms()
                 head = self._queue[0]
                 queue_len = len(self._queue)
+                slack_ms = head.slack_at(now)
                 anticipated = self._load_probe(now)
                 action = self._selector.select(
                     queue_length=queue_len,
-                    earliest_slack_ms=head.slack_at(now),
+                    earliest_slack_ms=slack_ms,
                     now_ms=now,
                     anticipated_load_qps=anticipated,
                 )
@@ -123,8 +126,10 @@ class InferenceWorker:
                 served = [self._queue.popleft() for _ in range(max(batch, 1))]
                 model = self._models.get(action.model)
             # Execute outside the lock: new arrivals may queue meanwhile.
+            # The sleep targets the *absolute* virtual completion instant
+            # so early wake-ups never accumulate into pacing drift.
             exec_ms = self._latency_model.execution_ms(model, len(served))
-            self._clock.sleep_ms(exec_ms)
+            self._clock.sleep_until_ms(now + exec_ms)
             done = self._clock.now_ms()
             if self._tracer.enabled:
                 track = f"worker-{self._id}"
@@ -138,6 +143,7 @@ class InferenceWorker:
                         "model": model.name,
                         "batch": len(served),
                         "queue_len": queue_len,
+                        "slack_ms": slack_ms,
                         "anticipated_qps": anticipated,
                     },
                 )

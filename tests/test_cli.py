@@ -12,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "gen", "ms-gen", "simulate", "report", "trace", "synth-trace",
-            "zoo", "audit",
+            "zoo", "audit", "serve",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -183,3 +183,68 @@ class TestSimulateAndReport:
                     str(tmp_path),
                 ]
             )
+
+
+class TestServe:
+    def test_unpaced_smoke_with_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(
+            [
+                "serve",
+                "--load", "30",
+                "--duration", "3",
+                "--shards", "2",
+                "--workers", "2",
+                "--time-scale", "0.01",
+                "--unpaced",
+                "--run-dir", str(run_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards x 2 workers" in out
+        assert "served=" in out
+        # Merged artifacts for ramsis report/explain, plus shard feeds.
+        for name in ("merged.jsonl", "metrics.json", "attribution.json"):
+            assert (run_dir / name).is_file()
+        assert sorted(run_dir.glob("shard-*.jsonl"))
+        # The merged feed drives the standard run report unchanged.
+        assert main(["report", "--run-dir", str(run_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "reconstructed from merged.jsonl" in report
+
+    def test_audited_serve_is_clean(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--load", "25",
+                "--duration", "3",
+                "--shards", "2",
+                "--workers", "1",
+                "--time-scale", "0.01",
+                "--unpaced",
+                "--audit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard 0 audit: violation_breaches=0" in out
+        assert "shard 1 audit: violation_breaches=0" in out
+
+    def test_admission_flags_reported(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--load", "600",
+                "--duration", "2",
+                "--shards", "1",
+                "--workers", "2",
+                "--time-scale", "0.01",
+                "--unpaced",
+                "--max-queue-depth", "2",
+                "--drop-late",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejected=" in out and "dropped=" in out

@@ -34,6 +34,25 @@ class TestVirtualClock:
         clock = VirtualClock(time_scale=0.01)
         clock.sleep_until_ms(-100.0)  # already past
 
+    def test_wall_s_until(self):
+        clock = VirtualClock(time_scale=0.01)
+        # 1000 virtual ms at 0.01 scale is 10 ms of wall time.
+        remaining = clock.wall_s_until(1_000.0)
+        assert 0.0 < remaining <= 0.010
+        assert clock.wall_s_until(-1.0) < 0.0
+
+    def test_restart_rezeros(self):
+        clock = VirtualClock(time_scale=0.01)
+        clock.sleep_ms(500.0)
+        assert clock.now_ms() >= 500.0
+        clock.restart()
+        assert clock.now_ms() < 500.0
+
+    def test_sleep_until_reaches_absolute_deadline(self):
+        clock = VirtualClock(time_scale=0.01)
+        clock.sleep_until_ms(300.0)
+        assert clock.now_ms() >= 300.0
+
 
 class TestWorkloadGenerator:
     def test_sample_matches_simulator_sampling(self):
@@ -55,6 +74,35 @@ class TestWorkloadGenerator:
         assert all(
             q.deadline_ms == pytest.approx(q.arrival_ms + 100.0) for q in seen
         )
+
+    def test_pacing_error_bounded_at_high_compression(self):
+        """Absolute-deadline pacing does not accumulate drift.
+
+        10k arrivals replayed at heavy compression: with relative
+        sleeps, per-call overhead (sub-ms each) would compound into
+        hundreds of ms of wall-clock drift by the last arrival; pacing
+        to the absolute virtual deadline keeps the *max* wall lag at
+        scheduling-jitter scale regardless of the arrival count.
+        """
+        n = 10_000
+        duration_ms = 2_000.0
+        arrivals = np.linspace(0.0, duration_ms, n, endpoint=False)
+        trace = LoadTrace.constant(n / (duration_ms / 1_000.0), duration_ms)
+        gen = WorkloadGenerator(trace, slo_ms=100.0, seed=0)
+        scale = 0.001  # 1000x compression: 2s of trace in 2ms of wall
+        clock = VirtualClock(time_scale=scale)
+        max_lag_wall_ms = 0.0
+
+        def submit(query):
+            nonlocal max_lag_wall_ms
+            lag_virtual = clock.now_ms() - query.arrival_ms
+            max_lag_wall_ms = max(max_lag_wall_ms, lag_virtual * scale)
+
+        count = gen.run(clock, submit, arrivals=arrivals)
+        assert count == n
+        # Bound in *wall* milliseconds: generous for CI-noise, but far
+        # below the O(n * per-call-overhead) a drifting pacer shows.
+        assert max_lag_wall_ms < 250.0
 
 
 class TestCentralController:
@@ -107,3 +155,27 @@ class TestCentralController:
 
         with pytest.raises(SimulationError):
             CentralController(tiny_models, slo_ms=100.0, num_workers=0)
+
+    def test_zero_query_run_terminates_without_poll_dead_time(self, tiny_models):
+        """The drain path is event-driven: no arrivals, no waiting.
+
+        Under the old 5 ms polling loop an empty run still burned at
+        least one poll interval; the condition-variable drain falls
+        straight through, so the whole serve() call is bounded by thread
+        start/stop costs only.
+        """
+        import time
+
+        trace = LoadTrace.constant(100.0, 1_000.0)
+        controller = CentralController(
+            tiny_models, slo_ms=100.0, num_workers=4, time_scale=FAST,
+            seed=0, latency_model=DeterministicLatency(),
+        )
+        start = time.monotonic()
+        report = controller.serve(
+            GreedyDeadlineSelector(), trace, arrivals=np.array([])
+        )
+        elapsed = time.monotonic() - start
+        assert report.submitted == 0
+        assert report.metrics.total_queries == 0
+        assert elapsed < 1.0
